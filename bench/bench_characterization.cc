@@ -1,0 +1,201 @@
+// S7 — dynamic workload characterization and prediction accuracy: the
+// ML claims behind the taxonomy's dynamic-characterization and
+// prediction-based-admission subclasses, reproduced on engine-generated
+// logs:
+//   - workload-type identification from monitor windows [19][73],
+//   - per-request workload routing learned from samples,
+//   - PQR execution-time-range classification [23],
+//   - kNN elapsed-time regression (the KCCA stand-in) [21].
+
+#include <cmath>
+#include <iostream>
+
+#include "admission/prediction_admission.h"
+#include "bench/bench_util.h"
+#include "characterization/dynamic_classifier.h"
+
+namespace {
+
+using namespace wlm;
+
+WorkloadWindowFeatures MakeWindow(WorkloadGenerator* gen, Optimizer* optimizer,
+                                  WorkloadType type, int queries) {
+  std::vector<QuerySpec> specs;
+  std::vector<Plan> plans;
+  OltpWorkloadConfig oltp;
+  BiWorkloadConfig bi;
+  for (int i = 0; i < queries; ++i) {
+    specs.push_back(type == WorkloadType::kOltp ? gen->NextOltp(oltp)
+                                                : gen->NextBi(bi));
+    plans.push_back(optimizer->BuildPlan(specs.back()));
+  }
+  std::vector<const QuerySpec*> spec_ptrs;
+  std::vector<const Plan*> plan_ptrs;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    spec_ptrs.push_back(&specs[i]);
+    plan_ptrs.push_back(&plans[i]);
+  }
+  double window_seconds = type == WorkloadType::kOltp ? 1.0 : 60.0;
+  return ComputeWindowFeatures(plan_ptrs, spec_ptrs, window_seconds);
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlm;
+  Optimizer optimizer;  // default estimation error
+
+  PrintBanner(std::cout,
+              "S7 — dynamic characterization & prediction accuracy on "
+              "engine-generated logs");
+  TablePrinter table({"Model", "Task", "Train size", "Test metric",
+                      "Result"});
+
+  // 1. Workload-type identification.
+  {
+    WorkloadGenerator gen(101);
+    WorkloadTypeClassifier classifier;
+    for (int i = 0; i < 60; ++i) {
+      classifier.AddTrainingWindow(
+          MakeWindow(&gen, &optimizer, WorkloadType::kOltp, 20),
+          WorkloadType::kOltp);
+      classifier.AddTrainingWindow(
+          MakeWindow(&gen, &optimizer, WorkloadType::kOlap, 20),
+          WorkloadType::kOlap);
+    }
+    classifier.Train();
+    std::vector<WorkloadWindowFeatures> windows;
+    std::vector<WorkloadType> labels;
+    for (int i = 0; i < 50; ++i) {
+      windows.push_back(MakeWindow(&gen, &optimizer, WorkloadType::kOltp, 20));
+      labels.push_back(WorkloadType::kOltp);
+      windows.push_back(MakeWindow(&gen, &optimizer, WorkloadType::kOlap, 20));
+      labels.push_back(WorkloadType::kOlap);
+    }
+    table.AddRow({"Naive Bayes [19][73]",
+                  "identify workload type from monitor windows", "120",
+                  "accuracy (100 windows)",
+                  TablePrinter::Pct(classifier.Accuracy(windows, labels))});
+  }
+
+  // 2. Per-request workload routing.
+  {
+    WorkloadGenerator gen(103);
+    LearnedRequestClassifier classifier;
+    OltpWorkloadConfig oltp;
+    BiWorkloadConfig bi;
+    for (int i = 0; i < 300; ++i) {
+      QuerySpec txn = gen.NextOltp(oltp);
+      classifier.AddExample(txn, optimizer.BuildPlan(txn), "oltp");
+      QuerySpec query = gen.NextBi(bi);
+      classifier.AddExample(query, optimizer.BuildPlan(query), "bi");
+    }
+    classifier.Train();
+    // Evaluate on fresh requests via a throwaway manager context.
+    Simulation sim;
+    DatabaseEngine engine(&sim, EngineConfig{});
+    Monitor monitor(&sim, &engine, 1.0);
+    WorkloadManager manager(&sim, &engine, &monitor);
+    WorkloadDefinition d1;
+    d1.name = "oltp";
+    manager.DefineWorkload(d1);
+    WorkloadDefinition d2;
+    d2.name = "bi";
+    manager.DefineWorkload(d2);
+    int correct = 0;
+    const int kTests = 200;
+    for (int i = 0; i < kTests / 2; ++i) {
+      Request txn;
+      txn.spec = gen.NextOltp(oltp);
+      txn.plan = optimizer.BuildPlan(txn.spec);
+      if (classifier.Classify(txn, manager) == "oltp") ++correct;
+      Request query;
+      query.spec = gen.NextBi(bi);
+      query.plan = optimizer.BuildPlan(query.spec);
+      if (classifier.Classify(query, manager) == "bi") ++correct;
+    }
+    table.AddRow({"Decision tree (CART)",
+                  "route requests to learned workloads", "600",
+                  "accuracy (200 requests)",
+                  TablePrinter::Pct(static_cast<double>(correct) / kTests)});
+  }
+
+  // 3. PQR execution-time ranges, under realistic misestimation.
+  {
+    WorkloadGenerator gen(105);
+    PqrAdmission::Config config;
+    config.bucket_bounds = {1.0, 10.0, 100.0};
+    PqrAdmission pqr(config);
+    OltpWorkloadConfig oltp;
+    BiWorkloadConfig bi;
+    auto truth = [&](const Plan& plan) {
+      return plan.StandaloneSeconds(1, 1500.0);
+    };
+    for (int i = 0; i < 400; ++i) {
+      QuerySpec a = gen.NextOltp(oltp);
+      Plan pa = optimizer.BuildPlan(a);
+      pqr.AddExample(a, pa, truth(pa));
+      QuerySpec b = gen.NextBi(bi);
+      Plan pb = optimizer.BuildPlan(b);
+      pqr.AddExample(b, pb, truth(pb));
+    }
+    pqr.Train();
+    int correct = 0;
+    int within_one = 0;
+    const int kTests = 300;
+    for (int i = 0; i < kTests; ++i) {
+      QuerySpec spec = (i % 2 == 0) ? gen.NextOltp(oltp) : gen.NextBi(bi);
+      Plan plan = optimizer.BuildPlan(spec);
+      auto predicted = pqr.PredictBucket(spec, plan);
+      int actual = pqr.BucketFor(truth(plan));
+      if (predicted.ok()) {
+        if (*predicted == actual) ++correct;
+        if (std::abs(*predicted - actual) <= 1) ++within_one;
+      }
+    }
+    table.AddRow(
+        {"PQR decision tree [23]", "predict execution-time range", "800",
+         "exact / within-one bucket",
+         TablePrinter::Pct(static_cast<double>(correct) / kTests) + " / " +
+             TablePrinter::Pct(static_cast<double>(within_one) / kTests)});
+  }
+
+  // 4. kNN elapsed-time regression.
+  {
+    WorkloadGenerator gen(107);
+    SimilarityAdmission knn;
+    BiWorkloadConfig bi;
+    auto truth = [&](const Plan& plan) {
+      return plan.StandaloneSeconds(1, 1500.0);
+    };
+    for (int i = 0; i < 500; ++i) {
+      QuerySpec spec = gen.NextBi(bi);
+      Plan plan = optimizer.BuildPlan(spec);
+      knn.AddExample(spec, plan, truth(plan));
+    }
+    knn.Train();
+    int within_2x = 0;
+    const int kTests = 200;
+    for (int i = 0; i < kTests; ++i) {
+      QuerySpec spec = gen.NextBi(bi);
+      Plan plan = optimizer.BuildPlan(spec);
+      auto predicted = knn.PredictElapsed(spec, plan);
+      double actual = truth(plan);
+      if (predicted.ok() && *predicted > actual / 2.0 &&
+          *predicted < actual * 2.0) {
+        ++within_2x;
+      }
+    }
+    table.AddRow({"kNN regression (KCCA stand-in) [21]",
+                  "predict elapsed seconds", "500",
+                  "predictions within 2x of truth",
+                  TablePrinter::Pct(static_cast<double>(within_2x) / kTests)});
+  }
+
+  table.Print(std::cout);
+  std::cout << "\nShape check: window-level workload-type identification "
+               "is near-perfect; per-query\npredictions are strong but "
+               "imperfect (the optimizer's estimation error is real),\n"
+               "matching the literature's reported behaviour.\n";
+  return 0;
+}

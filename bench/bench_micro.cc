@@ -1,0 +1,165 @@
+// S6 — google-benchmark microbenchmarks of the substrate hot paths: the
+// simulation event queue, the lock manager, the optimizer, the ML
+// predictors, the monitor statistics, and an end-to-end simulated
+// queries-per-wall-second figure for the whole workload-management
+// pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "scheduling/queue_schedulers.h"
+
+namespace {
+
+using namespace wlm;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule((i * 37) % 100, [] {});
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_LockManagerAcquireRelease(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    LockManager lm;
+    for (TxnId txn = 1; txn <= 100; ++txn) {
+      for (int k = 0; k < 5; ++k) {
+        lm.Acquire(txn, static_cast<LockKey>(rng.Zipf(1000, 0.8)),
+                   rng.Bernoulli(0.5) ? LockMode::kExclusive
+                                      : LockMode::kShared);
+      }
+    }
+    for (TxnId txn = 1; txn <= 100; ++txn) lm.ReleaseAll(txn);
+    benchmark::DoNotOptimize(lm.txn_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_LockManagerAcquireRelease);
+
+void BM_DeadlockDetection(benchmark::State& state) {
+  // A contended lock table with long wait chains.
+  LockManager lm;
+  for (TxnId txn = 1; txn <= 200; ++txn) {
+    lm.Acquire(txn, txn, LockMode::kExclusive);
+    lm.Acquire(txn, (txn % 200) + 1, LockMode::kExclusive);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.FindDeadlockVictims());
+  }
+}
+BENCHMARK(BM_DeadlockDetection);
+
+void BM_OptimizerBuildPlan(benchmark::State& state) {
+  Optimizer optimizer;
+  WorkloadGenerator gen(2);
+  BiWorkloadConfig shape;
+  QuerySpec spec = gen.NextBi(shape);
+  for (auto _ : state) {
+    spec.id++;
+    benchmark::DoNotOptimize(optimizer.BuildPlan(spec));
+  }
+}
+BENCHMARK(BM_OptimizerBuildPlan);
+
+void BM_EngineTickWithQueries(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Simulation sim;
+  EngineConfig config;
+  config.tick_seconds = 0.05;
+  DatabaseEngine engine(&sim, config);
+  WorkloadGenerator gen(3);
+  BiWorkloadConfig shape;
+  shape.cpu_mu = 6.0;  // long enough to stay running
+  for (int i = 0; i < n; ++i) {
+    engine.Dispatch(gen.NextBi(shape), {});
+  }
+  for (auto _ : state) {
+    sim.RunFor(0.05);  // one tick
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineTickWithQueries)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_DecisionTreePredict(benchmark::State& state) {
+  Dataset data({"a", "b", "c"});
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    double a = rng.Uniform(0, 10), b = rng.Uniform(0, 10),
+           c = rng.Uniform(0, 10);
+    data.Add({a, b, c}, a + b > c ? 1.0 : 0.0);
+  }
+  DecisionTree tree;
+  tree.Fit(data);
+  std::vector<double> x = {3.0, 4.0, 5.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Predict(x));
+  }
+}
+BENCHMARK(BM_DecisionTreePredict);
+
+void BM_KnnPredict(benchmark::State& state) {
+  Dataset data({"a", "b", "c"});
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    data.Add({rng.Uniform(0, 1), rng.Uniform(0, 1), rng.Uniform(0, 1)},
+             rng.Uniform(0, 100));
+  }
+  KnnRegressor knn(5);
+  knn.Fit(data);
+  std::vector<double> x = {0.5, 0.5, 0.5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.Predict(x));
+  }
+}
+BENCHMARK(BM_KnnPredict);
+
+void BM_PercentilesAddQuery(benchmark::State& state) {
+  Percentiles p;
+  Rng rng(6);
+  int64_t i = 0;
+  for (auto _ : state) {
+    p.Add(rng.Uniform(0, 100));
+    if (++i % 64 == 0) benchmark::DoNotOptimize(p.Percentile(95));
+  }
+}
+BENCHMARK(BM_PercentilesAddQuery);
+
+// End-to-end: how many simulated OLTP transactions per wall-second the
+// whole pipeline processes (submit -> classify -> schedule -> engine ->
+// complete).
+void BM_PipelineSimulatedOltp(benchmark::State& state) {
+  for (auto _ : state) {
+    wlm_bench::BenchRig rig;
+    wlm_bench::DefineStandardWorkloads(&rig.wlm);
+    rig.wlm.set_scheduler(std::make_unique<PriorityScheduler>(32));
+    WorkloadGenerator gen(7);
+    OltpWorkloadConfig shape;
+    Rng arrivals(7);
+    OpenLoopDriver driver(
+        &rig.sim, &arrivals, 100.0, [&] { return gen.NextOltp(shape); },
+        [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+    driver.Start(10.0);
+    rig.sim.RunUntil(20.0);
+    state.counters["sim_txns"] = static_cast<double>(
+        rig.monitor.tag_stats("oltp").completed);
+    benchmark::DoNotOptimize(rig.engine.counters().completed);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PipelineSimulatedOltp)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

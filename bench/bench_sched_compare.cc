@@ -1,0 +1,133 @@
+// S2 — scheduling-policy comparison (Section 3.3): FIFO vs priority vs
+// rank-function vs utility-function scheduling on a multi-class batch +
+// stream mix. The paper's claim: dynamic queue-management schedulers let
+// important/short work meet objectives that static FIFO queues miss.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "scheduling/mpl_scheduler.h"
+#include "scheduling/queue_schedulers.h"
+#include "scheduling/utility_scheduler.h"
+
+namespace {
+
+using namespace wlm;
+using wlm_bench::BenchRig;
+
+struct Row {
+  double oltp_goal_attainment = 0.0;  // fraction meeting 0.2s
+  double oltp_p95 = 0.0;
+  double short_bi_mean = 0.0;
+  double long_bi_mean = 0.0;
+  int64_t completed = 0;
+};
+
+Row Run(int mode) {  // 0 fifo, 1 priority, 2 rank, 3 utility, 4 feedback
+  EngineConfig config = wlm_bench::DefaultEngine();
+  config.num_cpus = 2;
+  BenchRig rig(config);
+  wlm_bench::DefineStandardWorkloads(&rig.wlm);
+  const int kMpl = 6;
+  switch (mode) {
+    case 0:
+      rig.wlm.set_scheduler(std::make_unique<FifoScheduler>(kMpl));
+      break;
+    case 1:
+      rig.wlm.set_scheduler(std::make_unique<PriorityScheduler>(kMpl));
+      break;
+    case 2:
+      rig.wlm.set_scheduler(std::make_unique<RankScheduler>(
+          kMpl, RankScheduler::Weights{1.0, 0.8, 0.4}));
+      break;
+    case 3: {
+      UtilityScheduler::Config utility;
+      utility.classes.push_back({"oltp", 0.2, 5.0});
+      utility.classes.push_back({"bi", 60.0, 1.0});
+      utility.system_cost_capacity = 25000.0;
+      rig.wlm.set_scheduler(std::make_unique<UtilityScheduler>(utility));
+      break;
+    }
+    case 4: {
+      FeedbackMplScheduler::Config feedback;
+      feedback.initial_mpl = kMpl;
+      feedback.target_response_seconds = 1.0;
+      rig.wlm.set_scheduler(
+          std::make_unique<FeedbackMplScheduler>(feedback));
+      break;
+    }
+  }
+
+  // Mixed load: OLTP stream + bimodal BI (short interactive + long batch).
+  WorkloadGenerator gen(2025);
+  Rng arrivals(2025);
+  OltpWorkloadConfig oltp_shape;
+  BiWorkloadConfig short_bi;
+  short_bi.cpu_mu = -1.0;
+  BiWorkloadConfig long_bi;
+  long_bi.cpu_mu = 2.0;
+  OpenLoopDriver oltp_driver(
+      &rig.sim, &arrivals, 20.0, [&] { return gen.NextOltp(oltp_shape); },
+      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+  OpenLoopDriver short_driver(
+      &rig.sim, &arrivals, 1.5, [&] { return gen.NextBi(short_bi); },
+      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+  OpenLoopDriver long_driver(
+      &rig.sim, &arrivals, 0.3, [&] { return gen.NextBi(long_bi); },
+      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+  oltp_driver.Start(120.0);
+  short_driver.Start(120.0);
+  long_driver.Start(120.0);
+  rig.sim.RunUntil(700.0);
+
+  Row row;
+  const TagStats& oltp = rig.monitor.tag_stats("oltp");
+  row.oltp_goal_attainment = oltp.response_times.FractionAtOrBelow(0.2);
+  row.oltp_p95 = oltp.response_times.Percentile(95);
+  // Split BI responses by size using the request log.
+  OnlineStats short_responses, long_responses;
+  for (const Request* r : rig.wlm.AllRequests()) {
+    if (r->workload != "bi" || r->state != RequestState::kCompleted) {
+      continue;
+    }
+    if (r->spec.cpu_seconds < 2.0) {
+      short_responses.Add(r->ResponseTime());
+    } else {
+      long_responses.Add(r->ResponseTime());
+    }
+  }
+  row.short_bi_mean = short_responses.mean();
+  row.long_bi_mean = long_responses.mean();
+  row.completed = oltp.completed + rig.monitor.tag_stats("bi").completed;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlm;
+  const char* names[] = {"FIFO (static MPL)", "Priority queues",
+                         "Rank function [24]", "Utility scheduler [60]",
+                         "Feedback MPL [69]"};
+  PrintBanner(std::cout,
+              "S2 — scheduling comparison: OLTP stream + bimodal BI batch "
+              "(goal: OLTP responses <= 0.2s)");
+  TablePrinter table({"Scheduler", "OLTP within goal", "OLTP p95 (s)",
+                      "short-BI mean (s)", "long-BI mean (s)",
+                      "total completed"});
+  for (int mode = 0; mode <= 4; ++mode) {
+    Row row = Run(mode);
+    table.AddRow({names[mode], TablePrinter::Pct(row.oltp_goal_attainment),
+                  TablePrinter::Num(row.oltp_p95, 3),
+                  TablePrinter::Num(row.short_bi_mean, 2),
+                  TablePrinter::Num(row.long_bi_mean, 2),
+                  TablePrinter::Int(row.completed)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: priority/rank/utility scheduling beat FIFO "
+               "on the high-importance\ngoal; the rank function also keeps "
+               "short BI queries from waiting behind long\nones (its "
+               "size/aging terms), matching the papers' claims.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Table 1 — "Three types of controls in a workload management process".
+//
+// Each control type is exercised at its control point on the same
+// consolidation scenario (OLTP stream + heavy BI), showing *where* in the
+// request lifecycle it acts:
+//   - Admission control: upon arrival (rejections, no queueing),
+//   - Scheduling: prior to sending to the engine (queue waits, nothing
+//     rejected or killed),
+//   - Execution control: during execution (kills / throttling of running
+//     requests).
+// The OLTP p95 column shows that every control type protects the
+// high-priority workload relative to the uncontrolled baseline.
+
+#include <iostream>
+#include <memory>
+
+#include "admission/threshold_admission.h"
+#include "bench/bench_util.h"
+#include "execution/kill.h"
+#include "execution/throttling.h"
+#include "scheduling/queue_schedulers.h"
+
+namespace {
+
+using namespace wlm;
+using wlm_bench::BenchRig;
+
+enum class Mode { kNone, kAdmission, kScheduling, kExecution };
+
+struct Row {
+  std::string name;
+  std::string control_point;
+  double oltp_p95 = 0.0;
+  int64_t bi_completed = 0;
+  int64_t rejected = 0;
+  double mean_queue_wait = 0.0;
+  int64_t killed = 0;
+};
+
+Row Run(Mode mode) {
+  BenchRig rig;
+  wlm_bench::DefineStandardWorkloads(&rig.wlm);
+
+  switch (mode) {
+    case Mode::kNone:
+      break;
+    case Mode::kAdmission: {
+      QueryCostAdmission::Config cost;
+      cost.per_workload_timerons["bi"] = 30000.0;
+      rig.wlm.AddAdmissionController(
+          std::make_unique<QueryCostAdmission>(cost));
+      break;
+    }
+    case Mode::kScheduling:
+      rig.wlm.set_scheduler(std::make_unique<PriorityScheduler>(6));
+      break;
+    case Mode::kExecution: {
+      QueryKillController::Config kill;
+      kill.max_elapsed_seconds = 60.0;
+      kill.max_victim_priority = BusinessPriority::kLow;
+      rig.wlm.AddExecutionController(
+          std::make_unique<QueryKillController>(kill));
+      QueryThrottleController::Config throttle;
+      throttle.victim_workload = "bi";
+      throttle.protected_workload = "oltp";
+      throttle.target_response_seconds = 0.2;
+      rig.wlm.AddExecutionController(
+          std::make_unique<QueryThrottleController>(throttle));
+      break;
+    }
+  }
+
+  BiWorkloadConfig bi_shape;
+  bi_shape.cpu_mu = 1.8;  // heavy analytics
+  wlm_bench::MixedTraffic traffic(&rig, 42, /*oltp_rate=*/30.0,
+                                  /*bi_rate=*/0.7, /*duration=*/120.0,
+                                  OltpWorkloadConfig(), bi_shape);
+  rig.sim.RunUntil(700.0);
+
+  Row row;
+  row.oltp_p95 = rig.monitor.tag_stats("oltp").response_times.Percentile(95);
+  row.bi_completed = rig.monitor.tag_stats("bi").completed;
+  row.rejected = rig.wlm.counters("bi").rejected;
+  row.mean_queue_wait = rig.wlm.counters("bi").queue_waits.mean();
+  row.killed = rig.wlm.counters("bi").killed;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlm;
+
+  struct Case {
+    Mode mode;
+    const char* name;
+    const char* point;
+  };
+  const Case cases[] = {
+      {Mode::kNone, "No control (baseline)", "-"},
+      {Mode::kAdmission, "Admission control", "upon arrival"},
+      {Mode::kScheduling, "Scheduling", "prior to execution engine"},
+      {Mode::kExecution, "Execution control", "during execution"},
+  };
+
+  PrintBanner(std::cout,
+              "Table 1 — the three control types, each acting at its "
+              "control point (BI interference vs OLTP)");
+  TablePrinter table({"Control type", "Control point", "OLTP p95 (s)",
+                      "BI done", "BI rejected", "BI mean queue wait (s)",
+                      "BI killed"});
+  for (const Case& c : cases) {
+    Row row = Run(c.mode);
+    table.AddRow({c.name, c.point, TablePrinter::Num(row.oltp_p95, 3),
+                  TablePrinter::Int(row.bi_completed),
+                  TablePrinter::Int(row.rejected),
+                  TablePrinter::Num(row.mean_queue_wait, 2),
+                  TablePrinter::Int(row.killed)});
+  }
+  table.Print(std::cout);
+  std::cout
+      << "\nReading: admission rejects at arrival (rejections, no queue "
+         "wait);\nscheduling holds requests in the wait queue (queue wait, "
+         "no rejections);\nexecution control acts on running queries "
+         "(kills/throttling). Each\nimproves OLTP p95 over the baseline.\n";
+  return 0;
+}

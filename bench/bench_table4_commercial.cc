@@ -1,0 +1,263 @@
+// Table 4 — "Summary of the workload management systems" (IBM DB2 WLM,
+// Microsoft SQL Server Resource/Query Governor, Teradata ASM).
+//
+// Each facade is configured the way its product documentation describes,
+// the *same* three-tenant consolidation traffic is driven through each,
+// and the employed-technique classification is regenerated automatically
+// from the live configuration — reproducing the table's
+// characterization/admission/execution-control columns (and its finding
+// that none of the systems implements scheduling).
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "systems/db2_wlm.h"
+#include "systems/resource_governor.h"
+#include "systems/teradata_asm.h"
+
+namespace {
+
+using namespace wlm;
+using wlm_bench::BenchRig;
+
+struct SystemResult {
+  std::string characterization;
+  std::string admission;
+  std::string execution;
+  bool any_scheduling = false;
+  double oltp_p95 = 0.0;
+  int64_t oltp_completed = 0;
+  int64_t bi_completed = 0;
+  int64_t rejected_or_killed = 0;
+};
+
+void Classify(const WorkloadManager& manager, SystemResult* result) {
+  std::set<std::string> characterization, admission, execution;
+  for (const TechniqueInfo& t : manager.EmployedTechniques()) {
+    switch (t.technique_class) {
+      case TechniqueClass::kWorkloadCharacterization:
+        characterization.insert(t.name);
+        break;
+      case TechniqueClass::kAdmissionControl:
+        admission.insert(t.name);
+        break;
+      case TechniqueClass::kScheduling:
+        result->any_scheduling = true;
+        break;
+      case TechniqueClass::kExecutionControl:
+        execution.insert(t.name);
+        break;
+    }
+  }
+  auto join = [](const std::set<std::string>& items) {
+    std::string out;
+    for (const std::string& item : items) {
+      if (!out.empty()) out += " + ";
+      out += item;
+    }
+    return out.empty() ? std::string("-") : out;
+  };
+  result->characterization = join(characterization);
+  result->admission = join(admission);
+  result->execution = join(execution);
+}
+
+void DriveTenants(BenchRig* rig) {
+  WorkloadGenerator gen(777);
+  OltpWorkloadConfig oltp_shape;
+  BiWorkloadConfig bi_shape;
+  bi_shape.cpu_mu = 1.5;
+  UtilityWorkloadConfig utility_shape;
+  utility_shape.cpu_seconds = 8.0;
+  utility_shape.io_ops = 6000.0;
+  Rng arrivals(777);
+  OpenLoopDriver oltp_driver(
+      &rig->sim, &arrivals, 25.0, [&] { return gen.NextOltp(oltp_shape); },
+      [rig](QuerySpec spec) { rig->wlm.Submit(std::move(spec)); });
+  OpenLoopDriver bi_driver(
+      &rig->sim, &arrivals, 0.6, [&] { return gen.NextBi(bi_shape); },
+      [rig](QuerySpec spec) { rig->wlm.Submit(std::move(spec)); });
+  OpenLoopDriver utility_driver(
+      &rig->sim, &arrivals, 0.03,
+      [&] { return gen.NextUtility(utility_shape); },
+      [rig](QuerySpec spec) { rig->wlm.Submit(std::move(spec)); });
+  oltp_driver.Start(90.0);
+  bi_driver.Start(90.0);
+  utility_driver.Start(90.0);
+  rig->sim.RunUntil(500.0);
+}
+
+void Collect(BenchRig* rig, const std::string& oltp_name,
+             const std::string& bi_name, SystemResult* result) {
+  Classify(rig->wlm, result);
+  const TagStats& oltp = rig->monitor.tag_stats(oltp_name);
+  result->oltp_p95 = oltp.response_times.Percentile(95);
+  result->oltp_completed = oltp.completed;
+  result->bi_completed = rig->monitor.tag_stats(bi_name).completed;
+  result->rejected_or_killed = rig->wlm.counters(bi_name).rejected +
+                               rig->wlm.counters(bi_name).killed;
+}
+
+SystemResult RunDb2() {
+  BenchRig rig;
+  Db2WorkloadManagerFacade db2(&rig.wlm);
+  db2.CreateServiceClass({"SC_TRX", 9, 9, 9, BusinessPriority::kHigh, {}});
+  db2.CreateServiceClass({"SC_RPT", 3, 3, 3, BusinessPriority::kLow, {}});
+  db2.CreateServiceClass({"SC_UTIL", 1, 1, 1, BusinessPriority::kBackground, {}});
+  Db2WorkloadManagerFacade::WorkloadDef trx;
+  trx.name = "WL_POS";
+  trx.application = "pos-system";
+  trx.service_class = "SC_TRX";
+  db2.CreateWorkload(trx);
+  Db2WorkloadManagerFacade::WorkloadDef rpt;
+  rpt.name = "WL_RPT";
+  rpt.application = "reporting";
+  rpt.service_class = "SC_RPT";
+  db2.CreateWorkload(rpt);
+  Db2WorkloadManagerFacade::WorkloadDef util;
+  util.name = "WL_UTIL";
+  util.application = "dbadmin";
+  util.service_class = "SC_UTIL";
+  db2.CreateWorkload(util);
+  Db2WorkloadManagerFacade::Threshold cost;
+  cost.name = "TH_COST";
+  cost.metric = Db2WorkloadManagerFacade::ThresholdMetric::kEstimatedCost;
+  cost.value = 60000.0;
+  db2.CreateThreshold(cost);
+  Db2WorkloadManagerFacade::Threshold conc;
+  conc.name = "TH_CONC";
+  conc.metric =
+      Db2WorkloadManagerFacade::ThresholdMetric::kConcurrentWorkloadActivities;
+  conc.value = 3;
+  conc.service_class = "SC_RPT";
+  db2.CreateThreshold(conc);
+  Db2WorkloadManagerFacade::Threshold remap;
+  remap.name = "TH_REMAP";
+  remap.metric = Db2WorkloadManagerFacade::ThresholdMetric::kElapsedTime;
+  remap.value = 20.0;
+  remap.action = Db2WorkloadManagerFacade::ThresholdAction::kRemapDown;
+  remap.service_class = "SC_RPT";
+  db2.CreateThreshold(remap);
+  Db2WorkloadManagerFacade::Threshold kill;
+  kill.name = "TH_KILL";
+  kill.metric = Db2WorkloadManagerFacade::ThresholdMetric::kElapsedTime;
+  kill.value = 120.0;
+  kill.action = Db2WorkloadManagerFacade::ThresholdAction::kStopExecution;
+  kill.service_class = "SC_RPT";
+  db2.CreateThreshold(kill);
+  db2.Build();
+
+  DriveTenants(&rig);
+  SystemResult result;
+  Collect(&rig, "SC_TRX", "SC_RPT", &result);
+  return result;
+}
+
+SystemResult RunResourceGovernor() {
+  BenchRig rig;
+  ResourceGovernorFacade governor(&rig.wlm);
+  governor.CreatePool({"trx_pool", 0.6, 1.0});
+  governor.CreatePool({"rpt_pool", 0.1, 0.4});
+  governor.CreateWorkloadGroup(
+      {"trx", "trx_pool", BusinessPriority::kHigh, 0, {}});
+  governor.CreateWorkloadGroup(
+      {"rpt", "rpt_pool", BusinessPriority::kLow, 6, {}});
+  governor.RegisterClassifierFunction(
+      [](const Request& r) -> std::optional<std::string> {
+        if (r.spec.session.application == "pos-system") return "trx";
+        if (r.spec.session.application == "reporting") return "rpt";
+        return std::nullopt;  // utilities land in `default`
+      });
+  governor.set_query_governor_cost_limit(120.0);
+  governor.Build();
+
+  DriveTenants(&rig);
+  SystemResult result;
+  Collect(&rig, "trx", "rpt", &result);
+  return result;
+}
+
+SystemResult RunTeradataAsm() {
+  BenchRig rig;
+  TeradataAsmFacade asm_facade(&rig.wlm);
+  TeradataAsmFacade::QueryResourceFilter filter;
+  filter.max_est_seconds = 120.0;
+  asm_facade.AddQueryResourceFilter(filter);
+  TeradataAsmFacade::WorkloadDefinitionRule tactical;
+  tactical.name = "tactical";
+  tactical.application = "pos-system";
+  tactical.priority = BusinessPriority::kHigh;
+  asm_facade.AddWorkloadDefinition(tactical);
+  TeradataAsmFacade::WorkloadDefinitionRule dss;
+  dss.name = "dss";
+  dss.application = "reporting";
+  dss.priority = BusinessPriority::kLow;
+  dss.concurrency_throttle = 3;
+  TeradataAsmFacade::ExceptionRule exception;
+  exception.max_elapsed_seconds = 120.0;
+  exception.action = TeradataAsmFacade::ExceptionAction::kAbort;
+  dss.exception = exception;
+  asm_facade.AddWorkloadDefinition(dss);
+  TeradataAsmFacade::WorkloadDefinitionRule util;
+  util.name = "load_util";
+  util.application = "dbadmin";
+  util.priority = BusinessPriority::kBackground;
+  util.concurrency_throttle = 1;
+  asm_facade.AddWorkloadDefinition(util);
+  asm_facade.Build();
+
+  DriveTenants(&rig);
+  SystemResult result;
+  Collect(&rig, "tactical", "dss", &result);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlm;
+
+  struct Entry {
+    const char* system;
+    SystemResult result;
+  };
+  Entry entries[] = {
+      {"IBM DB2 Workload Manager [30]", RunDb2()},
+      {"SQL Server Resource/Query Governor [50][51]",
+       RunResourceGovernor()},
+      {"Teradata Active System Management [71][72]", RunTeradataAsm()},
+  };
+
+  PrintBanner(std::cout,
+              "Table 4 — commercial workload-management systems: employed "
+              "techniques (auto-classified from the live configuration)");
+  TablePrinter classification({"System", "Workload Characterization",
+                               "Admission Control", "Execution Control",
+                               "Scheduling?"});
+  for (const Entry& e : entries) {
+    classification.AddRow({e.system, e.result.characterization,
+                           e.result.admission, e.result.execution,
+                           e.result.any_scheduling ? "YES (!)" : "none"});
+  }
+  classification.Print(std::cout);
+
+  PrintBanner(std::cout,
+              "Same consolidation traffic through each facade: outcomes");
+  TablePrinter outcomes({"System", "OLTP p95 (s)", "OLTP done", "BI done",
+                         "BI rejected+killed"});
+  for (const Entry& e : entries) {
+    outcomes.AddRow({e.system, TablePrinter::Num(e.result.oltp_p95, 3),
+                     TablePrinter::Int(e.result.oltp_completed),
+                     TablePrinter::Int(e.result.bi_completed),
+                     TablePrinter::Int(e.result.rejected_or_killed)});
+  }
+  outcomes.Print(std::cout);
+  std::cout << "\nAs in the paper's Table 4: all three systems employ "
+               "static characterization,\nthreshold-based admission and "
+               "execution control — and none implements a\nscheduling "
+               "technique.\n";
+  return 0;
+}

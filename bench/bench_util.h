@@ -1,0 +1,115 @@
+#ifndef WLM_BENCH_BENCH_UTIL_H_
+#define WLM_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the experiment harnesses that regenerate the
+// paper's tables and figures. Each bench binary builds one or more
+// `BenchRig`s, drives deterministic workloads through them and prints
+// rows with wlm::TablePrinter.
+
+#include <memory>
+#include <string>
+
+#include "characterization/static_classifier.h"
+#include "common/table_printer.h"
+#include "core/workload_manager.h"
+#include "engine/engine.h"
+#include "engine/monitor.h"
+#include "sim/simulation.h"
+#include "workloads/generators.h"
+
+namespace wlm_bench {
+
+using namespace wlm;
+
+/// Default experiment server: 4 CPUs / 1500 io-ops/s / 2 GB.
+inline EngineConfig DefaultEngine() {
+  EngineConfig config;
+  config.num_cpus = 4;
+  config.io_ops_per_second = 1500.0;
+  config.memory_mb = 2048.0;
+  config.tick_seconds = 0.02;
+  return config;
+}
+
+struct BenchRig {
+  Simulation sim;
+  DatabaseEngine engine;
+  Monitor monitor;
+  WorkloadManager wlm;
+
+  explicit BenchRig(EngineConfig config = DefaultEngine(),
+                    double monitor_interval = 1.0)
+      : engine(&sim, config),
+        monitor(&sim, &engine, monitor_interval),
+        wlm(&sim, &engine, &monitor) {
+    monitor.Start();
+  }
+};
+
+/// Defines the canonical three-tenant consolidation: "oltp" (high
+/// priority), "bi" (low) and "utilities" (background), classified by query
+/// kind.
+inline void DefineStandardWorkloads(WorkloadManager* manager) {
+  WorkloadDefinition oltp;
+  oltp.name = "oltp";
+  oltp.priority = BusinessPriority::kHigh;
+  manager->DefineWorkload(oltp);
+  WorkloadDefinition bi;
+  bi.name = "bi";
+  bi.priority = BusinessPriority::kLow;
+  manager->DefineWorkload(bi);
+  WorkloadDefinition utilities;
+  utilities.name = "utilities";
+  utilities.priority = BusinessPriority::kBackground;
+  manager->DefineWorkload(utilities);
+
+  auto classifier = std::make_unique<StaticClassifier>();
+  ClassificationRule oltp_rule;
+  oltp_rule.workload = "oltp";
+  oltp_rule.kind = QueryKind::kOltpTransaction;
+  classifier->AddRule(oltp_rule);
+  ClassificationRule bi_rule;
+  bi_rule.workload = "bi";
+  bi_rule.kind = QueryKind::kBiQuery;
+  classifier->AddRule(bi_rule);
+  ClassificationRule utility_rule;
+  utility_rule.workload = "utilities";
+  utility_rule.kind = QueryKind::kUtility;
+  classifier->AddRule(utility_rule);
+  manager->set_classifier(std::move(classifier));
+}
+
+/// Open-loop OLTP + BI mixed traffic for `duration` seconds, then drains
+/// until `drain_until`.
+struct MixedTraffic {
+  WorkloadGenerator generator;
+  Rng arrivals;
+  std::unique_ptr<OpenLoopDriver> oltp_driver;
+  std::unique_ptr<OpenLoopDriver> bi_driver;
+
+  MixedTraffic(BenchRig* rig, uint64_t seed, double oltp_rate,
+               double bi_rate, double duration,
+               OltpWorkloadConfig oltp_shape = OltpWorkloadConfig(),
+               BiWorkloadConfig bi_shape = BiWorkloadConfig())
+      : generator(seed), arrivals(seed ^ 0x5a5a5a5aULL) {
+    WorkloadManager* manager = &rig->wlm;
+    if (oltp_rate > 0.0) {
+      oltp_driver = std::make_unique<OpenLoopDriver>(
+          &rig->sim, &arrivals, oltp_rate,
+          [this, oltp_shape] { return generator.NextOltp(oltp_shape); },
+          [manager](QuerySpec spec) { manager->Submit(std::move(spec)); });
+      oltp_driver->Start(duration);
+    }
+    if (bi_rate > 0.0) {
+      bi_driver = std::make_unique<OpenLoopDriver>(
+          &rig->sim, &arrivals, bi_rate,
+          [this, bi_shape] { return generator.NextBi(bi_shape); },
+          [manager](QuerySpec spec) { manager->Submit(std::move(spec)); });
+      bi_driver->Start(duration);
+    }
+  }
+};
+
+}  // namespace wlm_bench
+
+#endif  // WLM_BENCH_BENCH_UTIL_H_

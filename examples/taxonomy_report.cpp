@@ -1,0 +1,49 @@
+// Prints the paper's Figure 1 taxonomy with every technique implemented in
+// this library attached to its class/subclass, then shows the automatic
+// classification of a configured workload-management system (the mechanism
+// that regenerates Tables 4 and 5).
+//
+// Build & run:  ./build/examples/taxonomy_report
+
+#include <iostream>
+#include <memory>
+
+#include "admission/threshold_admission.h"
+#include "characterization/static_classifier.h"
+#include "common/table_printer.h"
+#include "core/workload_manager.h"
+#include "execution/throttling.h"
+#include "scheduling/queue_schedulers.h"
+#include "systems/technique_catalog.h"
+
+int main() {
+  using namespace wlm;
+
+  PrintBanner(std::cout, "Figure 1: taxonomy of workload management "
+                         "techniques (implemented leaves)");
+  TaxonomyRegistry registry;
+  RegisterAllTechniques(&registry);
+  std::cout << registry.RenderTree();
+
+  // Classify a user-assembled system, the way Section 4 classifies the
+  // commercial products.
+  Simulation sim;
+  DatabaseEngine engine(&sim, EngineConfig{});
+  Monitor monitor(&sim, &engine, 1.0);
+  WorkloadManager manager(&sim, &engine, &monitor);
+  manager.set_classifier(std::make_unique<StaticClassifier>());
+  manager.AddAdmissionController(std::make_unique<MplAdmission>(
+      MplAdmission::Config{16, {}}));
+  manager.set_scheduler(std::make_unique<RankScheduler>());
+  manager.AddExecutionController(
+      std::make_unique<UtilityThrottleController>());
+
+  PrintBanner(std::cout, "Classification of the configured system");
+  TablePrinter table({"Technique", "Class", "Subclass", "Source"});
+  for (const TechniqueInfo& t : manager.EmployedTechniques()) {
+    table.AddRow({t.name, TechniqueClassName(t.technique_class),
+                  TechniqueSubclassName(t.subclass), t.source});
+  }
+  table.Print(std::cout);
+  return 0;
+}

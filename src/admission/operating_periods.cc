@@ -1,0 +1,63 @@
+#include "admission/operating_periods.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "core/workload_manager.h"
+
+namespace wlm {
+
+OperatingPeriodAdmission::OperatingPeriodAdmission(Config config)
+    : config_(std::move(config)) {
+  assert(config_.day_length > 0.0);
+}
+
+const OperatingPeriodAdmission::Period*
+OperatingPeriodAdmission::ActivePeriod(double now) const {
+  double tod = std::fmod(now, config_.day_length);
+  for (const Period& period : config_.periods) {
+    bool inside;
+    if (period.start <= period.end) {
+      inside = tod >= period.start && tod < period.end;
+    } else {
+      inside = tod >= period.start || tod < period.end;  // wraps midnight
+    }
+    if (inside) return &period;
+  }
+  return nullptr;
+}
+
+Status OperatingPeriodAdmission::OnArrival(const Request& request,
+                                           const WorkloadManager& manager) {
+  const Period* period = ActivePeriod(manager.sim()->Now());
+  if (period == nullptr) return Status::OK();
+  if (request.plan.est_timerons > period->max_timerons) {
+    ++rejected_;
+    return Status::Rejected("estimated cost exceeds the " + period->name +
+                            " period threshold");
+  }
+  return Status::OK();
+}
+
+bool OperatingPeriodAdmission::AllowDispatch(const Request& request,
+                                             const WorkloadManager& manager) {
+  (void)request;
+  const Period* period = ActivePeriod(manager.sim()->Now());
+  if (period == nullptr || period->max_mpl <= 0) return true;
+  return static_cast<int>(manager.running_count()) < period->max_mpl;
+}
+
+TechniqueInfo OperatingPeriodAdmission::info() const {
+  TechniqueInfo info;
+  info.name = "Operating-period thresholds";
+  info.technique_class = TechniqueClass::kAdmissionControl;
+  info.subclass = TechniqueSubclass::kThresholdBasedAdmission;
+  info.description =
+      "Admission thresholds (cost ceiling, MPL) that switch with the "
+      "operating period — strict during the business day, open during "
+      "the night batch window.";
+  info.source = "admission control policies, Section 3.2 [9][72]";
+  return info;
+}
+
+}  // namespace wlm

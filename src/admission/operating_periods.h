@@ -1,0 +1,59 @@
+#ifndef WLM_ADMISSION_OPERATING_PERIODS_H_
+#define WLM_ADMISSION_OPERATING_PERIODS_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/interfaces.h"
+
+namespace wlm {
+
+/// Operating-period admission thresholds (Section 3.2: "The admission
+/// control policy may also specify different thresholds for various
+/// operating periods, for example during the day or at night"). The
+/// simulated clock is folded into a day of `day_length` seconds; each
+/// period carries its own cost ceiling and MPL, so e.g. daytime can be
+/// strict (small queries only, low BI concurrency) while the nightly
+/// batch window opens up.
+class OperatingPeriodAdmission : public AdmissionController {
+ public:
+  struct Period {
+    std::string name;
+    /// [start, end) in seconds-of-day; wrapping windows (start > end) span
+    /// midnight.
+    double start = 0.0;
+    double end = 0.0;
+    double max_timerons = std::numeric_limits<double>::infinity();
+    /// 0 = unlimited.
+    int max_mpl = 0;
+  };
+  struct Config {
+    double day_length = 86400.0;
+    /// Evaluated in order; the first matching period applies. Time not
+    /// covered by any period is unrestricted.
+    std::vector<Period> periods;
+  };
+
+  explicit OperatingPeriodAdmission(Config config);
+
+  /// The period in force at absolute simulated time `now` (nullptr if
+  /// uncovered).
+  const Period* ActivePeriod(double now) const;
+
+  Status OnArrival(const Request& request,
+                   const WorkloadManager& manager) override;
+  bool AllowDispatch(const Request& request,
+                     const WorkloadManager& manager) override;
+  TechniqueInfo info() const override;
+
+  int64_t rejected_count() const { return rejected_; }
+
+ private:
+  Config config_;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_ADMISSION_OPERATING_PERIODS_H_

@@ -1,0 +1,72 @@
+#include "characterization/features.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wlm {
+
+std::vector<double> PreExecutionFeatures(const QuerySpec& spec,
+                                         const Plan& plan) {
+  // log1p compresses the heavy-tailed cost features so distance-based
+  // learners (kNN) are not dominated by the largest queries.
+  return {
+      std::log1p(plan.est_cpu_seconds),
+      std::log1p(plan.est_io_ops),
+      std::log1p(plan.est_memory_mb),
+      std::log1p(static_cast<double>(plan.est_rows)),
+      static_cast<double>(plan.operators.size()),
+      static_cast<double>(spec.kind == QueryKind::kOltpTransaction),
+      static_cast<double>(spec.kind == QueryKind::kBiQuery),
+      static_cast<double>(spec.kind == QueryKind::kUtility),
+      static_cast<double>(spec.stmt == StatementType::kRead),
+      static_cast<double>(spec.stmt == StatementType::kWrite ||
+                          spec.stmt == StatementType::kDml),
+      static_cast<double>(spec.dop),
+  };
+}
+
+std::vector<std::string> PreExecutionFeatureNames() {
+  return {"log_est_cpu",  "log_est_io",  "log_est_mem", "log_est_rows",
+          "num_ops",      "is_oltp",     "is_bi",       "is_utility",
+          "is_read",      "is_write",    "dop"};
+}
+
+std::vector<double> WorkloadWindowFeatures::ToVector() const {
+  return {std::log1p(mean_est_cpu_seconds), std::log1p(mean_est_io_ops),
+          std::log1p(mean_est_rows), write_fraction,
+          std::log1p(arrival_rate)};
+}
+
+std::vector<std::string> WorkloadWindowFeatures::Names() {
+  return {"log_mean_cpu", "log_mean_io", "log_mean_rows", "write_frac",
+          "log_arrival_rate"};
+}
+
+WorkloadWindowFeatures ComputeWindowFeatures(
+    const std::vector<const Plan*>& plans,
+    const std::vector<const QuerySpec*>& specs, double window_seconds) {
+  assert(plans.size() == specs.size());
+  WorkloadWindowFeatures f;
+  if (plans.empty()) return f;
+  double n = static_cast<double>(plans.size());
+  int writes = 0;
+  for (size_t i = 0; i < plans.size(); ++i) {
+    f.mean_est_cpu_seconds += plans[i]->est_cpu_seconds;
+    f.mean_est_io_ops += plans[i]->est_io_ops;
+    f.mean_est_rows += static_cast<double>(plans[i]->est_rows);
+    StatementType stmt = specs[i]->stmt;
+    if (stmt == StatementType::kWrite || stmt == StatementType::kDml ||
+        stmt == StatementType::kLoad) {
+      ++writes;
+    }
+  }
+  f.mean_est_cpu_seconds /= n;
+  f.mean_est_io_ops /= n;
+  f.mean_est_rows /= n;
+  f.write_fraction = writes / n;
+  f.arrival_rate = window_seconds > 0.0 ? n / window_seconds : 0.0;
+  return f;
+}
+
+}  // namespace wlm

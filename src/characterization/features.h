@@ -1,0 +1,44 @@
+#ifndef WLM_CHARACTERIZATION_FEATURES_H_
+#define WLM_CHARACTERIZATION_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/plan.h"
+#include "engine/types.h"
+
+namespace wlm {
+
+/// Pre-execution feature vector of a query, built only from information
+/// available *before* the query runs (the optimizer's estimates and the
+/// statement shape) — the feature contract of the prediction-based
+/// techniques [21][23].
+std::vector<double> PreExecutionFeatures(const QuerySpec& spec,
+                                         const Plan& plan);
+
+/// Names aligned with PreExecutionFeatures (for Dataset construction).
+std::vector<std::string> PreExecutionFeatureNames();
+
+/// Aggregate behaviour of a window of requests, used by the dynamic
+/// workload-type classifier [19][73] to identify what kind of workload is
+/// present on the server.
+struct WorkloadWindowFeatures {
+  double mean_est_cpu_seconds = 0.0;
+  double mean_est_io_ops = 0.0;
+  double mean_est_rows = 0.0;
+  double write_fraction = 0.0;
+  double arrival_rate = 0.0;  // requests/sec in the window
+
+  std::vector<double> ToVector() const;
+  static std::vector<std::string> Names();
+};
+
+/// Computes window features from the specs+plans of requests that arrived
+/// within a window of `window_seconds`.
+WorkloadWindowFeatures ComputeWindowFeatures(
+    const std::vector<const Plan*>& plans,
+    const std::vector<const QuerySpec*>& specs, double window_seconds);
+
+}  // namespace wlm
+
+#endif  // WLM_CHARACTERIZATION_FEATURES_H_

@@ -1,0 +1,71 @@
+#ifndef WLM_COMMON_RESULT_H_
+#define WLM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace wlm {
+
+/// Holds either a value of type `T` or an error `Status`. Mirrors
+/// `arrow::Result` in spirit: functions that can fail return
+/// `Result<T>` and callers test `ok()` before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace wlm
+
+/// Evaluates `expr` (a Result<T>), propagating the error or binding the
+/// value into `lhs`.
+#define WLM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)      \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+#define WLM_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define WLM_ASSIGN_OR_RETURN_NAME(a, b) WLM_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define WLM_ASSIGN_OR_RETURN(lhs, expr) \
+  WLM_ASSIGN_OR_RETURN_IMPL(            \
+      WLM_ASSIGN_OR_RETURN_NAME(_wlm_result_, __LINE__), lhs, expr)
+
+#endif  // WLM_COMMON_RESULT_H_

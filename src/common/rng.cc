@@ -1,0 +1,146 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wlm {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform01() {
+  // 53 random mantissa bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * Uniform01();
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full range
+  return lo + static_cast<int64_t>(Next() % span);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform01() < p; }
+
+double Rng::Exponential(double mean) {
+  double u = Uniform01();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  // Box-Muller transform; uses one fresh pair per call for simplicity.
+  double u1 = Uniform01();
+  double u2 = Uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+int Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double product = Uniform01();
+    int count = 0;
+    while (product > limit) {
+      ++count;
+      product *= Uniform01();
+    }
+    return count;
+  }
+  // Normal approximation for large means.
+  double v = Normal(mean, std::sqrt(mean));
+  return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+}
+
+int64_t Rng::Zipf(int64_t n, double theta) {
+  assert(n > 0);
+  assert(theta > 0.0 && theta < 1.0);
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    // Gray et al. "Quickly generating billion-record synthetic databases"
+    // style precomputation.
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zeta_ = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      zipf_zeta_ += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zipf_zeta2_ = 0.0;
+    for (int64_t i = 1; i <= std::min<int64_t>(2, n); ++i) {
+      zipf_zeta2_ += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                (1.0 - zipf_zeta2_ / zipf_zeta_);
+  }
+  double u = Uniform01();
+  double uz = u * zipf_zeta_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, zipf_theta_)) return 1;
+  return static_cast<int64_t>(
+      static_cast<double>(zipf_n_) *
+      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+}
+
+double Rng::BoundedPareto(double alpha, double lo, double hi) {
+  assert(alpha > 0.0 && lo > 0.0 && hi > lo);
+  double u = Uniform01();
+  double la = std::pow(lo, alpha);
+  double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double target = Uniform01() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace wlm

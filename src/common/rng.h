@@ -1,0 +1,68 @@
+#ifndef WLM_COMMON_RNG_H_
+#define WLM_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wlm {
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256++ seeded via splitmix64) with the distribution helpers the
+/// workload generators and simulators need. All stochastic behaviour in the
+/// library flows through explicitly seeded `Rng` instances so every
+/// experiment is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform01();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// True with probability `p`.
+  bool Bernoulli(double p);
+  /// Exponential with the given mean (mean = 1/rate). Used for Poisson
+  /// arrival processes.
+  double Exponential(double mean);
+  /// Standard normal via Box-Muller.
+  double Normal(double mean, double stddev);
+  /// Lognormal: exp(Normal(mu, sigma)). Heavy-tailed BI query costs and
+  /// optimizer estimation error both use this.
+  double LogNormal(double mu, double sigma);
+  /// Poisson-distributed count with the given mean (Knuth / inversion).
+  int Poisson(double mean);
+  /// Zipf-distributed integer in [0, n-1] with skew `theta` in (0, 1];
+  /// models hot-key access patterns for lock contention.
+  int64_t Zipf(int64_t n, double theta);
+  /// Bounded Pareto with shape `alpha` on [lo, hi]; heavy-tailed service
+  /// demands.
+  double BoundedPareto(double alpha, double lo, double hi);
+
+  /// Picks an index in [0, weights.size()) with probability proportional
+  /// to `weights[i]`. Returns 0 for an all-zero weight vector.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; convenient for giving each
+  /// workload stream its own deterministic substream.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+  // Cached Zipf normalization: recomputed when (n, theta) changes.
+  int64_t zipf_n_ = -1;
+  double zipf_theta_ = -1.0;
+  double zipf_zeta_ = 0.0;
+  double zipf_eta_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_zeta2_ = 0.0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_COMMON_RNG_H_

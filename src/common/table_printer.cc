@@ -1,0 +1,92 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace wlm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(std::initializer_list<std::string> cells) {
+  AddRow(std::vector<std::string>(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      os << (i + 1 < headers_.size() ? " | " : " |");
+    }
+    os << "\n";
+  };
+  size_t total = 1;
+  for (size_t w : widths) total += w + 3;
+  std::string rule(total, '-');
+  os << rule << "\n";
+  print_row(headers_);
+  os << rule << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << rule << "\n";
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(int64_t v) { return std::to_string(v); }
+
+std::string TablePrinter::Pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+void PrintBanner(std::ostream& os, const std::string& title) {
+  std::string rule(title.size() + 4, '=');
+  os << "\n" << rule << "\n= " << title << " =\n" << rule << "\n";
+}
+
+std::string Sparkline(const std::vector<double>& values, size_t width) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  if (values.empty()) return "";
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double span = hi - lo;
+  std::string out;
+  size_t n = std::min(width, values.size());
+  double stride = static_cast<double>(values.size()) / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t idx = std::min(values.size() - 1,
+                          static_cast<size_t>(static_cast<double>(i) * stride));
+    int level = 0;
+    if (span > 0.0) {
+      level = static_cast<int>(std::round((values[idx] - lo) / span * 7.0));
+    }
+    out += kLevels[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+}  // namespace wlm

@@ -1,0 +1,48 @@
+#ifndef WLM_COMMON_TABLE_PRINTER_H_
+#define WLM_COMMON_TABLE_PRINTER_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wlm {
+
+/// Formats aligned ASCII tables for the benchmark harnesses that regenerate
+/// the paper's tables. Usage:
+///
+///   TablePrinter t({"Threshold", "Type", "Decision"});
+///   t.AddRow({"Query Cost", "System Parameter", "rejected"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Convenience for mixed string/number rows built by the caller.
+  void AddRow(std::initializer_list<std::string> cells);
+
+  /// Renders with a header rule and column padding.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double v, int precision = 2);
+  /// Formats a count.
+  static std::string Int(int64_t v);
+  /// Formats a ratio as a percentage string like "93.1%".
+  static std::string Pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a boxed section banner used by every bench binary.
+void PrintBanner(std::ostream& os, const std::string& title);
+
+/// Renders a crude ASCII sparkline of `values` scaled into `width` columns.
+std::string Sparkline(const std::vector<double>& values, size_t width = 60);
+
+}  // namespace wlm
+
+#endif  // WLM_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,56 @@
+#include "control/capacity.h"
+
+#include <algorithm>
+
+namespace wlm {
+
+CapacityEstimator::CapacityEstimator() : CapacityEstimator(Config()) {}
+
+CapacityEstimator::CapacityEstimator(Config config)
+    : config_(config),
+      cpu_(config.alpha),
+      io_(config.alpha),
+      memory_(config.alpha),
+      conflict_(config.alpha) {}
+
+void CapacityEstimator::Observe(double cpu_utilization, double io_utilization,
+                                double memory_utilization,
+                                double conflict_ratio) {
+  cpu_.Add(cpu_utilization);
+  io_.Add(io_utilization);
+  memory_.Add(memory_utilization);
+  conflict_.Add(conflict_ratio);
+}
+
+CapacityEstimate CapacityEstimator::Estimate(
+    int num_cpus, double io_ops_per_second) const {
+  CapacityEstimate est;
+  if (!has_observations()) {
+    est.cpu_seconds_per_second =
+        config_.target_utilization * static_cast<double>(num_cpus);
+    est.io_ops_per_second = config_.target_utilization * io_ops_per_second;
+    return est;
+  }
+  est.cpu_headroom = std::clamp(
+      (config_.target_utilization - cpu_.value()) /
+          config_.target_utilization,
+      0.0, 1.0);
+  est.io_headroom = std::clamp(
+      (config_.target_utilization - io_.value()) /
+          config_.target_utilization,
+      0.0, 1.0);
+  est.headroom = std::min(est.cpu_headroom, est.io_headroom);
+  est.cpu_seconds_per_second =
+      est.cpu_headroom * config_.target_utilization *
+      static_cast<double>(num_cpus);
+  est.io_ops_per_second =
+      est.io_headroom * config_.target_utilization * io_ops_per_second;
+  est.memory_pressure =
+      memory_.value() > config_.memory_pressure_threshold;
+  est.lock_pressure = conflict_.value() > config_.critical_conflict_ratio;
+  est.can_accept_more =
+      est.headroom > 0.0 && !est.memory_pressure && !est.lock_pressure;
+  return est;
+}
+
+}  // namespace wlm

@@ -1,0 +1,65 @@
+#ifndef WLM_CONTROL_CAPACITY_H_
+#define WLM_CONTROL_CAPACITY_H_
+
+#include "common/stats.h"
+
+namespace wlm {
+
+/// Point-in-time estimate of how much more work the system can take.
+struct CapacityEstimate {
+  /// Fraction of CPU / IO capacity still unclaimed, smoothed, in [0, 1].
+  double cpu_headroom = 1.0;
+  double io_headroom = 1.0;
+  /// min(cpu, io) — the admissible extra load fraction.
+  double headroom = 1.0;
+  /// Admissible additional *demand rate*: CPU-seconds/sec and IO ops/sec.
+  double cpu_seconds_per_second = 0.0;
+  double io_ops_per_second = 0.0;
+  /// True when the memory pool is over-committed (new work will spill).
+  bool memory_pressure = false;
+  /// True when lock contention indicates thrashing (conflict ratio above
+  /// the critical threshold).
+  bool lock_pressure = false;
+  /// Overall verdict: the system can absorb more work.
+  bool can_accept_more = true;
+};
+
+/// System capacity estimation (Section 5.2 names it as a prerequisite of
+/// every control decision: "all controls imposed on the end user's
+/// requests are based on the system state"). Feed it utilization /
+/// memory / conflict-ratio samples (e.g. from Monitor sample listeners);
+/// it maintains smoothed headroom estimates and a composite verdict.
+class CapacityEstimator {
+ public:
+  struct Config {
+    /// Utilization above this counts as "no headroom" (scheduling slack).
+    double target_utilization = 0.9;
+    double memory_pressure_threshold = 0.95;
+    double critical_conflict_ratio = 1.3;
+    /// EWMA smoothing weight for utilization samples.
+    double alpha = 0.3;
+  };
+
+  CapacityEstimator();
+  explicit CapacityEstimator(Config config);
+
+  /// Adds one observation of the system state.
+  void Observe(double cpu_utilization, double io_utilization,
+               double memory_utilization, double conflict_ratio);
+
+  /// Current estimate given engine capacity (`num_cpus`, device rate).
+  CapacityEstimate Estimate(int num_cpus, double io_ops_per_second) const;
+
+  bool has_observations() const { return !cpu_.empty(); }
+
+ private:
+  Config config_;
+  Ewma cpu_{0.3};
+  Ewma io_{0.3};
+  Ewma memory_{0.3};
+  Ewma conflict_{0.3};
+};
+
+}  // namespace wlm
+
+#endif  // WLM_CONTROL_CAPACITY_H_

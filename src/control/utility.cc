@@ -1,0 +1,57 @@
+#include "control/utility.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wlm {
+
+SloUtility::SloUtility(double target, Sense sense, double importance,
+                       double sharpness)
+    : target_(target),
+      sense_(sense),
+      importance_(importance),
+      sharpness_(sharpness) {
+  assert(target_ > 0.0);
+  assert(importance_ >= 0.0);
+}
+
+double SloUtility::Evaluate(double value) const {
+  // Normalized deviation: positive when on the "good" side of the target.
+  double deviation = (target_ - value) / target_;
+  if (sense_ == Sense::kHigherIsBetter) deviation = -deviation;
+  return 1.0 / (1.0 + std::exp(-sharpness_ * deviation));
+}
+
+double TotalUtility(const std::vector<SloUtility>& slos,
+                    const std::vector<double>& values) {
+  assert(slos.size() == values.size());
+  double total = 0.0;
+  for (size_t i = 0; i < slos.size(); ++i) {
+    total += slos[i].Weighted(values[i]);
+  }
+  return total;
+}
+
+std::vector<ResourceAllocation> EconomicEquilibrium(
+    const std::vector<WorkloadBid>& bids) {
+  std::vector<ResourceAllocation> out(bids.size());
+  double cpu_spend_total = 0.0;
+  double io_spend_total = 0.0;
+  std::vector<double> cpu_spend(bids.size());
+  std::vector<double> io_spend(bids.size());
+  for (size_t i = 0; i < bids.size(); ++i) {
+    double alpha_sum = bids[i].alpha_cpu + bids[i].alpha_io;
+    if (alpha_sum <= 0.0 || bids[i].wealth <= 0.0) continue;
+    cpu_spend[i] = bids[i].wealth * bids[i].alpha_cpu / alpha_sum;
+    io_spend[i] = bids[i].wealth * bids[i].alpha_io / alpha_sum;
+    cpu_spend_total += cpu_spend[i];
+    io_spend_total += io_spend[i];
+  }
+  for (size_t i = 0; i < bids.size(); ++i) {
+    if (cpu_spend_total > 0.0) out[i].cpu_share = cpu_spend[i] / cpu_spend_total;
+    if (io_spend_total > 0.0) out[i].io_share = io_spend[i] / io_spend_total;
+  }
+  return out;
+}
+
+}  // namespace wlm

@@ -1,0 +1,72 @@
+#ifndef WLM_CONTROL_UTILITY_H_
+#define WLM_CONTROL_UTILITY_H_
+
+#include <vector>
+
+namespace wlm {
+
+/// Utility functions over service-level attainment (Walsh/Kephart
+/// [34][75]): map an observed (or predicted) performance value against its
+/// objective into [0, 1], weighted by business importance. Used to guide
+/// the utility-scheduler's plan search [60] and policy-driven resource
+/// allocation [78].
+class SloUtility {
+ public:
+  /// Objective direction: a response-time-like metric is good when *below*
+  /// target; a throughput/velocity-like metric is good when *above* it.
+  enum class Sense { kLowerIsBetter, kHigherIsBetter };
+
+  /// `sharpness` controls how steep the sigmoid is around the target
+  /// (larger = closer to a step function).
+  SloUtility(double target, Sense sense, double importance = 1.0,
+             double sharpness = 4.0);
+
+  /// Raw utility in (0, 1): 0.5 exactly at target.
+  double Evaluate(double value) const;
+  /// Importance-weighted utility.
+  double Weighted(double value) const { return importance_ * Evaluate(value); }
+
+  double target() const { return target_; }
+  double importance() const { return importance_; }
+  Sense sense() const { return sense_; }
+
+ private:
+  double target_;
+  Sense sense_;
+  double importance_;
+  double sharpness_;
+};
+
+/// Sum of weighted utilities — the objective function a workload-management
+/// plan maximizes.
+double TotalUtility(const std::vector<SloUtility>& slos,
+                    const std::vector<double>& values);
+
+/// Resource-bidding description of one workload for the economic model of
+/// Zhang/Boughton et al. [4][78]: wealth proportional to business
+/// importance, Cobb-Douglas preferences over CPU and I/O.
+struct WorkloadBid {
+  double wealth = 1.0;
+  /// Preference weights; alpha_cpu + alpha_io need not sum to 1 (they are
+  /// normalized internally).
+  double alpha_cpu = 0.5;
+  double alpha_io = 0.5;
+};
+
+/// Per-workload equilibrium allocation (fractions of each resource).
+struct ResourceAllocation {
+  double cpu_share = 0.0;
+  double io_share = 0.0;
+};
+
+/// Computes the Fisher-market equilibrium for Cobb-Douglas consumers: each
+/// workload spends `wealth * alpha_r / (alpha_cpu + alpha_io)` on resource
+/// r; the price of a resource is total spending on it per unit capacity,
+/// and a workload's share is its spending divided by the price. Shares for
+/// each resource sum to 1 across workloads (when anyone bids for it).
+std::vector<ResourceAllocation> EconomicEquilibrium(
+    const std::vector<WorkloadBid>& bids);
+
+}  // namespace wlm
+
+#endif  // WLM_CONTROL_UTILITY_H_

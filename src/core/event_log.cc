@@ -1,0 +1,77 @@
+#include "core/event_log.h"
+
+namespace wlm {
+
+const char* WlmEventTypeToString(WlmEventType type) {
+  switch (type) {
+    case WlmEventType::kSubmitted:
+      return "submitted";
+    case WlmEventType::kRejected:
+      return "rejected";
+    case WlmEventType::kDispatched:
+      return "dispatched";
+    case WlmEventType::kCompleted:
+      return "completed";
+    case WlmEventType::kKilled:
+      return "killed";
+    case WlmEventType::kAborted:
+      return "aborted";
+    case WlmEventType::kResubmitted:
+      return "resubmitted";
+    case WlmEventType::kSuspended:
+      return "suspended";
+    case WlmEventType::kResumed:
+      return "resumed";
+    case WlmEventType::kThrottled:
+      return "throttled";
+    case WlmEventType::kPaused:
+      return "paused";
+    case WlmEventType::kReprioritized:
+      return "reprioritized";
+  }
+  return "?";
+}
+
+EventLog::EventLog(size_t max_events) : max_events_(max_events) {}
+
+void EventLog::Append(WlmEvent event) {
+  ++total_;
+  events_.push_back(std::move(event));
+  while (events_.size() > max_events_) events_.pop_front();
+}
+
+void EventLog::Clear() { events_.clear(); }
+
+std::vector<WlmEvent> EventLog::OfType(WlmEventType type) const {
+  std::vector<WlmEvent> out;
+  for (const WlmEvent& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<WlmEvent> EventLog::ForQuery(QueryId id) const {
+  std::vector<WlmEvent> out;
+  for (const WlmEvent& e : events_) {
+    if (e.query == id) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<WlmEvent> EventLog::InWindow(double begin, double end) const {
+  std::vector<WlmEvent> out;
+  for (const WlmEvent& e : events_) {
+    if (e.time >= begin && e.time < end) out.push_back(e);
+  }
+  return out;
+}
+
+int64_t EventLog::CountOf(WlmEventType type) const {
+  int64_t count = 0;
+  for (const WlmEvent& e : events_) {
+    if (e.type == type) ++count;
+  }
+  return count;
+}
+
+}  // namespace wlm

@@ -1,0 +1,73 @@
+#ifndef WLM_CORE_EVENT_LOG_H_
+#define WLM_CORE_EVENT_LOG_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "engine/types.h"
+
+namespace wlm {
+
+/// Control-plane event kinds recorded by the workload manager. This is
+/// the library's analogue of the commercial products' event monitors
+/// (DB2's activity and threshold-violation monitors, SQL Server's
+/// Resource Governor events, Teradata's exception logging).
+enum class WlmEventType {
+  kSubmitted,
+  kRejected,       // admission denied
+  kDispatched,     // sent to the execution engine
+  kCompleted,
+  kKilled,
+  kAborted,        // deadlock victim, not resubmitted
+  kResubmitted,    // requeued after a kill/abort
+  kSuspended,      // suspension finished, request back in queue
+  kResumed,        // dispatched again from a suspended state
+  kThrottled,      // duty-cycle change
+  kPaused,         // interrupt-throttle pause
+  kReprioritized,  // business priority change
+};
+
+const char* WlmEventTypeToString(WlmEventType type);
+
+/// One control-plane event.
+struct WlmEvent {
+  double time = 0.0;
+  WlmEventType type = WlmEventType::kSubmitted;
+  QueryId query = 0;
+  std::string workload;
+  std::string detail;
+};
+
+/// Bounded, append-only event log. Oldest events are evicted past
+/// `max_events` (the total count keeps counting).
+class EventLog {
+ public:
+  explicit EventLog(size_t max_events = 1 << 16);
+
+  void Append(WlmEvent event);
+  void Clear();
+
+  size_t size() const { return events_.size(); }
+  int64_t total_appended() const { return total_; }
+  const std::deque<WlmEvent>& events() const { return events_; }
+
+  /// Events of one type, oldest first.
+  std::vector<WlmEvent> OfType(WlmEventType type) const;
+  /// Full history of one request, oldest first.
+  std::vector<WlmEvent> ForQuery(QueryId id) const;
+  /// Events with time in [begin, end).
+  std::vector<WlmEvent> InWindow(double begin, double end) const;
+  /// Count of events of `type` (within the retained window).
+  int64_t CountOf(WlmEventType type) const;
+
+ private:
+  size_t max_events_;
+  int64_t total_ = 0;
+  std::deque<WlmEvent> events_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_CORE_EVENT_LOG_H_

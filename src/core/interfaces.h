@@ -1,0 +1,95 @@
+#ifndef WLM_CORE_INTERFACES_H_
+#define WLM_CORE_INTERFACES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/request.h"
+#include "core/taxonomy.h"
+#include "engine/monitor.h"
+
+namespace wlm {
+
+class WorkloadManager;
+
+/// Workload characterization: maps an arriving request to a defined
+/// workload. Implementations: static rule/criteria classifiers and the
+/// ML-based dynamic classifier.
+class RequestClassifier {
+ public:
+  virtual ~RequestClassifier() = default;
+  /// Returns the workload name for the request (must be a defined
+  /// workload; the manager falls back to its default workload otherwise).
+  virtual std::string Classify(const Request& request,
+                               const WorkloadManager& manager) = 0;
+  virtual TechniqueInfo info() const = 0;
+};
+
+/// Admission control: can veto a request at arrival (reject) and can hold
+/// queued requests back from dispatch (queue-for-later-admission). The
+/// feedback-style controllers ([26], [79][80]) update their state from
+/// monitor samples.
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+  /// Arrival-time decision. Return OK to accept into the system,
+  /// Status::Rejected(reason) to refuse outright.
+  virtual Status OnArrival(const Request& request,
+                           const WorkloadManager& manager) {
+    (void)request;
+    (void)manager;
+    return Status::OK();
+  }
+  /// Dispatch-time gate: false holds the request in the wait queue.
+  virtual bool AllowDispatch(const Request& request,
+                             const WorkloadManager& manager) {
+    (void)request;
+    (void)manager;
+    return true;
+  }
+  /// Periodic hook at each monitor sample.
+  virtual void OnSample(const SystemIndicators& indicators,
+                        WorkloadManager& manager) {
+    (void)indicators;
+    (void)manager;
+  }
+  virtual TechniqueInfo info() const = 0;
+};
+
+/// Scheduling: decides the dispatch order of queued requests and (for MPL
+/// managers) how many may enter the engine.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Orders the given queued requests by dispatch preference (front first).
+  /// The manager dispatches from the front while gates allow.
+  virtual std::vector<QueryId> Order(const std::vector<const Request*>& queued,
+                                     const WorkloadManager& manager) = 0;
+  /// Upper bound on engine concurrency this round; the manager dispatches
+  /// at most (limit - running) new requests. Return <= 0 for "no limit".
+  virtual int ConcurrencyLimit(const WorkloadManager& manager) {
+    (void)manager;
+    return 0;
+  }
+  virtual void OnSample(const SystemIndicators& indicators,
+                        WorkloadManager& manager) {
+    (void)indicators;
+    (void)manager;
+  }
+  virtual TechniqueInfo info() const = 0;
+};
+
+/// Execution control: inspects running queries at each monitor sample and
+/// acts through the manager (kill, throttle, reprioritize, suspend...).
+class ExecutionController {
+ public:
+  virtual ~ExecutionController() = default;
+  virtual void OnSample(const SystemIndicators& indicators,
+                        WorkloadManager& manager) = 0;
+  virtual TechniqueInfo info() const = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_CORE_INTERFACES_H_

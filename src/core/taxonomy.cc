@@ -1,0 +1,139 @@
+#include "core/taxonomy.h"
+
+#include <array>
+#include <sstream>
+
+namespace wlm {
+
+const char* TechniqueClassName(TechniqueClass c) {
+  switch (c) {
+    case TechniqueClass::kWorkloadCharacterization:
+      return "Workload Characterization";
+    case TechniqueClass::kAdmissionControl:
+      return "Admission Control";
+    case TechniqueClass::kScheduling:
+      return "Scheduling";
+    case TechniqueClass::kExecutionControl:
+      return "Execution Control";
+  }
+  return "?";
+}
+
+const char* TechniqueSubclassName(TechniqueSubclass s) {
+  switch (s) {
+    case TechniqueSubclass::kStaticCharacterization:
+      return "Static Characterization";
+    case TechniqueSubclass::kDynamicCharacterization:
+      return "Dynamic Characterization";
+    case TechniqueSubclass::kThresholdBasedAdmission:
+      return "Threshold-based";
+    case TechniqueSubclass::kPredictionBasedAdmission:
+      return "Prediction-based";
+    case TechniqueSubclass::kQueueManagement:
+      return "Queue Management";
+    case TechniqueSubclass::kQueryRestructuring:
+      return "Query Restructuring";
+    case TechniqueSubclass::kReprioritization:
+      return "Query Reprioritization";
+    case TechniqueSubclass::kCancellation:
+      return "Query Cancellation";
+    case TechniqueSubclass::kThrottling:
+      return "Request Suspension / Throttling";
+    case TechniqueSubclass::kSuspendResume:
+      return "Request Suspension / Suspend-and-Resume";
+  }
+  return "?";
+}
+
+TechniqueClass SubclassParent(TechniqueSubclass s) {
+  switch (s) {
+    case TechniqueSubclass::kStaticCharacterization:
+    case TechniqueSubclass::kDynamicCharacterization:
+      return TechniqueClass::kWorkloadCharacterization;
+    case TechniqueSubclass::kThresholdBasedAdmission:
+    case TechniqueSubclass::kPredictionBasedAdmission:
+      return TechniqueClass::kAdmissionControl;
+    case TechniqueSubclass::kQueueManagement:
+    case TechniqueSubclass::kQueryRestructuring:
+      return TechniqueClass::kScheduling;
+    case TechniqueSubclass::kReprioritization:
+    case TechniqueSubclass::kCancellation:
+    case TechniqueSubclass::kThrottling:
+    case TechniqueSubclass::kSuspendResume:
+      return TechniqueClass::kExecutionControl;
+  }
+  return TechniqueClass::kExecutionControl;
+}
+
+TaxonomyRegistry& TaxonomyRegistry::Global() {
+  static TaxonomyRegistry* registry = new TaxonomyRegistry();
+  return *registry;
+}
+
+void TaxonomyRegistry::Register(const TechniqueInfo& info) {
+  if (Find(info.name) != nullptr) return;
+  techniques_.push_back(info);
+}
+
+std::vector<TechniqueInfo> TaxonomyRegistry::InClass(TechniqueClass c) const {
+  std::vector<TechniqueInfo> out;
+  for (const TechniqueInfo& t : techniques_) {
+    if (t.technique_class == c) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TechniqueInfo> TaxonomyRegistry::InSubclass(
+    TechniqueSubclass s) const {
+  std::vector<TechniqueInfo> out;
+  for (const TechniqueInfo& t : techniques_) {
+    if (t.subclass == s) out.push_back(t);
+  }
+  return out;
+}
+
+const TechniqueInfo* TaxonomyRegistry::Find(const std::string& name) const {
+  for (const TechniqueInfo& t : techniques_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::string TaxonomyRegistry::RenderTree() const {
+  static constexpr std::array<TechniqueClass, 4> kClasses = {
+      TechniqueClass::kWorkloadCharacterization,
+      TechniqueClass::kAdmissionControl,
+      TechniqueClass::kScheduling,
+      TechniqueClass::kExecutionControl,
+  };
+  static constexpr std::array<TechniqueSubclass, 10> kSubclasses = {
+      TechniqueSubclass::kStaticCharacterization,
+      TechniqueSubclass::kDynamicCharacterization,
+      TechniqueSubclass::kThresholdBasedAdmission,
+      TechniqueSubclass::kPredictionBasedAdmission,
+      TechniqueSubclass::kQueueManagement,
+      TechniqueSubclass::kQueryRestructuring,
+      TechniqueSubclass::kReprioritization,
+      TechniqueSubclass::kCancellation,
+      TechniqueSubclass::kThrottling,
+      TechniqueSubclass::kSuspendResume,
+  };
+
+  std::ostringstream os;
+  os << "Workload Management Techniques\n";
+  for (TechniqueClass cls : kClasses) {
+    os << "+-- " << TechniqueClassName(cls) << "\n";
+    for (TechniqueSubclass sub : kSubclasses) {
+      if (SubclassParent(sub) != cls) continue;
+      os << "|   +-- " << TechniqueSubclassName(sub) << "\n";
+      for (const TechniqueInfo& t : InSubclass(sub)) {
+        os << "|   |   * " << t.name;
+        if (!t.source.empty()) os << "  (" << t.source << ")";
+        os << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace wlm

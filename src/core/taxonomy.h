@@ -1,0 +1,75 @@
+#ifndef WLM_CORE_TAXONOMY_H_
+#define WLM_CORE_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+namespace wlm {
+
+/// The four top-level classes of the paper's taxonomy (Figure 1).
+enum class TechniqueClass {
+  kWorkloadCharacterization,
+  kAdmissionControl,
+  kScheduling,
+  kExecutionControl,
+};
+
+/// The subclasses of Figure 1. Throttling and suspend-and-resume are the
+/// two kinds of "request suspension"; the registry renders that extra
+/// level in the tree.
+enum class TechniqueSubclass {
+  kStaticCharacterization,
+  kDynamicCharacterization,
+  kThresholdBasedAdmission,
+  kPredictionBasedAdmission,
+  kQueueManagement,
+  kQueryRestructuring,
+  kReprioritization,
+  kCancellation,
+  kThrottling,       // request suspension / throttling
+  kSuspendResume,    // request suspension / suspend-and-resume
+};
+
+const char* TechniqueClassName(TechniqueClass c);
+const char* TechniqueSubclassName(TechniqueSubclass s);
+TechniqueClass SubclassParent(TechniqueSubclass s);
+
+/// Descriptor of one concrete technique implementation. Every controller
+/// in this library carries one, so systems built from controllers can be
+/// classified automatically — which is how the Table 4 / Table 5
+/// classifications are *regenerated* rather than transcribed.
+struct TechniqueInfo {
+  std::string name;
+  TechniqueClass technique_class = TechniqueClass::kAdmissionControl;
+  TechniqueSubclass subclass = TechniqueSubclass::kThresholdBasedAdmission;
+  std::string description;
+  /// Literature / product source, e.g. "Moenkeberg & Weikum [56]".
+  std::string source;
+};
+
+/// Registry of implemented techniques, organized by the taxonomy. Distinct
+/// instances are supported (benches build their own); `Global()` offers a
+/// process-wide one for convenience.
+class TaxonomyRegistry {
+ public:
+  TaxonomyRegistry() = default;
+
+  static TaxonomyRegistry& Global();
+
+  /// Registers a technique; duplicate names are ignored (first wins).
+  void Register(const TechniqueInfo& info);
+  const std::vector<TechniqueInfo>& techniques() const { return techniques_; }
+  std::vector<TechniqueInfo> InClass(TechniqueClass c) const;
+  std::vector<TechniqueInfo> InSubclass(TechniqueSubclass s) const;
+  const TechniqueInfo* Find(const std::string& name) const;
+
+  /// Renders the Figure 1 tree with registered techniques as leaves.
+  std::string RenderTree() const;
+
+ private:
+  std::vector<TechniqueInfo> techniques_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_CORE_TAXONOMY_H_

@@ -1,0 +1,437 @@
+#include "core/workload_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wlm {
+
+WorkloadManager::WorkloadManager(Simulation* sim, DatabaseEngine* engine,
+                                 Monitor* monitor, WlmConfig config)
+    : sim_(sim), engine_(engine), monitor_(monitor), config_(config) {
+  WorkloadDefinition fallback;
+  fallback.name = config_.default_workload;
+  DefineWorkload(std::move(fallback));
+  monitor_->AddSampleListener(
+      [this](const SystemIndicators& ind) { OnSample(ind); });
+}
+
+WorkloadManager::~WorkloadManager() = default;
+
+void WorkloadManager::DefineWorkload(WorkloadDefinition def) {
+  workloads_[def.name] = std::move(def);
+}
+
+const WorkloadDefinition* WorkloadManager::workload(
+    const std::string& name) const {
+  auto it = workloads_.find(name);
+  return it == workloads_.end() ? nullptr : &it->second;
+}
+
+void WorkloadManager::set_classifier(
+    std::unique_ptr<RequestClassifier> classifier) {
+  classifier_ = std::move(classifier);
+}
+
+void WorkloadManager::AddAdmissionController(
+    std::unique_ptr<AdmissionController> ac) {
+  admission_.push_back(std::move(ac));
+}
+
+void WorkloadManager::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  scheduler_ = std::move(scheduler);
+}
+
+void WorkloadManager::AddExecutionController(
+    std::unique_ptr<ExecutionController> ec) {
+  execution_.push_back(std::move(ec));
+}
+
+std::vector<TechniqueInfo> WorkloadManager::EmployedTechniques() const {
+  std::vector<TechniqueInfo> out;
+  if (classifier_) out.push_back(classifier_->info());
+  for (const auto& ac : admission_) out.push_back(ac->info());
+  if (scheduler_) out.push_back(scheduler_->info());
+  for (const auto& ec : execution_) out.push_back(ec->info());
+  return out;
+}
+
+void WorkloadManager::RegisterTechniques(TaxonomyRegistry* registry) const {
+  for (const TechniqueInfo& info : EmployedTechniques()) {
+    registry->Register(info);
+  }
+}
+
+Status WorkloadManager::Submit(QuerySpec spec) {
+  Plan plan = engine_->optimizer().BuildPlan(spec);
+  return SubmitWithPlan(std::move(spec), std::move(plan));
+}
+
+Status WorkloadManager::SubmitWithPlan(QuerySpec spec, Plan plan) {
+  if (requests_.count(spec.id) > 0) {
+    return Status::AlreadyExists("request id already submitted");
+  }
+  auto request = std::make_unique<Request>();
+  request->spec = std::move(spec);
+  request->plan = std::move(plan);
+  request->arrival_time = sim_->Now();
+
+  // 1. Identification (workload characterization).
+  std::string workload_name = config_.default_workload;
+  if (classifier_) {
+    workload_name = classifier_->Classify(*request, *this);
+    if (workloads_.count(workload_name) == 0) {
+      workload_name = config_.default_workload;
+    }
+  }
+  request->workload = workload_name;
+  const WorkloadDefinition& def = workloads_.at(workload_name);
+  request->priority = def.priority;
+  request->shares = def.EffectiveShares();
+
+  WorkloadCounters& counters = counters_[workload_name];
+  ++counters.submitted;
+
+  Request* raw = request.get();
+  requests_[raw->spec.id] = std::move(request);
+  submission_order_.push_back(raw->spec.id);
+  LogEvent(WlmEventType::kSubmitted, *raw);
+
+  // 2. Admission control at arrival.
+  for (const auto& ac : admission_) {
+    Status decision = ac->OnArrival(*raw, *this);
+    if (!decision.ok()) {
+      raw->state = RequestState::kRejected;
+      raw->finish_time = sim_->Now();
+      raw->reject_reason = decision.message();
+      ++counters.rejected;
+      LogEvent(WlmEventType::kRejected, *raw, decision.message());
+      for (const auto& fn : completion_listeners_) fn(*raw);
+      return Status::Rejected(decision.message());
+    }
+  }
+
+  // 3. Enter the wait queue; scheduling decides when it runs.
+  raw->state = RequestState::kQueued;
+  queue_.push_back(raw->spec.id);
+  TryDispatch();
+  return Status::OK();
+}
+
+void WorkloadManager::TryDispatch() {
+  if (in_try_dispatch_) return;  // re-entrancy guard (finish callbacks)
+  in_try_dispatch_ = true;
+  while (true) {
+    if (queue_.empty()) break;
+
+    std::vector<const Request*> queued;
+    queued.reserve(queue_.size());
+    for (QueryId id : queue_) queued.push_back(requests_.at(id).get());
+
+    std::vector<QueryId> order;
+    if (scheduler_) {
+      order = scheduler_->Order(queued, *this);
+    } else {
+      order.reserve(queue_.size());
+      for (QueryId id : queue_) order.push_back(id);
+    }
+
+    int allowed = static_cast<int>(queue_.size());
+    if (scheduler_) {
+      int limit = scheduler_->ConcurrencyLimit(*this);
+      if (limit > 0) {
+        allowed = limit - static_cast<int>(running_.size());
+      }
+    }
+
+    int dispatched = 0;
+    for (QueryId id : order) {
+      if (dispatched >= allowed) break;
+      auto queue_it = std::find(queue_.begin(), queue_.end(), id);
+      if (queue_it == queue_.end()) continue;  // scheduler returned junk
+      Request* request = requests_.at(id).get();
+      bool gated = false;
+      for (const auto& ac : admission_) {
+        if (!ac->AllowDispatch(*request, *this)) {
+          gated = true;
+          break;
+        }
+      }
+      if (gated) continue;
+      queue_.erase(queue_it);
+      DispatchRequest(request);
+      ++dispatched;
+    }
+    if (dispatched == 0) break;  // nothing else can go this round
+  }
+  in_try_dispatch_ = false;
+}
+
+void WorkloadManager::DispatchRequest(Request* request) {
+  QueryId id = request->spec.id;
+  if (request->dispatch_time < 0.0) {
+    request->dispatch_time = sim_->Now();
+    counters_[request->workload].queue_waits.Add(sim_->Now() -
+                                                 request->arrival_time);
+  }
+  request->state = RequestState::kRunning;
+  running_.insert(id);
+
+  ExecutionContext ctx;
+  ctx.tag = request->workload;
+  ctx.shares = request->shares;
+  ctx.on_finish = [this](const QueryOutcome& outcome) { OnFinish(outcome); };
+
+  Status status;
+  auto resume_it = resumable_.find(id);
+  if (resume_it != resumable_.end()) {
+    SuspendedQuery bundle = std::move(resume_it->second);
+    resumable_.erase(resume_it);
+    LogEvent(WlmEventType::kResumed, *request,
+             SuspendStrategyToString(bundle.strategy));
+    status = engine_->Resume(bundle, std::move(ctx));
+  } else {
+    LogEvent(WlmEventType::kDispatched, *request);
+    status =
+        engine_->DispatchWithPlan(request->spec, request->plan, std::move(ctx));
+  }
+  // Dispatch can only fail on duplicate ids, which Submit prevents.
+  assert(status.ok());
+  (void)status;
+}
+
+void WorkloadManager::LogEvent(WlmEventType type, const Request& request,
+                               std::string detail) {
+  WlmEvent event;
+  event.time = sim_->Now();
+  event.type = type;
+  event.query = request.spec.id;
+  event.workload = request.workload;
+  event.detail = std::move(detail);
+  event_log_.Append(std::move(event));
+}
+
+void WorkloadManager::Requeue(Request* request) {
+  request->state = RequestState::kQueued;
+  queue_.push_back(request->spec.id);
+}
+
+void WorkloadManager::FinishTerminal(Request* request, RequestState state,
+                                     const QueryOutcome& outcome) {
+  request->state = state;
+  request->finish_time = outcome.finish_time;
+  WorkloadCounters& counters = counters_[request->workload];
+  double velocity = request->Velocity(engine_->config().num_cpus,
+                                      engine_->config().io_ops_per_second);
+  switch (state) {
+    case RequestState::kCompleted:
+      ++counters.completed;
+      LogEvent(WlmEventType::kCompleted, *request);
+      monitor_->RecordCompletion(request->workload, request->ResponseTime(),
+                                 velocity, OutcomeKind::kCompleted);
+      break;
+    case RequestState::kKilled:
+      ++counters.killed;
+      LogEvent(WlmEventType::kKilled, *request);
+      monitor_->RecordCompletion(request->workload, request->ResponseTime(),
+                                 velocity, OutcomeKind::kKilled);
+      break;
+    case RequestState::kAborted:
+      ++counters.aborted;
+      LogEvent(WlmEventType::kAborted, *request, "deadlock victim");
+      monitor_->RecordCompletion(request->workload, request->ResponseTime(),
+                                 velocity, OutcomeKind::kAbortedDeadlock);
+      break;
+    default:
+      assert(false && "not a terminal state");
+  }
+  for (const auto& fn : completion_listeners_) fn(*request);
+}
+
+void WorkloadManager::AddCompletionListener(
+    std::function<void(const Request&)> fn) {
+  completion_listeners_.push_back(std::move(fn));
+}
+
+void WorkloadManager::OnFinish(const QueryOutcome& outcome) {
+  auto it = requests_.find(outcome.id);
+  if (it == requests_.end()) return;  // not ours (engine used directly)
+  Request* request = it->second.get();
+  running_.erase(outcome.id);
+  WorkloadCounters& counters = counters_[request->workload];
+
+  switch (outcome.kind) {
+    case OutcomeKind::kCompleted:
+      FinishTerminal(request, RequestState::kCompleted, outcome);
+      break;
+    case OutcomeKind::kKilled: {
+      bool resubmit = resubmit_on_kill_.erase(outcome.id) > 0;
+      if (resubmit && request->resubmits < config_.max_resubmits) {
+        ++request->resubmits;
+        ++counters.resubmitted;
+        LogEvent(WlmEventType::kResubmitted, *request, "after kill");
+        Requeue(request);
+      } else {
+        FinishTerminal(request, RequestState::kKilled, outcome);
+      }
+      break;
+    }
+    case OutcomeKind::kAbortedDeadlock:
+      if (config_.resubmit_deadlock_victims &&
+          request->resubmits < config_.max_resubmits) {
+        ++request->resubmits;
+        ++counters.resubmitted;
+        LogEvent(WlmEventType::kResubmitted, *request, "after deadlock");
+        Requeue(request);
+      } else {
+        FinishTerminal(request, RequestState::kAborted, outcome);
+      }
+      break;
+    case OutcomeKind::kSuspended: {
+      auto bundle = engine_->TakeSuspended(outcome.id);
+      assert(bundle.ok());
+      resumable_[outcome.id] = std::move(bundle).value();
+      ++request->suspend_count;
+      ++counters.suspended;
+      request->state = RequestState::kSuspended;
+      LogEvent(WlmEventType::kSuspended, *request);
+      queue_.push_back(outcome.id);
+      break;
+    }
+  }
+  TryDispatch();
+}
+
+void WorkloadManager::OnSample(const SystemIndicators& indicators) {
+  for (const auto& ac : admission_) ac->OnSample(indicators, *this);
+  if (scheduler_) scheduler_->OnSample(indicators, *this);
+  for (const auto& ec : execution_) ec->OnSample(indicators, *this);
+  TryDispatch();
+}
+
+const Request* WorkloadManager::Find(QueryId id) const {
+  auto it = requests_.find(id);
+  return it == requests_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Request*> WorkloadManager::Queued() const {
+  std::vector<const Request*> out;
+  out.reserve(queue_.size());
+  for (QueryId id : queue_) out.push_back(requests_.at(id).get());
+  return out;
+}
+
+std::vector<const Request*> WorkloadManager::Running() const {
+  std::vector<QueryId> ids(running_.begin(), running_.end());
+  std::sort(ids.begin(), ids.end());
+  std::vector<const Request*> out;
+  out.reserve(ids.size());
+  for (QueryId id : ids) out.push_back(requests_.at(id).get());
+  return out;
+}
+
+int WorkloadManager::RunningInWorkload(const std::string& name) const {
+  int count = 0;
+  for (QueryId id : running_) {
+    if (requests_.at(id)->workload == name) ++count;
+  }
+  return count;
+}
+
+int WorkloadManager::QueuedInWorkload(const std::string& name) const {
+  int count = 0;
+  for (QueryId id : queue_) {
+    if (requests_.at(id)->workload == name) ++count;
+  }
+  return count;
+}
+
+const WorkloadCounters& WorkloadManager::counters(
+    const std::string& workload) const {
+  return counters_[workload];
+}
+
+std::vector<const Request*> WorkloadManager::AllRequests() const {
+  std::vector<const Request*> out;
+  out.reserve(submission_order_.size());
+  for (QueryId id : submission_order_) {
+    out.push_back(requests_.at(id).get());
+  }
+  return out;
+}
+
+Status WorkloadManager::KillRequest(QueryId id, bool resubmit) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  if (resubmit) resubmit_on_kill_.insert(id);
+  Status status = engine_->Kill(id);  // OnFinish fires synchronously
+  if (!status.ok()) resubmit_on_kill_.erase(id);
+  return status;
+}
+
+Status WorkloadManager::ThrottleRequest(QueryId id, double duty) {
+  Status status = engine_->SetDuty(id, duty);
+  if (status.ok()) {
+    auto it = requests_.find(id);
+    if (it != requests_.end()) {
+      LogEvent(WlmEventType::kThrottled, *it->second,
+               "duty=" + std::to_string(duty));
+    }
+  }
+  return status;
+}
+
+Status WorkloadManager::PauseRequest(QueryId id, double seconds) {
+  Status status = engine_->Pause(id, seconds);
+  if (status.ok()) {
+    auto it = requests_.find(id);
+    if (it != requests_.end()) {
+      LogEvent(WlmEventType::kPaused, *it->second,
+               std::to_string(seconds) + "s");
+    }
+  }
+  return status;
+}
+
+Status WorkloadManager::SetRequestShares(QueryId id,
+                                         const ResourceShares& shares) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  it->second->shares = shares;
+  if (running_.count(id) > 0) return engine_->SetShares(id, shares);
+  return Status::OK();
+}
+
+Status WorkloadManager::SetRequestPriority(QueryId id,
+                                           BusinessPriority priority) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  it->second->priority = priority;
+  LogEvent(WlmEventType::kReprioritized, *it->second,
+           BusinessPriorityToString(priority));
+  return SetRequestShares(id, SharesForPriority(priority));
+}
+
+Status WorkloadManager::SuspendRequest(QueryId id, SuspendStrategy strategy) {
+  if (requests_.count(id) == 0) return Status::NotFound("unknown request");
+  return engine_->Suspend(id, strategy);
+}
+
+void WorkloadManager::SetWorkloadShares(const std::string& workload,
+                                        const ResourceShares& shares) {
+  auto it = workloads_.find(workload);
+  if (it != workloads_.end()) it->second.shares = shares;
+  for (QueryId id : running_) {
+    Request* request = requests_.at(id).get();
+    if (request->workload == workload) {
+      request->shares = shares;
+      engine_->SetShares(id, shares);
+    }
+  }
+  // Queued requests pick the new shares up at dispatch.
+  for (QueryId id : queue_) {
+    Request* request = requests_.at(id).get();
+    if (request->workload == workload) request->shares = shares;
+  }
+}
+
+}  // namespace wlm

@@ -1,0 +1,159 @@
+#ifndef WLM_CORE_WORKLOAD_MANAGER_H_
+#define WLM_CORE_WORKLOAD_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "core/event_log.h"
+#include "core/interfaces.h"
+#include "core/request.h"
+#include "core/taxonomy.h"
+#include "core/workload.h"
+#include "engine/engine.h"
+#include "engine/monitor.h"
+#include "sim/simulation.h"
+
+namespace wlm {
+
+struct WlmConfig {
+  /// Workload used when no classifier matches.
+  std::string default_workload = "default";
+  /// Requeue deadlock victims automatically (kill-and-resubmit policy).
+  bool resubmit_deadlock_victims = true;
+  /// Max automatic resubmissions (deadlock or kill-and-resubmit) before a
+  /// request is abandoned.
+  int max_resubmits = 3;
+};
+
+/// The workload-management framework: wires characterization, admission
+/// control, scheduling and execution control around the database engine,
+/// exactly following the paper's three-step process — understand
+/// objectives (WorkloadDefinition + SLOs), identify requests
+/// (RequestClassifier), impose controls (controller chains).
+///
+/// Requests enter via Submit(); terminal statistics land in the Monitor
+/// (per-workload tag) and per-workload counters here.
+class WorkloadManager {
+ public:
+  WorkloadManager(Simulation* sim, DatabaseEngine* engine, Monitor* monitor,
+                  WlmConfig config = WlmConfig());
+  ~WorkloadManager();
+  WorkloadManager(const WorkloadManager&) = delete;
+  WorkloadManager& operator=(const WorkloadManager&) = delete;
+
+  // --- setup ---------------------------------------------------------------
+  void DefineWorkload(WorkloadDefinition def);
+  const WorkloadDefinition* workload(const std::string& name) const;
+  const std::map<std::string, WorkloadDefinition>& workloads() const {
+    return workloads_;
+  }
+  void set_classifier(std::unique_ptr<RequestClassifier> classifier);
+  void AddAdmissionController(std::unique_ptr<AdmissionController> ac);
+  void set_scheduler(std::unique_ptr<Scheduler> scheduler);
+  void AddExecutionController(std::unique_ptr<ExecutionController> ec);
+
+  /// Techniques employed by this configuration — the automatic
+  /// Table 4 / Table 5 classification.
+  std::vector<TechniqueInfo> EmployedTechniques() const;
+  void RegisterTechniques(TaxonomyRegistry* registry) const;
+
+  // --- runtime ---------------------------------------------------------------
+  /// Runs the full pipeline for one arriving request: classify, admission,
+  /// enqueue, and attempt dispatch. Returns Rejected if admission refused
+  /// the request (the request is still recorded, state kRejected).
+  Status Submit(QuerySpec spec);
+  /// As Submit, but executes the caller-provided plan instead of the
+  /// optimizer's (query restructuring dispatches sub-plans this way).
+  Status SubmitWithPlan(QuerySpec spec, Plan plan);
+
+  /// Observer fired whenever a request reaches a terminal state
+  /// (completed / killed / aborted / rejected).
+  void AddCompletionListener(std::function<void(const Request&)> fn);
+
+  /// Re-evaluates the queue against the scheduler and dispatch gates.
+  /// Called automatically on submit, completions and monitor samples.
+  void TryDispatch();
+
+  // --- state access (controllers read through these) -----------------------
+  Simulation* sim() const { return sim_; }
+  DatabaseEngine* engine() const { return engine_; }
+  Monitor* monitor() const { return monitor_; }
+  const WlmConfig& config() const { return config_; }
+
+  const Request* Find(QueryId id) const;
+  std::vector<const Request*> Queued() const;
+  /// Currently running requests, ordered by query id.
+  std::vector<const Request*> Running() const;
+  size_t queue_depth() const { return queue_.size(); }
+  size_t running_count() const { return running_.size(); }
+  int RunningInWorkload(const std::string& name) const;
+  int QueuedInWorkload(const std::string& name) const;
+  const WorkloadCounters& counters(const std::string& workload) const;
+  /// Every request ever submitted, in submission order.
+  std::vector<const Request*> AllRequests() const;
+
+  /// Control-plane event history (the library's "event monitors"):
+  /// submissions, rejections, dispatches, kills, suspensions, throttle
+  /// changes, reprioritizations...
+  const EventLog& event_log() const { return event_log_; }
+
+  // --- actions (execution controllers act through these) -------------------
+  /// Kills a running request; with `resubmit` it re-enters the queue
+  /// (kill-and-resubmit [39]) unless the resubmit budget is exhausted.
+  Status KillRequest(QueryId id, bool resubmit);
+  /// Constant throttle (duty in (0, 1]); 1.0 removes the throttle.
+  Status ThrottleRequest(QueryId id, double duty);
+  /// Interrupt throttle: one pause of `seconds`.
+  Status PauseRequest(QueryId id, double seconds);
+  Status SetRequestShares(QueryId id, const ResourceShares& shares);
+  /// Reprioritization: changes business priority and the engine weights.
+  Status SetRequestPriority(QueryId id, BusinessPriority priority);
+  /// Suspends a running request; once the engine finishes flushing state
+  /// the request re-enters the wait queue and will resume when dispatched.
+  Status SuspendRequest(QueryId id, SuspendStrategy strategy);
+  /// Changes a workload's shares, applying to running and future requests.
+  void SetWorkloadShares(const std::string& workload,
+                         const ResourceShares& shares);
+
+ private:
+  void OnSample(const SystemIndicators& indicators);
+  void OnFinish(const QueryOutcome& outcome);
+  void DispatchRequest(Request* request);
+  void LogEvent(WlmEventType type, const Request& request,
+                std::string detail = "");
+  void Requeue(Request* request);
+  void FinishTerminal(Request* request, RequestState state,
+                      const QueryOutcome& outcome);
+
+  Simulation* sim_;
+  DatabaseEngine* engine_;
+  Monitor* monitor_;
+  WlmConfig config_;
+
+  std::map<std::string, WorkloadDefinition> workloads_;
+  std::unique_ptr<RequestClassifier> classifier_;
+  std::vector<std::unique_ptr<AdmissionController>> admission_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::vector<std::unique_ptr<ExecutionController>> execution_;
+
+  std::unordered_map<QueryId, std::unique_ptr<Request>> requests_;
+  std::vector<QueryId> submission_order_;
+  std::vector<QueryId> queue_;                    // waiting, arrival order
+  std::unordered_set<QueryId> running_;
+  std::unordered_map<QueryId, SuspendedQuery> resumable_;
+  std::unordered_set<QueryId> resubmit_on_kill_;
+  std::vector<std::function<void(const Request&)>> completion_listeners_;
+  mutable std::map<std::string, WorkloadCounters> counters_;
+  EventLog event_log_;
+  bool in_try_dispatch_ = false;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_CORE_WORKLOAD_MANAGER_H_

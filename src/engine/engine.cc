@@ -1,0 +1,435 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wlm {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Weighted max-min fair allocation (water-filling): distributes `capacity`
+/// across users with `demands` in proportion to `weights`, never granting
+/// more than demanded, re-distributing slack from saturated users.
+std::vector<double> WeightedWaterFill(const std::vector<double>& demands,
+                                      const std::vector<double>& weights,
+                                      double capacity) {
+  size_t n = demands.size();
+  std::vector<double> grants(n, 0.0);
+  std::vector<bool> open(n, true);
+  for (size_t i = 0; i < n; ++i) {
+    if (demands[i] <= kEps || weights[i] <= kEps) open[i] = false;
+  }
+  while (capacity > kEps) {
+    double weight_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (open[i]) weight_sum += weights[i];
+    }
+    if (weight_sum <= kEps) break;
+    bool any_saturated = false;
+    // First pass: saturate users whose fair share covers their demand.
+    for (size_t i = 0; i < n; ++i) {
+      if (!open[i]) continue;
+      double share = capacity * weights[i] / weight_sum;
+      double want = demands[i] - grants[i];
+      if (share >= want - kEps) {
+        grants[i] += want;
+        capacity -= want;
+        open[i] = false;
+        any_saturated = true;
+      }
+    }
+    if (!any_saturated) {
+      // Everyone is demand-unsaturated: split proportionally and finish.
+      for (size_t i = 0; i < n; ++i) {
+        if (!open[i]) continue;
+        grants[i] += capacity * weights[i] / weight_sum;
+      }
+      break;
+    }
+  }
+  return grants;
+}
+
+}  // namespace
+
+DatabaseEngine::DatabaseEngine(Simulation* sim, EngineConfig config)
+    : sim_(sim),
+      config_(config),
+      optimizer_(config.optimizer),
+      memory_(config.memory_mb, config.spill_penalty),
+      buffer_pool_(config.buffer_pool_pages),
+      tick_(sim, config.tick_seconds, [this] { Tick(); }),
+      deadlock_task_(sim, config.deadlock_check_period,
+                     [this] { CheckDeadlocks(); }) {
+  lock_manager_.set_grant_callback(
+      [this](TxnId txn, LockKey key) { OnLockGranted(txn, key); });
+}
+
+DatabaseEngine::~DatabaseEngine() = default;
+
+Status DatabaseEngine::Dispatch(const QuerySpec& spec, ExecutionContext ctx) {
+  return DispatchWithPlan(spec, optimizer_.BuildPlan(spec), std::move(ctx));
+}
+
+Status DatabaseEngine::DispatchWithPlan(const QuerySpec& spec, Plan plan,
+                                        ExecutionContext ctx) {
+  if (active_.count(spec.id) > 0) {
+    return Status::AlreadyExists("query id already executing");
+  }
+  auto exec = std::make_unique<QueryExecution>(
+      spec, std::move(plan), std::move(ctx), sim_->Now(),
+      config_.io_ops_per_second);
+  QueryExecution* raw = exec.get();
+  active_[spec.id].exec = std::move(exec);
+  ++counters_.dispatched;
+  ContinueAcquiringLocks(raw);
+  EnsureTicking();
+  return Status::OK();
+}
+
+void DatabaseEngine::ContinueAcquiringLocks(QueryExecution* exec) {
+  const QuerySpec& spec = exec->spec();
+  while (!exec->AllLocksAcquired()) {
+    const LockRequest& req = spec.locks[exec->lock_cursor()];
+    bool granted = lock_manager_.Acquire(
+        spec.id, req.key,
+        req.exclusive ? LockMode::kExclusive : LockMode::kShared);
+    if (!granted) return;  // OnLockGranted resumes the loop
+    exec->AdvanceLockCursor();
+  }
+  MemoryGrant grant = memory_.Grant(exec->context().tag, spec.memory_mb);
+  // Working set ~ the pages the query will read; hits shrink device I/O.
+  double hit_ratio =
+      buffer_pool_.Register(spec.id, exec->context().tag, spec.io_ops);
+  exec->StartRunning(sim_->Now(), grant.spill_factor, hit_ratio,
+                     grant.granted_mb);
+}
+
+void DatabaseEngine::OnLockGranted(TxnId txn, LockKey key) {
+  (void)key;
+  auto it = active_.find(txn);
+  if (it == active_.end()) return;
+  QueryExecution* exec = it->second.exec.get();
+  if (exec->state() != QueryExecution::State::kAcquiringLocks) return;
+  exec->AdvanceLockCursor();
+  ContinueAcquiringLocks(exec);
+}
+
+void DatabaseEngine::EnsureTicking() {
+  if (!tick_.running()) tick_.Start();
+  if (!deadlock_task_.running()) deadlock_task_.Start();
+}
+
+void DatabaseEngine::Tick() {
+  const double dt = config_.tick_seconds;
+  const double now = sim_->Now();
+
+  std::vector<QueryId> ids;
+  std::vector<QueryExecution*> execs;
+  for (auto& [id, aq] : active_) {
+    aq.exec->MaybeWake(now);
+    ids.push_back(id);
+    execs.push_back(aq.exec.get());
+  }
+
+  std::vector<double> cpu_demand(execs.size());
+  std::vector<double> io_demand(execs.size());
+  std::vector<double> cpu_weight(execs.size());
+  std::vector<double> io_weight(execs.size());
+  for (size_t i = 0; i < execs.size(); ++i) {
+    cpu_demand[i] = execs[i]->CpuDemand(dt);
+    io_demand[i] = execs[i]->IoDemand(dt, config_.io_ops_per_second);
+    cpu_weight[i] = execs[i]->shares().cpu_weight;
+    io_weight[i] = execs[i]->shares().io_weight;
+  }
+
+  // Two-level fair sharing: capacity is divided across *groups* first
+  // (grouped tags use their group weights; an ungrouped query is its own
+  // group), then within each group across its member queries.
+  std::vector<std::vector<size_t>> groups;
+  std::vector<double> group_cpu_weight;
+  std::vector<double> group_io_weight;
+  {
+    std::unordered_map<std::string, size_t> tag_group;
+    for (size_t i = 0; i < execs.size(); ++i) {
+      const std::string& tag = execs[i]->context().tag;
+      auto shares_it = group_shares_.find(tag);
+      if (shares_it == group_shares_.end()) {
+        groups.push_back({i});
+        group_cpu_weight.push_back(cpu_weight[i]);
+        group_io_weight.push_back(io_weight[i]);
+        continue;
+      }
+      auto [group_it, inserted] = tag_group.try_emplace(tag, groups.size());
+      if (inserted) {
+        groups.push_back({});
+        group_cpu_weight.push_back(shares_it->second.cpu_weight);
+        group_io_weight.push_back(shares_it->second.io_weight);
+      }
+      groups[group_it->second].push_back(i);
+    }
+  }
+
+  double cpu_capacity = static_cast<double>(config_.num_cpus) * dt;
+  double io_capacity = config_.io_ops_per_second * dt;
+
+  auto two_level = [&](const std::vector<double>& demands,
+                       const std::vector<double>& weights,
+                       const std::vector<double>& group_weights,
+                       double capacity) {
+    std::vector<double> group_demand(groups.size(), 0.0);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (size_t i : groups[g]) group_demand[g] += demands[i];
+    }
+    std::vector<double> group_grant =
+        WeightedWaterFill(group_demand, group_weights, capacity);
+    std::vector<double> grants(demands.size(), 0.0);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].size() == 1) {
+        grants[groups[g][0]] = group_grant[g];
+        continue;
+      }
+      std::vector<double> member_demand, member_weight;
+      for (size_t i : groups[g]) {
+        member_demand.push_back(demands[i]);
+        member_weight.push_back(weights[i]);
+      }
+      std::vector<double> member_grant =
+          WeightedWaterFill(member_demand, member_weight, group_grant[g]);
+      for (size_t k = 0; k < groups[g].size(); ++k) {
+        grants[groups[g][k]] = member_grant[k];
+      }
+    }
+    return grants;
+  };
+
+  std::vector<double> cpu_grant =
+      two_level(cpu_demand, cpu_weight, group_cpu_weight, cpu_capacity);
+  std::vector<double> io_grant =
+      two_level(io_demand, io_weight, group_io_weight, io_capacity);
+
+  // Account *consumed* work, not grants: a pipeline-stalled query may
+  // leave part of a grant unused (its CPU idles while it waits for I/O in
+  // the same operator), and that slack must not count as usage.
+  double cpu_used_total = 0.0;
+  double io_used_total = 0.0;
+  std::vector<QueryId> done;
+  for (size_t i = 0; i < execs.size(); ++i) {
+    double cpu_before = execs[i]->cpu_used();
+    double io_before = execs[i]->io_used();
+    bool finished = execs[i]->Advance(cpu_grant[i], io_grant[i]);
+    cpu_used_total += execs[i]->cpu_used() - cpu_before;
+    io_used_total += execs[i]->io_used() - io_before;
+    if (finished) done.push_back(ids[i]);
+  }
+  counters_.cpu_used_seconds += cpu_used_total;
+  counters_.io_ops_done += io_used_total;
+  cpu_utilization_ = cpu_capacity > 0.0 ? cpu_used_total / cpu_capacity : 0;
+  io_utilization_ = io_capacity > 0.0 ? io_used_total / io_capacity : 0;
+  // ~1 second smoothing horizon regardless of the tick length.
+  double alpha = std::min(1.0, dt / 1.0);
+  smoothed_cpu_ += alpha * (cpu_utilization_ - smoothed_cpu_);
+  smoothed_io_ += alpha * (io_utilization_ - smoothed_io_);
+
+  for (QueryId id : done) {
+    auto it = active_.find(id);
+    if (it == active_.end()) continue;  // a callback already removed it
+    if (it->second.exec->state() == QueryExecution::State::kSuspending) {
+      FinalizeSuspend(id);
+    } else {
+      FinishExecution(id, OutcomeKind::kCompleted);
+    }
+  }
+
+  if (active_.empty()) {
+    tick_.Stop();
+    deadlock_task_.Stop();
+    // Idle engine: report truthfully instead of leaving stale values.
+    cpu_utilization_ = 0.0;
+    io_utilization_ = 0.0;
+  }
+}
+
+void DatabaseEngine::CheckDeadlocks() {
+  std::vector<TxnId> victims = lock_manager_.FindDeadlockVictims();
+  for (TxnId victim : victims) {
+    if (active_.count(victim) > 0) {
+      FinishExecution(victim, OutcomeKind::kAbortedDeadlock);
+    }
+  }
+}
+
+QueryOutcome DatabaseEngine::MakeOutcome(const QueryExecution& exec,
+                                         OutcomeKind kind) const {
+  QueryOutcome out;
+  out.id = exec.spec().id;
+  out.kind = kind;
+  out.dispatch_time = exec.dispatch_time();
+  out.finish_time = sim_->Now();
+  out.cpu_used = exec.cpu_used();
+  out.io_used = exec.io_used();
+  out.memory_granted_mb = exec.granted_mb();
+  out.spill_factor = exec.spill_factor();
+  out.buffer_hit_ratio = exec.buffer_hit_ratio();
+  out.lock_wait_seconds = exec.lock_wait_seconds(sim_->Now());
+  return out;
+}
+
+void DatabaseEngine::FinishExecution(QueryId id, OutcomeKind kind) {
+  auto it = active_.find(id);
+  assert(it != active_.end());
+  std::unique_ptr<QueryExecution> exec = std::move(it->second.exec);
+  active_.erase(it);
+  pending_suspend_.erase(id);
+  exec->MarkFinished();
+  lock_manager_.ReleaseAll(id);
+  memory_.Release(exec->context().tag, exec->granted_mb());
+  buffer_pool_.Unregister(id);
+  switch (kind) {
+    case OutcomeKind::kCompleted:
+      ++counters_.completed;
+      break;
+    case OutcomeKind::kKilled:
+      ++counters_.killed;
+      break;
+    case OutcomeKind::kAbortedDeadlock:
+      ++counters_.deadlock_aborts;
+      break;
+    case OutcomeKind::kSuspended:
+      break;  // handled by FinalizeSuspend
+  }
+  QueryOutcome outcome = MakeOutcome(*exec, kind);
+  if (exec->context().on_finish) exec->context().on_finish(outcome);
+  if (observer_) observer_(outcome);
+}
+
+void DatabaseEngine::FinalizeSuspend(QueryId id) {
+  auto it = active_.find(id);
+  assert(it != active_.end());
+  auto pending = pending_suspend_.find(id);
+  assert(pending != pending_suspend_.end());
+  std::unique_ptr<QueryExecution> exec = std::move(it->second.exec);
+  active_.erase(it);
+  SuspendedQuery bundle = std::move(pending->second);
+  pending_suspend_.erase(pending);
+  // Account the flush work into the bundle's "used before" totals so the
+  // resumed execution's accounting is continuous.
+  bundle.cpu_used_before = exec->cpu_used();
+  bundle.io_used_before = exec->io_used();
+  exec->MarkFinished();
+  lock_manager_.ReleaseAll(id);
+  memory_.Release(exec->context().tag, exec->granted_mb());
+  buffer_pool_.Unregister(id);
+  ++counters_.suspends;
+  suspended_[id] = std::move(bundle);
+  QueryOutcome outcome = MakeOutcome(*exec, OutcomeKind::kSuspended);
+  if (exec->context().on_finish) exec->context().on_finish(outcome);
+  if (observer_) observer_(outcome);
+}
+
+Status DatabaseEngine::Kill(QueryId id) {
+  if (active_.count(id) == 0) return Status::NotFound("query not active");
+  FinishExecution(id, OutcomeKind::kKilled);
+  return Status::OK();
+}
+
+Status DatabaseEngine::Suspend(QueryId id, SuspendStrategy strategy) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return Status::NotFound("query not active");
+  SuspendedQuery bundle;
+  WLM_RETURN_IF_ERROR(it->second.exec->BeginSuspend(
+      strategy, sim_->Now(), config_.io_ops_per_mb, &bundle));
+  pending_suspend_[id] = std::move(bundle);
+  return Status::OK();
+}
+
+Result<SuspendedQuery> DatabaseEngine::TakeSuspended(QueryId id) {
+  auto it = suspended_.find(id);
+  if (it == suspended_.end()) {
+    return Status::NotFound("no suspended query with this id");
+  }
+  SuspendedQuery out = std::move(it->second);
+  suspended_.erase(it);
+  return out;
+}
+
+Status DatabaseEngine::Resume(const SuspendedQuery& suspended,
+                              ExecutionContext ctx) {
+  if (active_.count(suspended.spec.id) > 0) {
+    return Status::AlreadyExists("query id already executing");
+  }
+  Plan plan = optimizer_.BuildPlan(suspended.spec);  // for estimate fields
+  plan.operators.clear();
+  // Reload saved state first, then the remaining work (redo already folded
+  // into remaining_ops by BeginSuspend).
+  PlanOperator reload;
+  reload.type = OperatorType::kUtilityOp;
+  reload.cpu_seconds = 0.0;
+  reload.io_ops = suspended.resume_io_cost;
+  plan.operators.push_back(reload);
+  for (const PlanOperator& op : suspended.remaining_ops) {
+    plan.operators.push_back(op);
+  }
+  ++counters_.resumes;
+  return DispatchWithPlan(suspended.spec, std::move(plan), std::move(ctx));
+}
+
+Status DatabaseEngine::SetDuty(QueryId id, double duty) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return Status::NotFound("query not active");
+  it->second.exec->set_duty(duty);
+  return Status::OK();
+}
+
+Status DatabaseEngine::Pause(QueryId id, double seconds) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return Status::NotFound("query not active");
+  if (seconds < 0.0) return Status::InvalidArgument("negative pause");
+  it->second.exec->SleepUntil(sim_->Now() + seconds);
+  return Status::OK();
+}
+
+Status DatabaseEngine::SetShares(QueryId id, const ResourceShares& shares) {
+  if (shares.cpu_weight <= 0.0 || shares.io_weight <= 0.0) {
+    return Status::InvalidArgument("weights must be positive");
+  }
+  auto it = active_.find(id);
+  if (it == active_.end()) return Status::NotFound("query not active");
+  it->second.exec->set_shares(shares);
+  return Status::OK();
+}
+
+void DatabaseEngine::SetGroupShares(const std::string& tag,
+                                    const ResourceShares& shares) {
+  group_shares_[tag] = shares;
+}
+
+void DatabaseEngine::ClearGroupShares(const std::string& tag) {
+  group_shares_.erase(tag);
+}
+
+const ResourceShares* DatabaseEngine::FindGroupShares(
+    const std::string& tag) const {
+  auto it = group_shares_.find(tag);
+  return it == group_shares_.end() ? nullptr : &it->second;
+}
+
+Result<ExecutionProgress> DatabaseEngine::GetProgress(QueryId id) const {
+  auto it = active_.find(id);
+  if (it == active_.end()) return Status::NotFound("query not active");
+  return it->second.exec->Snapshot(sim_->Now());
+}
+
+std::vector<ExecutionProgress> DatabaseEngine::Snapshot() const {
+  std::vector<ExecutionProgress> out;
+  out.reserve(active_.size());
+  for (const auto& [id, aq] : active_) {
+    (void)id;
+    out.push_back(aq.exec->Snapshot(sim_->Now()));
+  }
+  return out;
+}
+
+}  // namespace wlm

@@ -1,0 +1,101 @@
+#include "engine/monitor.h"
+
+#include <algorithm>
+
+namespace wlm {
+
+Monitor::Monitor(Simulation* sim, DatabaseEngine* engine, double interval)
+    : sim_(sim),
+      engine_(engine),
+      interval_(interval),
+      task_(sim, interval, [this] { Sample(); }) {}
+
+Monitor::~Monitor() = default;
+
+void Monitor::Start() { task_.Start(); }
+void Monitor::Stop() { task_.Stop(); }
+
+void Monitor::RecordCompletion(const std::string& tag,
+                               double response_seconds, double velocity,
+                               OutcomeKind kind) {
+  TagStats& stats = tags_[tag];
+  switch (kind) {
+    case OutcomeKind::kCompleted:
+      ++stats.completed;
+      ++stats.interval_completed;
+      ++completions_since_sample_;
+      stats.response_times.Add(response_seconds);
+      stats.velocities.Add(std::clamp(velocity, 0.0, 1.0));
+      stats.recent_response.Add(response_seconds);
+      stats.recent_velocity.Add(std::clamp(velocity, 0.0, 1.0));
+      break;
+    case OutcomeKind::kKilled:
+      ++stats.killed;
+      break;
+    case OutcomeKind::kAbortedDeadlock:
+      ++stats.aborted;
+      break;
+    case OutcomeKind::kSuspended:
+      break;
+  }
+}
+
+SystemIndicators Monitor::indicators() const {
+  SystemIndicators ind = last_;
+  ind.time = sim_->Now();
+  ind.cpu_utilization = engine_->cpu_utilization();
+  ind.io_utilization = engine_->io_utilization();
+  ind.memory_utilization = engine_->memory().utilization();
+  ind.conflict_ratio = engine_->ConflictRatio();
+  ind.running_queries = static_cast<int>(engine_->running_count());
+  ind.blocked_queries =
+      static_cast<int>(engine_->lock_manager().blocked_txn_count());
+  return ind;
+}
+
+TagStats& Monitor::tag_stats(const std::string& tag) { return tags_[tag]; }
+
+const TimeSeries* Monitor::FindSeries(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+TimeSeries& Monitor::series(const std::string& name) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(name)).first;
+  }
+  return it->second;
+}
+
+void Monitor::AddSampleListener(
+    std::function<void(const SystemIndicators&)> fn) {
+  listeners_.push_back(std::move(fn));
+}
+
+void Monitor::Sample() {
+  double now = sim_->Now();
+  SystemIndicators ind = indicators();
+  ind.throughput =
+      static_cast<double>(completions_since_sample_) / interval_;
+  completions_since_sample_ = 0;
+  last_ = ind;
+
+  series("cpu_util").Record(now, ind.cpu_utilization);
+  series("io_util").Record(now, ind.io_utilization);
+  series("mem_util").Record(now, ind.memory_utilization);
+  series("conflict_ratio").Record(now, ind.conflict_ratio);
+  series("running").Record(now, ind.running_queries);
+  series("throughput").Record(now, ind.throughput);
+
+  for (auto& [tag, stats] : tags_) {
+    stats.last_interval_throughput =
+        static_cast<double>(stats.interval_completed) / interval_;
+    stats.interval_completed = 0;
+    series("throughput:" + tag).Record(now, stats.last_interval_throughput);
+  }
+
+  for (auto& fn : listeners_) fn(ind);
+}
+
+}  // namespace wlm

@@ -1,0 +1,54 @@
+#include "execution/kill.h"
+
+#include <vector>
+
+#include "core/workload_manager.h"
+
+namespace wlm {
+
+QueryKillController::QueryKillController()
+    : QueryKillController(Config()) {}
+
+QueryKillController::QueryKillController(Config config)
+    : config_(std::move(config)) {}
+
+void QueryKillController::OnSample(const SystemIndicators& indicators,
+                                   WorkloadManager& manager) {
+  (void)indicators;
+  std::vector<QueryId> victims;
+  for (const ExecutionProgress& p : manager.engine()->Snapshot()) {
+    const Request* request = manager.Find(p.id);
+    if (request == nullptr) continue;
+    if (request->priority > config_.max_victim_priority) continue;
+    if (!config_.workloads.empty() &&
+        config_.workloads.count(request->workload) == 0) {
+      continue;
+    }
+    bool over_absolute = config_.max_elapsed_seconds > 0.0 &&
+                         p.elapsed > config_.max_elapsed_seconds;
+    bool over_relative =
+        config_.overrun_factor > 0.0 &&
+        request->plan.est_elapsed_seconds > 0.0 &&
+        p.elapsed > config_.overrun_factor * request->plan.est_elapsed_seconds;
+    if (over_absolute || over_relative) victims.push_back(p.id);
+  }
+  for (QueryId id : victims) {
+    if (manager.KillRequest(id, config_.resubmit).ok()) ++kills_;
+  }
+}
+
+TechniqueInfo QueryKillController::info() const {
+  TechniqueInfo info;
+  info.name = config_.resubmit ? "Query kill-and-resubmit" : "Query kill";
+  info.technique_class = TechniqueClass::kExecutionControl;
+  info.subclass = TechniqueSubclass::kCancellation;
+  info.description =
+      "Terminates running queries whose elapsed time violates absolute "
+      "or estimate-relative limits, releasing their resources "
+      "immediately; optionally requeues them for later execution.";
+  info.source = "DB2/SQL Server/Oracle/Teradata [30][50][61][72], "
+                "Krompass et al. [39]";
+  return info;
+}
+
+}  // namespace wlm

@@ -1,0 +1,48 @@
+#ifndef WLM_EXECUTION_KILL_H_
+#define WLM_EXECUTION_KILL_H_
+
+#include <set>
+#include <string>
+
+#include "core/interfaces.h"
+
+namespace wlm {
+
+/// Query cancellation (Table 3 row 3 [30][50][61][72]) and
+/// kill-and-resubmit (Krompass et al. [39]): terminates running queries
+/// whose elapsed time exceeds an absolute limit or whose overrun relative
+/// to the optimizer's estimate is excessive, releasing their resources
+/// immediately. With `resubmit`, victims re-enter the wait queue for a
+/// later attempt.
+class QueryKillController : public ExecutionController {
+ public:
+  struct Config {
+    /// Absolute running-time limit (seconds; 0 disables).
+    double max_elapsed_seconds = 0.0;
+    /// Kill when elapsed > factor * estimated elapsed (0 disables).
+    double overrun_factor = 0.0;
+    /// Resubmit victims instead of discarding them.
+    bool resubmit = false;
+    /// Only queries at or below this priority are eligible victims.
+    BusinessPriority max_victim_priority = BusinessPriority::kHigh;
+    /// Restrict to these workloads (empty = all).
+    std::set<std::string> workloads;
+  };
+
+  QueryKillController();
+  explicit QueryKillController(Config config);
+
+  void OnSample(const SystemIndicators& indicators,
+                WorkloadManager& manager) override;
+  TechniqueInfo info() const override;
+
+  int64_t kills() const { return kills_; }
+
+ private:
+  Config config_;
+  int64_t kills_ = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_EXECUTION_KILL_H_

@@ -1,0 +1,66 @@
+#include "execution/progress_control.h"
+
+#include <vector>
+
+#include "core/workload_manager.h"
+
+namespace wlm {
+
+ProgressAwareController::ProgressAwareController(double io_ops_per_second,
+                                                 Config config)
+    : config_(config), tracker_(io_ops_per_second) {}
+
+void ProgressAwareController::OnSample(const SystemIndicators& indicators,
+                                       WorkloadManager& manager) {
+  (void)indicators;
+  double now = manager.sim()->Now();
+  std::vector<std::pair<QueryId, bool>> actions;  // (id, kill?)
+  for (const ExecutionProgress& p : manager.engine()->Snapshot()) {
+    tracker_.Observe(p, now);
+    const Request* request = manager.Find(p.id);
+    if (request == nullptr) continue;
+    if (request->priority > config_.max_victim_priority) continue;
+    if (!config_.workloads.empty() &&
+        config_.workloads.count(request->workload) == 0) {
+      continue;
+    }
+    if (p.fraction_done >= config_.spare_fraction) continue;
+    double remaining = tracker_.EstimateRemainingSeconds(p);
+    if (remaining >
+        config_.remaining_budget_seconds * config_.kill_factor) {
+      actions.emplace_back(p.id, true);
+    } else if (remaining > config_.remaining_budget_seconds &&
+               p.duty >= 1.0) {
+      actions.emplace_back(p.id, false);
+    }
+  }
+  for (const auto& [id, kill] : actions) {
+    if (kill) {
+      if (manager.KillRequest(id, config_.resubmit).ok()) {
+        tracker_.Forget(id);
+        ++kills_;
+      }
+    } else {
+      if (manager.ThrottleRequest(id, config_.throttle_duty).ok()) {
+        ++throttled_;
+      }
+    }
+  }
+}
+
+TechniqueInfo ProgressAwareController::info() const {
+  TechniqueInfo info;
+  info.name = "Progress-indicator execution control";
+  info.technique_class = TechniqueClass::kExecutionControl;
+  info.subclass = TechniqueSubclass::kCancellation;
+  info.description =
+      "Uses a query progress indicator (remaining work / observed speed) "
+      "instead of manual time thresholds: throttles queries with large "
+      "estimated remaining time, kills runaways, and spares nearly-done "
+      "queries that a time threshold would needlessly terminate.";
+  info.source = "Chaudhuri et al. [11], Lee et al. [41], Li et al. [43], "
+                "Luo et al. [45]";
+  return info;
+}
+
+}  // namespace wlm

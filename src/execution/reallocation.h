@@ -1,0 +1,53 @@
+#ifndef WLM_EXECUTION_REALLOCATION_H_
+#define WLM_EXECUTION_REALLOCATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "control/utility.h"
+#include "core/interfaces.h"
+
+namespace wlm {
+
+/// Policy-driven resource reallocation via economic models (Table 3 row 2;
+/// Boughton/Martin/Zhang et al. [4][46][78]): workloads are market
+/// consumers whose wealth reflects business importance; every control
+/// interval the Fisher-market equilibrium reallocates CPU and I/O shares
+/// among the workloads that currently have running queries. Changing a
+/// workload's wealth at runtime immediately shifts resources — the
+/// "dynamic response to importance changes" the approach demonstrates.
+class EconomicReallocationController : public ExecutionController {
+ public:
+  struct Participant {
+    std::string workload;
+    double wealth = 1.0;
+    double alpha_cpu = 0.5;
+    double alpha_io = 0.5;
+  };
+  struct Config {
+    std::vector<Participant> participants;
+    /// Engine weights are equilibrium shares scaled by this (weights are
+    /// relative, the scale just keeps numbers readable).
+    double weight_scale = 10.0;
+  };
+
+  explicit EconomicReallocationController(Config config);
+
+  void OnSample(const SystemIndicators& indicators,
+                WorkloadManager& manager) override;
+  TechniqueInfo info() const override;
+
+  /// Runtime importance change.
+  Status SetWealth(const std::string& workload, double wealth);
+  /// Last computed equilibrium share for a workload.
+  ResourceAllocation LastAllocation(const std::string& workload) const;
+
+ private:
+  Config config_;
+  std::map<std::string, ResourceAllocation> last_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_EXECUTION_REALLOCATION_H_

@@ -1,0 +1,59 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace wlm {
+
+void Dataset::Add(std::vector<double> features, double target) {
+  assert(rows_.empty() || features.size() == rows_[0].size());
+  rows_.push_back(std::move(features));
+  targets_.push_back(target);
+}
+
+void Dataset::ComputeNormalization(std::vector<double>* means,
+                                   std::vector<double>* stddevs) const {
+  size_t nf = num_features();
+  means->assign(nf, 0.0);
+  stddevs->assign(nf, 1.0);
+  if (rows_.empty()) return;
+  for (const auto& row : rows_) {
+    for (size_t f = 0; f < nf; ++f) (*means)[f] += row[f];
+  }
+  for (size_t f = 0; f < nf; ++f) (*means)[f] /= static_cast<double>(size());
+  std::vector<double> var(nf, 0.0);
+  for (const auto& row : rows_) {
+    for (size_t f = 0; f < nf; ++f) {
+      double d = row[f] - (*means)[f];
+      var[f] += d * d;
+    }
+  }
+  for (size_t f = 0; f < nf; ++f) {
+    double s = std::sqrt(var[f] / static_cast<double>(size()));
+    (*stddevs)[f] = s > 1e-12 ? s : 1.0;
+  }
+}
+
+std::pair<Dataset, Dataset> Dataset::Split(double train_fraction,
+                                           Rng* rng) const {
+  std::vector<size_t> order(size());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates with the caller's deterministic rng.
+  for (size_t i = order.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+  size_t n_train = static_cast<size_t>(
+      std::llround(train_fraction * static_cast<double>(size())));
+  Dataset train(feature_names_);
+  Dataset test(feature_names_);
+  for (size_t i = 0; i < order.size(); ++i) {
+    Dataset& dst = i < n_train ? train : test;
+    dst.Add(rows_[order[i]], targets_[order[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+}  // namespace wlm

@@ -1,0 +1,52 @@
+#ifndef WLM_ML_DATASET_H_
+#define WLM_ML_DATASET_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wlm {
+
+/// A dense numeric learning problem: rows of feature vectors with one
+/// target each (a class id for classification, a real value for
+/// regression). The prediction-based admission controllers train on query
+/// logs converted into this shape.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names)
+      : feature_names_(std::move(feature_names)) {}
+
+  void Add(std::vector<double> features, double target);
+
+  size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+  size_t num_features() const {
+    return rows_.empty() ? feature_names_.size() : rows_[0].size();
+  }
+  const std::vector<double>& row(size_t i) const { return rows_[i]; }
+  double target(size_t i) const { return targets_[i]; }
+  const std::vector<std::string>& feature_names() const {
+    return feature_names_;
+  }
+
+  /// Per-feature mean and standard deviation (for z-score normalization).
+  void ComputeNormalization(std::vector<double>* means,
+                            std::vector<double>* stddevs) const;
+
+  /// Deterministically shuffles and splits into (train, test) with
+  /// `train_fraction` of rows in train.
+  std::pair<Dataset, Dataset> Split(double train_fraction, Rng* rng) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> targets_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_ML_DATASET_H_

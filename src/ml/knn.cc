@@ -1,0 +1,133 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace wlm {
+
+KnnRegressor::KnnRegressor(int k, bool distance_weighted)
+    : k_(k), distance_weighted_(distance_weighted) {
+  assert(k_ > 0);
+}
+
+std::vector<double> KnnRegressor::Normalize(
+    const std::vector<double>& features) const {
+  std::vector<double> z(features.size());
+  for (size_t f = 0; f < features.size(); ++f) {
+    z[f] = (features[f] - means_[f]) / stddevs_[f];
+  }
+  return z;
+}
+
+void KnnRegressor::Fit(const Dataset& data) {
+  train_.clear();
+  data.ComputeNormalization(&means_, &stddevs_);
+  train_.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    train_.push_back(Row{Normalize(data.row(i)), data.target(i)});
+  }
+}
+
+double KnnRegressor::Predict(const std::vector<double>& features) const {
+  assert(fitted());
+  std::vector<double> z = Normalize(features);
+  // (distance^2, index), partial-sorted for the k nearest.
+  std::vector<std::pair<double, size_t>> dists;
+  dists.reserve(train_.size());
+  for (size_t i = 0; i < train_.size(); ++i) {
+    double d2 = 0.0;
+    for (size_t f = 0; f < z.size(); ++f) {
+      double d = z[f] - train_[i].z[f];
+      d2 += d * d;
+    }
+    dists.emplace_back(d2, i);
+  }
+  size_t k = std::min(static_cast<size_t>(k_), dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<ptrdiff_t>(k),
+                    dists.end());
+  double weight_sum = 0.0;
+  double value = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    double w = 1.0;
+    if (distance_weighted_) {
+      w = 1.0 / (std::sqrt(dists[j].first) + 1e-6);
+    }
+    value += w * train_[dists[j].second].target;
+    weight_sum += w;
+  }
+  return weight_sum > 0.0 ? value / weight_sum : 0.0;
+}
+
+void NaiveBayes::Fit(const Dataset& data) {
+  classes_.clear();
+  models_.clear();
+  if (data.empty()) return;
+  size_t nf = data.num_features();
+
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<int>(data.target(i))].push_back(i);
+  }
+  for (const auto& [cls, rows] : by_class) {
+    classes_.push_back(cls);
+    ClassModel model;
+    model.log_prior = std::log(static_cast<double>(rows.size()) /
+                               static_cast<double>(data.size()));
+    model.means.assign(nf, 0.0);
+    model.variances.assign(nf, 0.0);
+    for (size_t i : rows) {
+      for (size_t f = 0; f < nf; ++f) model.means[f] += data.row(i)[f];
+    }
+    for (size_t f = 0; f < nf; ++f) {
+      model.means[f] /= static_cast<double>(rows.size());
+    }
+    for (size_t i : rows) {
+      for (size_t f = 0; f < nf; ++f) {
+        double d = data.row(i)[f] - model.means[f];
+        model.variances[f] += d * d;
+      }
+    }
+    for (size_t f = 0; f < nf; ++f) {
+      model.variances[f] =
+          model.variances[f] / static_cast<double>(rows.size()) + 1e-9;
+    }
+    models_.push_back(std::move(model));
+  }
+}
+
+std::vector<double> NaiveBayes::PredictProba(
+    const std::vector<double>& features) const {
+  assert(fitted());
+  std::vector<double> log_post(classes_.size());
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    const ClassModel& m = models_[c];
+    double lp = m.log_prior;
+    for (size_t f = 0; f < features.size(); ++f) {
+      double var = m.variances[f];
+      double d = features[f] - m.means[f];
+      lp += -0.5 * std::log(2.0 * M_PI * var) - d * d / (2.0 * var);
+    }
+    log_post[c] = lp;
+  }
+  double max_lp = *std::max_element(log_post.begin(), log_post.end());
+  double total = 0.0;
+  for (double& lp : log_post) {
+    lp = std::exp(lp - max_lp);
+    total += lp;
+  }
+  for (double& lp : log_post) lp /= total;
+  return log_post;
+}
+
+int NaiveBayes::PredictClass(const std::vector<double>& features) const {
+  std::vector<double> proba = PredictProba(features);
+  size_t best = 0;
+  for (size_t c = 1; c < proba.size(); ++c) {
+    if (proba[c] > proba[best]) best = c;
+  }
+  return classes_[best];
+}
+
+}  // namespace wlm

@@ -1,0 +1,155 @@
+#include "scheduling/restructuring.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wlm {
+
+std::vector<Plan> SlicePlan(const Plan& plan, double max_chunk_work,
+                            double io_rate) {
+  assert(max_chunk_work > 0.0);
+  assert(io_rate > 0.0);
+  std::vector<Plan> chunks;
+  Plan current;
+  current.query_id = plan.query_id;
+  double current_work = 0.0;
+
+  auto flush = [&] {
+    if (!current.operators.empty()) {
+      chunks.push_back(std::move(current));
+      current = Plan{};
+      current.query_id = plan.query_id;
+      current_work = 0.0;
+    }
+  };
+
+  for (const PlanOperator& op : plan.operators) {
+    double remaining_cpu = op.cpu_seconds;
+    double remaining_io = op.io_ops;
+    double op_work = remaining_cpu + remaining_io / io_rate;
+    const double original_op_work = op_work;
+    while (op_work > 1e-12) {
+      double budget = max_chunk_work - current_work;
+      if (budget <= 1e-12) {
+        flush();
+        budget = max_chunk_work;
+      }
+      double take_fraction = std::min(1.0, budget / op_work);
+      PlanOperator piece = op;
+      piece.cpu_seconds = remaining_cpu * take_fraction;
+      piece.io_ops = remaining_io * take_fraction;
+      double piece_work = piece.cpu_seconds + piece.io_ops / io_rate;
+      // A slice holds state in proportion to its share of the *original*
+      // operator, so the pieces' state sums to the whole.
+      piece.max_state_mb =
+          original_op_work > 0.0
+              ? op.max_state_mb * piece_work / original_op_work
+              : 0.0;
+      current.operators.push_back(piece);
+      current_work += piece_work;
+      remaining_cpu -= piece.cpu_seconds;
+      remaining_io -= piece.io_ops;
+      op_work -= piece_work;
+    }
+  }
+  flush();
+  if (chunks.empty()) {
+    Plan empty;
+    empty.query_id = plan.query_id;
+    chunks.push_back(empty);
+  }
+  return chunks;
+}
+
+SlicedQuerySubmitter::SlicedQuerySubmitter(WorkloadManager* manager,
+                                           double max_chunk_work,
+                                           QueryId chunk_id_base)
+    : manager_(manager),
+      max_chunk_work_(max_chunk_work),
+      next_id_(chunk_id_base) {}
+
+Status SlicedQuerySubmitter::SubmitSliced(const QuerySpec& spec,
+                                          DoneCallback on_done) {
+  if (!listener_installed_) {
+    listener_installed_ = true;
+    manager_->AddCompletionListener([this](const Request& request) {
+      auto it = chunk_to_chain_.find(request.spec.id);
+      if (it == chunk_to_chain_.end()) return;
+      size_t chain_index = it->second;
+      chunk_to_chain_.erase(it);
+      Chain& chain = chains_[chain_index];
+      if (request.state != RequestState::kCompleted) {
+        chain.result.failed = true;
+        chain.result.last_finish = request.finish_time;
+        if (chain.on_done) chain.on_done(chain.result);
+        return;
+      }
+      ++chain.result.chunks_completed;
+      chain.result.last_finish = request.finish_time;
+      if (chain.next < chain.specs.size()) {
+        SubmitNext(chain_index);
+      } else if (chain.on_done) {
+        chain.on_done(chain.result);
+      }
+    });
+  }
+
+  const Optimizer& optimizer = manager_->engine()->optimizer();
+  Plan full = optimizer.BuildPlan(spec);
+  double io_rate = manager_->engine()->config().io_ops_per_second;
+  std::vector<Plan> pieces = SlicePlan(full, max_chunk_work_, io_rate);
+
+  Chain chain;
+  chain.result.chunks_total = static_cast<int>(pieces.size());
+  chain.result.first_arrival = manager_->sim()->Now();
+  chain.on_done = std::move(on_done);
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    QuerySpec chunk = spec;
+    chunk.id = next_id_++;
+    chunk.cpu_seconds = pieces[i].TotalCpu();
+    chunk.io_ops = pieces[i].TotalIo();
+    // Memory scales with the chunk's share of the whole.
+    double frac = full.TotalWork(io_rate) > 0.0
+                      ? pieces[i].TotalWork(io_rate) / full.TotalWork(io_rate)
+                      : 1.0;
+    chunk.memory_mb = spec.memory_mb * std::min(1.0, frac * 1.5);
+    chunk.locks = (i == 0) ? spec.locks : std::vector<LockRequest>{};
+    chunk.result_rows = (i + 1 == pieces.size()) ? spec.result_rows : 0;
+    optimizer.AttachEstimates(chunk, &pieces[i]);
+    chain.specs.push_back(std::move(chunk));
+    chain.plans.push_back(std::move(pieces[i]));
+  }
+  chains_.push_back(std::move(chain));
+  SubmitNext(chains_.size() - 1);
+  return Status::OK();
+}
+
+void SlicedQuerySubmitter::SubmitNext(size_t chain_index) {
+  Chain& chain = chains_[chain_index];
+  assert(chain.next < chain.specs.size());
+  size_t i = chain.next++;
+  chunk_to_chain_[chain.specs[i].id] = chain_index;
+  Status status =
+      manager_->SubmitWithPlan(chain.specs[i], chain.plans[i]);
+  if (status.IsRejected()) {
+    // Rejection fires the completion listener synchronously; nothing more
+    // to do here.
+    return;
+  }
+}
+
+TechniqueInfo SlicedQuerySubmitter::Info() {
+  TechniqueInfo info;
+  info.name = "Query restructuring (plan slicing)";
+  info.technique_class = TechniqueClass::kScheduling;
+  info.subclass = TechniqueSubclass::kQueryRestructuring;
+  info.description =
+      "Decomposes a large query plan into a series of small sub-plans "
+      "that are queued and scheduled individually, executing the same "
+      "work with less impact on concurrent requests.";
+  info.source = "Bruno et al. [6], Meng et al. [54], Kossmann [36]";
+  return info;
+}
+
+}  // namespace wlm

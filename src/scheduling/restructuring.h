@@ -1,0 +1,79 @@
+#ifndef WLM_SCHEDULING_RESTRUCTURING_H_
+#define WLM_SCHEDULING_RESTRUCTURING_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/taxonomy.h"
+#include "core/workload_manager.h"
+#include "engine/plan.h"
+
+namespace wlm {
+
+/// Query restructuring [6][36][54]: decomposes a large query's execution
+/// plan into a series of smaller sub-plans that execute in order and
+/// produce the original result. Each sub-plan is scheduled as an
+/// individual request, so short queries are never stuck behind the whole
+/// monster and the monster never monopolizes the engine.
+
+/// Splits `plan`'s operator sequence into chunks whose total work
+/// (cpu-seconds + io/io_rate) is at most `max_chunk_work`. Operators are
+/// divisible: a single operator larger than the budget is sliced
+/// proportionally (state/checkpoint metadata copied). Always returns at
+/// least one chunk.
+std::vector<Plan> SlicePlan(const Plan& plan, double max_chunk_work,
+                            double io_rate);
+
+/// Submits a query as a chain of sub-plan requests through a
+/// WorkloadManager: chunk i+1 is submitted when chunk i completes, so each
+/// chunk separately traverses admission and queueing. Chunk specs carry
+/// the original session attributes (classification still works); locks
+/// ride on the first chunk, the result rows on the last.
+class SlicedQuerySubmitter {
+ public:
+  struct Result {
+    int chunks_total = 0;
+    int chunks_completed = 0;
+    double first_arrival = 0.0;
+    double last_finish = -1.0;
+    bool failed = false;  // a chunk was rejected or killed
+    double ResponseTime() const { return last_finish - first_arrival; }
+  };
+  using DoneCallback = std::function<void(const Result&)>;
+
+  /// `chunk_id_base`: sub-request ids are allocated from this counter;
+  /// keep it disjoint from normal request ids.
+  SlicedQuerySubmitter(WorkloadManager* manager, double max_chunk_work,
+                       QueryId chunk_id_base = 1'000'000'000ULL);
+
+  /// Decomposes and submits `spec`; `on_done` fires when the last chunk
+  /// completes (or the chain fails).
+  Status SubmitSliced(const QuerySpec& spec, DoneCallback on_done);
+
+  static TechniqueInfo Info();
+
+ private:
+  struct Chain {
+    std::vector<QuerySpec> specs;
+    std::vector<Plan> plans;
+    size_t next = 0;
+    Result result;
+    DoneCallback on_done;
+  };
+
+  void SubmitNext(size_t chain_index);
+
+  WorkloadManager* manager_;
+  double max_chunk_work_;
+  QueryId next_id_;
+  std::vector<Chain> chains_;
+  // chunk id -> (chain index) for completion routing
+  std::map<QueryId, size_t> chunk_to_chain_;
+  bool listener_installed_ = false;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_SCHEDULING_RESTRUCTURING_H_

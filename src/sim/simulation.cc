@@ -1,0 +1,87 @@
+#include "sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wlm {
+
+Simulation::EventId Simulation::Schedule(SimTime delay, Callback fn) {
+  return ScheduleAt(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+Simulation::EventId Simulation::ScheduleAt(SimTime when, Callback fn) {
+  when = std::max(when, now_);
+  uint64_t seq = next_seq_++;
+  EventId id = seq + 1;  // ids are 1-based so 0 can mean "none"
+  heap_.push(Event{when, seq, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Simulation::Cancel(EventId id) { callbacks_.erase(id); }
+
+bool Simulation::ExecuteTop() {
+  Event ev = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(ev.id);
+  if (it == callbacks_.end()) return false;  // cancelled
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = std::max(now_, ev.when);
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+bool Simulation::Step() {
+  while (!heap_.empty()) {
+    if (ExecuteTop()) return true;
+  }
+  return false;
+}
+
+void Simulation::RunUntil(SimTime when) {
+  while (!heap_.empty() && heap_.top().when <= when) {
+    ExecuteTop();
+  }
+  now_ = std::max(now_, when);
+}
+
+bool Simulation::RunAll(uint64_t max_events) {
+  uint64_t executed = 0;
+  while (!heap_.empty()) {
+    if (executed++ >= max_events) return false;
+    ExecuteTop();
+  }
+  return true;
+}
+
+PeriodicTask::PeriodicTask(Simulation* sim, SimTime period,
+                           Simulation::Callback fn)
+    : sim_(sim), period_(period), fn_(std::move(fn)) {
+  assert(period_ > 0.0);
+}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_->Schedule(period_, [this] { Fire(); });
+}
+
+void PeriodicTask::Stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_->Cancel(pending_);
+  pending_ = 0;
+}
+
+void PeriodicTask::Fire() {
+  if (!running_) return;
+  // Re-arm before running so `fn_` can Stop() us.
+  pending_ = sim_->Schedule(period_, [this] { Fire(); });
+  fn_();
+}
+
+}  // namespace wlm

@@ -1,0 +1,109 @@
+#ifndef WLM_SIM_SIMULATION_H_
+#define WLM_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace wlm {
+
+/// Simulated time, in seconds. Everything in the library runs on virtual
+/// time so experiments that model hours of DBMS operation finish in
+/// milliseconds of wall clock and are fully deterministic.
+using SimTime = double;
+
+/// Discrete-event simulation kernel: a clock plus an event queue. Events
+/// scheduled for the same instant fire in scheduling order (a monotone
+/// sequence number breaks ties), which keeps runs reproducible.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+  /// Handle for cancelling a scheduled event.
+  using EventId = uint64_t;
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (clamped to >= 0).
+  EventId Schedule(SimTime delay, Callback fn);
+  /// Schedules `fn` at absolute time `when` (clamped to >= Now()).
+  EventId ScheduleAt(SimTime when, Callback fn);
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  void Cancel(EventId id);
+
+  /// Runs the next pending event. Returns false when the queue is empty.
+  bool Step();
+  /// Runs events until the clock reaches `when` (events at exactly `when`
+  /// are executed). The clock always advances to `when`.
+  void RunUntil(SimTime when);
+  /// Runs events for `duration` seconds of simulated time.
+  void RunFor(SimTime duration) { RunUntil(now_ + duration); }
+  /// Drains every pending event (use with care: periodic tasks must be
+  /// stopped first or this never returns). `max_events` bounds runaway
+  /// loops; returns false if the bound was hit.
+  bool RunAll(uint64_t max_events = 100'000'000);
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return callbacks_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;
+    EventId id;
+    bool operator>(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  // Pops the top heap entry; runs it if still live. Returns true if a live
+  // event was executed.
+  bool ExecuteTop();
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  // Live callbacks keyed by EventId; cancellation erases the entry and the
+  // stale heap node is skipped when popped.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+/// Re-schedules itself every `period` seconds until stopped. Used for the
+/// engine's resource tick, the monitor's sampling interval, and every
+/// feedback controller's control interval.
+class PeriodicTask {
+ public:
+  /// Does not start automatically; call Start().
+  PeriodicTask(Simulation* sim, SimTime period, Simulation::Callback fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Begins firing `period` seconds from now (first fire at Now()+period).
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  SimTime period() const { return period_; }
+  /// Changes the period; takes effect at the next (re)scheduling.
+  void set_period(SimTime period) { period_ = period; }
+
+ private:
+  void Fire();
+
+  Simulation* sim_;
+  SimTime period_;
+  Simulation::Callback fn_;
+  bool running_ = false;
+  Simulation::EventId pending_ = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_SIM_SIMULATION_H_

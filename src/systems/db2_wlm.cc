@@ -1,0 +1,178 @@
+#include "systems/db2_wlm.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "characterization/static_classifier.h"
+
+namespace wlm {
+namespace {
+
+/// Maps a DB2-style 1..10 priority into an engine weight.
+double PriorityToWeight(int priority) {
+  return std::clamp(priority, 1, 10);
+}
+
+BusinessPriority BusinessFromAgent(int agent_priority) {
+  if (agent_priority >= 8) return BusinessPriority::kHigh;
+  if (agent_priority >= 5) return BusinessPriority::kMedium;
+  if (agent_priority >= 3) return BusinessPriority::kLow;
+  return BusinessPriority::kBackground;
+}
+
+}  // namespace
+
+Db2WorkloadManagerFacade::Db2WorkloadManagerFacade(WorkloadManager* manager)
+    : manager_(manager) {}
+
+void Db2WorkloadManagerFacade::CreateServiceClass(ServiceClass sc) {
+  service_classes_.push_back(std::move(sc));
+}
+
+void Db2WorkloadManagerFacade::CreateWorkload(WorkloadDef workload) {
+  workloads_.push_back(std::move(workload));
+}
+
+void Db2WorkloadManagerFacade::CreateWorkClass(WorkClass work_class) {
+  work_classes_.push_back(std::move(work_class));
+}
+
+void Db2WorkloadManagerFacade::CreateThreshold(Threshold threshold) {
+  thresholds_.push_back(std::move(threshold));
+}
+
+Status Db2WorkloadManagerFacade::Build() {
+  if (built_) return Status::FailedPrecondition("already built");
+  built_ = true;
+
+  // --- Management: service classes become WorkloadDefinitions. ---------
+  for (const ServiceClass& sc : service_classes_) {
+    WorkloadDefinition def;
+    def.name = sc.name;
+    def.priority = sc.business_priority != BusinessPriority::kMedium
+                       ? sc.business_priority
+                       : BusinessFromAgent(sc.agent_priority);
+    def.slos = sc.slos;
+    def.shares.cpu_weight = PriorityToWeight(sc.agent_priority);
+    def.shares.io_weight = PriorityToWeight(sc.prefetch_priority);
+    manager_->DefineWorkload(std::move(def));
+    if (manager_->engine()->buffer_pool().enabled()) {
+      manager_->engine()->buffer_pool().SetGroupPriority(
+          sc.name, PriorityToWeight(sc.bufferpool_priority));
+    }
+  }
+
+  // --- Identification: workloads (origin) + work classes (type). -------
+  auto classifier = std::make_unique<StaticClassifier>();
+  for (const WorkloadDef& w : workloads_) {
+    ClassificationRule rule;
+    rule.workload = w.service_class;
+    rule.application = w.application;
+    rule.user = w.user;
+    rule.client_ip = w.client_ip;
+    classifier->AddRule(std::move(rule));
+  }
+  for (const WorkClass& wc : work_classes_) {
+    ClassificationRule rule;
+    rule.workload = wc.service_class;
+    rule.stmt = wc.stmt;
+    rule.kind = wc.kind;
+    rule.min_est_timerons = wc.min_est_timerons;
+    rule.max_est_timerons = wc.max_est_timerons;
+    rule.min_est_rows = wc.min_est_rows;
+    rule.max_est_rows = wc.max_est_rows;
+    classifier->AddRule(std::move(rule));
+  }
+  manager_->set_classifier(std::move(classifier));
+
+  // --- Thresholds -> controllers. ---------------------------------------
+  QueryCostAdmission::Config cost_config;
+  bool have_cost_threshold = false;
+  MplAdmission::Config mpl_config;
+  bool have_mpl_threshold = false;
+  PriorityAgingController::Config aging_config;
+  bool have_remap = false;
+  QueryKillController::Config kill_config;
+  bool have_kill = false;
+
+  for (const Threshold& t : thresholds_) {
+    switch (t.metric) {
+      case ThresholdMetric::kEstimatedCost:
+        // StopExecution on estimated cost = arrival rejection.
+        if (t.service_class.empty()) {
+          cost_config.max_timerons =
+              std::min(cost_config.max_timerons, t.value);
+        } else {
+          cost_config.per_workload_timerons[t.service_class] = t.value;
+        }
+        have_cost_threshold = true;
+        break;
+      case ThresholdMetric::kConcurrentDatabaseActivities:
+        mpl_config.max_mpl = static_cast<int>(t.value);
+        have_mpl_threshold = true;
+        break;
+      case ThresholdMetric::kConcurrentWorkloadActivities:
+        mpl_config.per_workload_mpl[t.service_class] =
+            static_cast<int>(t.value);
+        have_mpl_threshold = true;
+        break;
+      case ThresholdMetric::kElapsedTime:
+        if (t.action == ThresholdAction::kRemapDown) {
+          aging_config.elapsed_threshold_seconds = t.value;
+          aging_config.repeat_every_seconds = t.value;
+          if (!t.service_class.empty()) {
+            aging_config.workloads.insert(t.service_class);
+          }
+          have_remap = true;
+        } else {
+          kill_config.max_elapsed_seconds = t.value;
+          if (!t.service_class.empty()) {
+            kill_config.workloads.insert(t.service_class);
+          }
+          have_kill = true;
+        }
+        break;
+      case ThresholdMetric::kRowsReturned:
+        aging_config.rows_threshold = static_cast<int64_t>(t.value);
+        if (!t.service_class.empty()) {
+          aging_config.workloads.insert(t.service_class);
+        }
+        have_remap = true;
+        break;
+    }
+  }
+
+  if (have_cost_threshold) {
+    auto cost = std::make_unique<QueryCostAdmission>(cost_config);
+    cost_admission_ = cost.get();
+    manager_->AddAdmissionController(std::move(cost));
+  }
+  if (have_mpl_threshold) {
+    manager_->AddAdmissionController(
+        std::make_unique<MplAdmission>(mpl_config));
+  }
+  if (have_remap) {
+    auto aging = std::make_unique<PriorityAgingController>(aging_config);
+    aging_ = aging.get();
+    manager_->AddExecutionController(std::move(aging));
+  }
+  if (have_kill) {
+    auto killer = std::make_unique<QueryKillController>(kill_config);
+    killer_ = killer.get();
+    manager_->AddExecutionController(std::move(killer));
+  }
+  return Status::OK();
+}
+
+int64_t Db2WorkloadManagerFacade::stop_execution_count() const {
+  int64_t count = 0;
+  if (killer_ != nullptr) count += killer_->kills();
+  if (cost_admission_ != nullptr) count += cost_admission_->rejected_count();
+  return count;
+}
+
+int64_t Db2WorkloadManagerFacade::remap_count() const {
+  return aging_ != nullptr ? aging_->demotions() : 0;
+}
+
+}  // namespace wlm

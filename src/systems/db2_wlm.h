@@ -1,0 +1,121 @@
+#ifndef WLM_SYSTEMS_DB2_WLM_H_
+#define WLM_SYSTEMS_DB2_WLM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "admission/threshold_admission.h"
+#include "core/workload_manager.h"
+#include "execution/kill.h"
+#include "execution/priority_aging.h"
+
+namespace wlm {
+
+/// Facade modeled on IBM DB2 Workload Manager [30]: the identification /
+/// management / monitoring stages built from this library's techniques.
+///
+///  - *Identification*: DB2 "workloads" map connections (application,
+///    user, client IP) to service classes; "work classes" map work by
+///    type (statement type, estimated cost, estimated rows).
+///  - *Management*: service (sub)classes define the execution environment
+///    — agent (CPU), prefetch (I/O) and buffer-pool priorities become
+///    engine resource weights; thresholds (elapsed time, estimated cost,
+///    rows returned, concurrent activities) trigger actions: stop
+///    execution, remap to a lower subclass (priority aging), or queue.
+///  - *Monitoring*: the underlying wlm::Monitor per-service-class stats
+///    plus this facade's threshold-violation counters stand in for DB2's
+///    event monitors.
+///
+/// Configure with Create* calls, then Build() wires everything into the
+/// WorkloadManager.
+class Db2WorkloadManagerFacade {
+ public:
+  /// DB2 agent priorities run -20..20; we accept 1..10 and map to engine
+  /// weights.
+  struct ServiceClass {
+    std::string name;
+    int agent_priority = 5;       // CPU access priority, 1..10
+    int prefetch_priority = 5;    // I/O access priority, 1..10
+    int bufferpool_priority = 5;  // page priority, 1..10 (needs the
+                                  // engine's buffer pool enabled)
+    BusinessPriority business_priority = BusinessPriority::kMedium;
+    std::vector<ServiceLevelObjective> slos;
+  };
+
+  /// Connection-attribute based workload (the DB2 "workload" object).
+  struct WorkloadDef {
+    std::string name;
+    std::optional<std::string> application;
+    std::optional<std::string> user;
+    std::optional<std::string> client_ip;
+    std::string service_class;
+  };
+
+  /// Type-based work class within a work class set. The predictive
+  /// elements mirror DB2's: estimated cost (timerons) and estimated
+  /// return rows ("create a work class for all large queries with
+  /// estimated return rows more than 500,000").
+  struct WorkClass {
+    std::string name;
+    std::optional<StatementType> stmt;
+    std::optional<QueryKind> kind;
+    double min_est_timerons = 0.0;
+    double max_est_timerons = std::numeric_limits<double>::infinity();
+    double min_est_rows = 0.0;
+    double max_est_rows = std::numeric_limits<double>::infinity();
+    std::string service_class;
+  };
+
+  enum class ThresholdMetric {
+    kElapsedTime,
+    kEstimatedCost,
+    kRowsReturned,
+    kConcurrentDatabaseActivities,  // database-wide MPL
+    kConcurrentWorkloadActivities,  // per-service-class MPL
+  };
+  enum class ThresholdAction {
+    kStopExecution,  // reject at arrival (EstimatedCost) or kill (Elapsed)
+    kRemapDown,      // priority aging to a lower subclass
+    kQueue,          // hold in the wait queue (concurrency)
+  };
+  struct Threshold {
+    std::string name;
+    ThresholdMetric metric = ThresholdMetric::kElapsedTime;
+    double value = 0.0;
+    ThresholdAction action = ThresholdAction::kStopExecution;
+    /// Empty = database-wide; otherwise applies to one service class.
+    std::string service_class;
+  };
+
+  explicit Db2WorkloadManagerFacade(WorkloadManager* manager);
+
+  void CreateServiceClass(ServiceClass sc);
+  void CreateWorkload(WorkloadDef workload);
+  void CreateWorkClass(WorkClass work_class);
+  void CreateThreshold(Threshold threshold);
+
+  /// Installs classifier, admission controllers and execution controllers
+  /// into the WorkloadManager. Call once after all Create* calls.
+  Status Build();
+
+  /// "Threshold violations event monitor": counts of actions taken.
+  int64_t stop_execution_count() const;
+  int64_t remap_count() const;
+
+ private:
+  WorkloadManager* manager_;
+  std::vector<ServiceClass> service_classes_;
+  std::vector<WorkloadDef> workloads_;
+  std::vector<WorkClass> work_classes_;
+  std::vector<Threshold> thresholds_;
+  bool built_ = false;
+  // Non-owning views into controllers handed to the manager.
+  const PriorityAgingController* aging_ = nullptr;
+  const QueryKillController* killer_ = nullptr;
+  const QueryCostAdmission* cost_admission_ = nullptr;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_SYSTEMS_DB2_WLM_H_

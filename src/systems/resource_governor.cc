@@ -1,0 +1,206 @@
+#include "systems/resource_governor.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "admission/threshold_admission.h"
+#include "characterization/static_classifier.h"
+
+namespace wlm {
+
+/// Measures each pool's CPU consumption over the monitor interval (delta
+/// of per-query cpu_used) and trims/restores duty cycles so the pool
+/// respects its MAX cap — the "governing" half of Resource Governor.
+class ResourceGovernorFacade::PoolCapController : public ExecutionController {
+ public:
+  PoolCapController(std::map<std::string, ResourcePool>* pools,
+                    std::unordered_map<std::string, std::string>* group_pool)
+      : pools_(pools), group_to_pool_(group_pool) {}
+
+  void OnSample(const SystemIndicators& indicators,
+                WorkloadManager& manager) override {
+    (void)indicators;
+    double interval = manager.monitor()->interval();
+    double capacity =
+        static_cast<double>(manager.engine()->config().num_cpus) * interval;
+
+    // Per-pool CPU consumed this interval.
+    std::map<std::string, double> pool_cpu;
+    std::map<std::string, std::vector<QueryId>> pool_queries;
+    std::unordered_map<QueryId, double> next_seen;
+    for (const ExecutionProgress& p : manager.engine()->Snapshot()) {
+      const Request* request = manager.Find(p.id);
+      if (request == nullptr) continue;
+      auto pool_it = group_to_pool_->find(request->workload);
+      if (pool_it == group_to_pool_->end()) continue;
+      double last = 0.0;
+      auto seen = last_cpu_.find(p.id);
+      if (seen != last_cpu_.end()) last = seen->second;
+      pool_cpu[pool_it->second] += std::max(0.0, p.cpu_used - last);
+      pool_queries[pool_it->second].push_back(p.id);
+      next_seen[p.id] = p.cpu_used;
+    }
+    last_cpu_ = std::move(next_seen);
+
+    for (auto& [name, pool] : *pools_) {
+      double usage = capacity > 0.0 ? pool_cpu[name] / capacity : 0.0;
+      usage_[name] = usage;
+      auto queries = pool_queries.find(name);
+      if (queries == pool_queries.end()) continue;
+      double& duty = duty_[name];
+      if (duty == 0.0) duty = 1.0;
+      if (usage > pool.max_cpu * 1.05) {
+        duty = std::max(0.05, duty * pool.max_cpu / usage);
+      } else if (usage < pool.max_cpu * 0.9 && duty < 1.0) {
+        duty = std::min(1.0, duty * 1.25);
+      }
+      for (QueryId id : queries->second) {
+        manager.ThrottleRequest(id, duty);
+      }
+    }
+  }
+
+  double usage(const std::string& pool) const {
+    auto it = usage_.find(pool);
+    return it == usage_.end() ? 0.0 : it->second;
+  }
+
+  TechniqueInfo info() const override {
+    TechniqueInfo info;
+    info.name = "Resource pool MIN/MAX allocation";
+    info.technique_class = TechniqueClass::kExecutionControl;
+    info.subclass = TechniqueSubclass::kReprioritization;
+    info.description =
+        "Resource pools reserve minimum CPU shares via weights and "
+        "enforce maximum consumption by trimming duty cycles of the "
+        "pool's running requests (dynamic resource reallocation).";
+    info.source = "SQL Server Resource Governor [50]";
+    return info;
+  }
+
+ private:
+  std::map<std::string, ResourcePool>* pools_;
+  std::unordered_map<std::string, std::string>* group_to_pool_;
+  std::unordered_map<QueryId, double> last_cpu_;
+  std::map<std::string, double> usage_;
+  std::map<std::string, double> duty_;
+};
+
+ResourceGovernorFacade::ResourceGovernorFacade(WorkloadManager* manager)
+    : manager_(manager) {}
+
+void ResourceGovernorFacade::CreatePool(ResourcePool pool) {
+  pools_[pool.name] = std::move(pool);
+}
+
+void ResourceGovernorFacade::CreateWorkloadGroup(WorkloadGroup group) {
+  groups_.push_back(std::move(group));
+}
+
+void ResourceGovernorFacade::RegisterClassifierFunction(
+    ClassifierFunction fn) {
+  classifier_functions_.push_back(std::move(fn));
+}
+
+Status ResourceGovernorFacade::Build() {
+  if (built_) return Status::FailedPrecondition("already built");
+  built_ = true;
+
+  // Predefined pools/groups, as in the product.
+  if (pools_.count("default") == 0) {
+    CreatePool(ResourcePool{"default", 0.0, 1.0});
+  }
+  bool has_default_group = false;
+  for (const WorkloadGroup& g : groups_) {
+    has_default_group = has_default_group || g.name == "default";
+  }
+  if (!has_default_group) {
+    groups_.push_back(WorkloadGroup{"default", "default",
+                                    BusinessPriority::kMedium, 0, {}});
+  }
+
+  double min_sum = 0.0;
+  double memory_min_sum = 0.0;
+  for (const auto& [name, pool] : pools_) {
+    (void)name;
+    min_sum += pool.min_cpu;
+    memory_min_sum += pool.min_memory;
+    if (pool.max_cpu < pool.min_cpu || pool.max_memory < pool.min_memory) {
+      return Status::InvalidArgument("pool MAX below MIN");
+    }
+  }
+  if (min_sum > 1.0 + 1e-9 || memory_min_sum > 1.0 + 1e-9) {
+    return Status::InvalidArgument("sum of pool MINs exceeds 100%");
+  }
+
+  // Memory MIN/MAX: quota groups keyed by pool, workload groups aliased
+  // into their pool.
+  double total_memory = manager_->engine()->config().memory_mb;
+  for (const auto& [name, pool] : pools_) {
+    if (pool.min_memory > 0.0 || pool.max_memory < 1.0) {
+      MemoryQuota quota;
+      quota.min_mb = pool.min_memory * total_memory;
+      quota.max_mb = pool.max_memory * total_memory;
+      manager_->engine()->memory().SetGroupQuota(name, quota);
+    }
+  }
+
+  MplAdmission::Config mpl_config;
+  bool need_mpl = false;
+  for (const WorkloadGroup& g : groups_) {
+    auto pool_it = pools_.find(g.pool);
+    if (pool_it == pools_.end()) {
+      return Status::NotFound("workload group references unknown pool: " +
+                              g.pool);
+    }
+    group_to_pool_[g.name] = g.pool;
+    manager_->engine()->memory().SetGroupAlias(g.name, g.pool);
+    WorkloadDefinition def;
+    def.name = g.name;
+    def.priority = g.importance;
+    def.slos = g.slos;
+    // MIN reservation via weights: weight proportional to the reserved
+    // share (plus a floor so zero-MIN pools still run).
+    double weight = 0.5 + 10.0 * pool_it->second.min_cpu;
+    def.shares.cpu_weight = weight;
+    def.shares.io_weight = weight;
+    manager_->DefineWorkload(std::move(def));
+    if (g.group_request_max > 0) {
+      mpl_config.per_workload_mpl[g.name] = g.group_request_max;
+      need_mpl = true;
+    }
+  }
+
+  // Classification: user-written functions, falling through to `default`.
+  auto classifier = std::make_unique<StaticClassifier>();
+  for (ClassifierFunction& fn : classifier_functions_) {
+    classifier->AddCriteriaFunction(
+        [fn = std::move(fn)](const Request& request) { return fn(request); });
+  }
+  ClassificationRule fallback;
+  fallback.workload = "default";
+  classifier->AddRule(std::move(fallback));
+  manager_->set_classifier(std::move(classifier));
+
+  if (query_governor_cost_limit_ > 0.0) {
+    QueryCostAdmission::Config config;
+    config.max_est_seconds = query_governor_cost_limit_;
+    manager_->AddAdmissionController(
+        std::make_unique<QueryCostAdmission>(config));
+  }
+  if (need_mpl) {
+    manager_->AddAdmissionController(
+        std::make_unique<MplAdmission>(mpl_config));
+  }
+
+  auto cap = std::make_unique<PoolCapController>(&pools_, &group_to_pool_);
+  cap_controller_ = cap.get();
+  manager_->AddExecutionController(std::move(cap));
+  return Status::OK();
+}
+
+double ResourceGovernorFacade::PoolCpuUsage(const std::string& pool) const {
+  return cap_controller_ != nullptr ? cap_controller_->usage(pool) : 0.0;
+}
+
+}  // namespace wlm

@@ -1,0 +1,94 @@
+#ifndef WLM_SYSTEMS_RESOURCE_GOVERNOR_H_
+#define WLM_SYSTEMS_RESOURCE_GOVERNOR_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/interfaces.h"
+#include "core/workload_manager.h"
+
+namespace wlm {
+
+/// Facade modeled on Microsoft SQL Server Resource Governor + Query
+/// Governor [50][51]:
+///
+///  - *Resource pools* reserve a MIN share of CPU and cap consumption at a
+///    MAX share. MIN maps onto engine weights (weighted fair sharing
+///    honours reservations under contention); MAX is enforced by a
+///    measuring controller that trims the duty cycle of the pool's
+///    queries when the pool exceeds its cap.
+///  - *Workload groups* bind session requests to a pool with an
+///    importance and an optional per-group concurrency cap.
+///  - *Classification*: a user-written classifier function evaluated per
+///    session assigns the workload group (unmatched requests land in the
+///    `default` group).
+///  - *Query governor cost limit*: rejects queries whose estimated
+///    execution time exceeds the limit (0 = off).
+class ResourceGovernorFacade {
+ public:
+  struct ResourcePool {
+    std::string name;
+    /// Guaranteed CPU fraction (sum over pools <= 1).
+    double min_cpu = 0.0;
+    /// Consumption cap, in [min_cpu, 1].
+    double max_cpu = 1.0;
+    /// Memory reservation/cap as fractions of the engine's work-memory
+    /// pool (0 / 1 = no reservation / no cap).
+    double min_memory = 0.0;
+    double max_memory = 1.0;
+  };
+
+  struct WorkloadGroup {
+    std::string name;
+    std::string pool;
+    BusinessPriority importance = BusinessPriority::kMedium;
+    /// Per-group concurrency cap (0 = unlimited).
+    int group_request_max = 0;
+    std::vector<ServiceLevelObjective> slos;
+  };
+
+  /// The classifier function: returns a workload-group name or nullopt
+  /// (-> "default").
+  using ClassifierFunction =
+      std::function<std::optional<std::string>(const Request&)>;
+
+  explicit ResourceGovernorFacade(WorkloadManager* manager);
+
+  void CreatePool(ResourcePool pool);
+  void CreateWorkloadGroup(WorkloadGroup group);
+  void RegisterClassifierFunction(ClassifierFunction fn);
+  /// 0 disables (the SQL Server default).
+  void set_query_governor_cost_limit(double seconds) {
+    query_governor_cost_limit_ = seconds;
+  }
+
+  /// Wires pools/groups/classifier into the manager. Predefines the
+  /// `default` pool and group, as the product does.
+  Status Build();
+
+  /// "Resource Pool Stats": measured CPU share of a pool over the last
+  /// control interval.
+  double PoolCpuUsage(const std::string& pool) const;
+  const std::map<std::string, ResourcePool>& pools() const { return pools_; }
+
+ private:
+  /// Enforces pool MAX caps by trimming victim duty cycles.
+  class PoolCapController;
+
+  WorkloadManager* manager_;
+  std::map<std::string, ResourcePool> pools_;
+  std::vector<WorkloadGroup> groups_;
+  std::vector<ClassifierFunction> classifier_functions_;
+  double query_governor_cost_limit_ = 0.0;
+  bool built_ = false;
+  PoolCapController* cap_controller_ = nullptr;  // owned by the manager
+  std::unordered_map<std::string, std::string> group_to_pool_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_SYSTEMS_RESOURCE_GOVERNOR_H_

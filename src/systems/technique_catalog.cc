@@ -1,0 +1,80 @@
+#include "systems/technique_catalog.h"
+
+#include "admission/operating_periods.h"
+#include "admission/prediction_admission.h"
+#include "admission/threshold_admission.h"
+#include "autonomic/mape.h"
+#include "characterization/dynamic_classifier.h"
+#include "characterization/static_classifier.h"
+#include "execution/fuzzy_controller.h"
+#include "execution/kill.h"
+#include "execution/priority_aging.h"
+#include "execution/progress_control.h"
+#include "execution/reallocation.h"
+#include "execution/suspend_resume.h"
+#include "execution/throttling.h"
+#include "scheduling/batch_scheduler.h"
+#include "scheduling/mpl_scheduler.h"
+#include "scheduling/queue_schedulers.h"
+#include "scheduling/restructuring.h"
+#include "scheduling/utility_scheduler.h"
+
+namespace wlm {
+
+void RegisterAllTechniques(TaxonomyRegistry* registry) {
+  // Workload characterization.
+  registry->Register(StaticClassifier().info());
+  registry->Register(LearnedRequestClassifier().info());
+
+  // Admission control.
+  registry->Register(QueryCostAdmission(QueryCostAdmission::Config()).info());
+  registry->Register(MplAdmission(MplAdmission::Config()).info());
+  registry->Register(ConflictRatioAdmission().info());
+  registry->Register(ThroughputFeedbackAdmission().info());
+  registry->Register(IndicatorAdmission().info());
+  registry->Register(
+      OperatingPeriodAdmission(OperatingPeriodAdmission::Config()).info());
+  registry->Register(PqrAdmission().info());
+  registry->Register(SimilarityAdmission().info());
+
+  // Scheduling.
+  registry->Register(FifoScheduler().info());
+  registry->Register(PriorityScheduler().info());
+  registry->Register(RankScheduler().info());
+  registry->Register(FeedbackMplScheduler().info());
+  registry->Register(
+      UtilityScheduler(UtilityScheduler::Config()).info());
+  registry->Register(BatchScheduler().info());
+  registry->Register(SlicedQuerySubmitter::Info());
+
+  // Execution control.
+  registry->Register(PriorityAgingController().info());
+  registry->Register(EconomicReallocationController(
+                         EconomicReallocationController::Config())
+                         .info());
+  registry->Register(QueryKillController().info());
+  {
+    QueryKillController::Config resubmit;
+    resubmit.resubmit = true;
+    registry->Register(QueryKillController(resubmit).info());
+  }
+  registry->Register(SuspendResumeController().info());
+  registry->Register(UtilityThrottleController().info());
+  registry->Register(QueryThrottleController().info());
+  {
+    QueryThrottleController::Config blackbox;
+    blackbox.controller = QueryThrottleController::ControllerKind::kBlackBox;
+    registry->Register(QueryThrottleController(blackbox).info());
+  }
+  registry->Register(FuzzyExecutionController().info());
+  registry->Register(
+      ProgressAwareController(2000.0, ProgressAwareController::Config())
+          .info());
+  {
+    SuspendedResumeGate gate;
+    registry->Register(gate.info());
+  }
+  registry->Register(AutonomicController().info());
+}
+
+}  // namespace wlm

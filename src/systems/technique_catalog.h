@@ -1,0 +1,15 @@
+#ifndef WLM_SYSTEMS_TECHNIQUE_CATALOG_H_
+#define WLM_SYSTEMS_TECHNIQUE_CATALOG_H_
+
+#include "core/taxonomy.h"
+
+namespace wlm {
+
+/// Registers every technique implemented in this library into `registry`,
+/// so the full Figure 1 tree can be rendered with live implementations as
+/// leaves. Idempotent.
+void RegisterAllTechniques(TaxonomyRegistry* registry);
+
+}  // namespace wlm
+
+#endif  // WLM_SYSTEMS_TECHNIQUE_CATALOG_H_

@@ -1,0 +1,216 @@
+#include "systems/teradata_asm.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "admission/threshold_admission.h"
+#include "characterization/static_classifier.h"
+#include "common/stats.h"
+
+namespace wlm {
+
+/// Teradata "filters": arrival-time rejection of unwanted logons/queries.
+class TeradataAsmFacade::FilterAdmission : public AdmissionController {
+ public:
+  FilterAdmission(std::vector<ObjectAccessFilter> access,
+                  std::vector<QueryResourceFilter> resource,
+                  int64_t* rejections)
+      : access_(std::move(access)),
+        resource_(std::move(resource)),
+        rejections_(rejections) {}
+
+  Status OnArrival(const Request& request,
+                   const WorkloadManager& manager) override {
+    (void)manager;
+    for (const ObjectAccessFilter& f : access_) {
+      bool app_match =
+          !f.application || request.spec.session.application == *f.application;
+      bool user_match = !f.user || request.spec.session.user == *f.user;
+      if (app_match && user_match && (f.application || f.user)) {
+        ++*rejections_;
+        return Status::Rejected("object access filter");
+      }
+    }
+    for (const QueryResourceFilter& f : resource_) {
+      if (static_cast<double>(request.plan.est_rows) > f.max_est_rows) {
+        ++*rejections_;
+        return Status::Rejected("query accesses too many rows");
+      }
+      if (request.plan.est_elapsed_seconds > f.max_est_seconds) {
+        ++*rejections_;
+        return Status::Rejected("query would take too long");
+      }
+    }
+    return Status::OK();
+  }
+
+  TechniqueInfo info() const override {
+    TechniqueInfo info;
+    info.name = "Teradata filters";
+    info.technique_class = TechniqueClass::kAdmissionControl;
+    info.subclass = TechniqueSubclass::kThresholdBasedAdmission;
+    info.description =
+        "Object access and query resource filters reject unwanted "
+        "logons and queries before execution.";
+    info.source = "Teradata DWM [72]";
+    return info;
+  }
+
+ private:
+  std::vector<ObjectAccessFilter> access_;
+  std::vector<QueryResourceFilter> resource_;
+  int64_t* rejections_;
+};
+
+TeradataAsmFacade::TeradataAsmFacade(WorkloadManager* manager)
+    : manager_(manager) {}
+
+void TeradataAsmFacade::AddObjectAccessFilter(ObjectAccessFilter filter) {
+  access_filters_.push_back(std::move(filter));
+}
+
+void TeradataAsmFacade::AddQueryResourceFilter(QueryResourceFilter filter) {
+  resource_filters_.push_back(filter);
+}
+
+void TeradataAsmFacade::AddThrottle(ObjectThrottle throttle) {
+  throttles_.push_back(std::move(throttle));
+}
+
+void TeradataAsmFacade::AddWorkloadDefinition(WorkloadDefinitionRule rule) {
+  definitions_.push_back(std::move(rule));
+}
+
+Status TeradataAsmFacade::Build() {
+  if (built_) return Status::FailedPrecondition("already built");
+  built_ = true;
+
+  // Workload definitions -> WLM workloads + classifier rules.
+  auto classifier = std::make_unique<StaticClassifier>();
+  MplAdmission::Config mpl_config;
+  bool need_mpl = false;
+  QueryKillController::Config kill_config;
+  bool need_kill = false;
+  PriorityAgingController::Config aging_config;
+  bool need_aging = false;
+
+  for (const WorkloadDefinitionRule& wd : definitions_) {
+    WorkloadDefinition def;
+    def.name = wd.name;
+    def.priority = wd.priority;
+    def.slos = wd.slgs;
+    manager_->DefineWorkload(std::move(def));
+
+    ClassificationRule rule;
+    rule.workload = wd.name;
+    rule.application = wd.application;
+    rule.user = wd.user;
+    rule.client_ip = wd.client_ip;
+    rule.kind = wd.kind;
+    classifier->AddRule(std::move(rule));
+
+    if (wd.concurrency_throttle > 0) {
+      mpl_config.per_workload_mpl[wd.name] = wd.concurrency_throttle;
+      need_mpl = true;
+    }
+    if (wd.exception) {
+      if (wd.exception->action == ExceptionAction::kAbort) {
+        kill_config.max_elapsed_seconds =
+            kill_config.max_elapsed_seconds > 0.0
+                ? std::min(kill_config.max_elapsed_seconds,
+                           wd.exception->max_elapsed_seconds)
+                : wd.exception->max_elapsed_seconds;
+        kill_config.workloads.insert(wd.name);
+        need_kill = true;
+      } else {
+        aging_config.elapsed_threshold_seconds =
+            wd.exception->max_elapsed_seconds;
+        aging_config.workloads.insert(wd.name);
+        need_aging = true;
+      }
+    }
+  }
+  manager_->set_classifier(std::move(classifier));
+
+  // Filters run first.
+  manager_->AddAdmissionController(std::make_unique<FilterAdmission>(
+      access_filters_, resource_filters_, &filter_rejections_));
+
+  // Throttles (concurrency rules).
+  for (const ObjectThrottle& t : throttles_) {
+    if (t.limit <= 0) continue;
+    if (t.workload.empty()) {
+      mpl_config.max_mpl = t.limit;
+    } else {
+      mpl_config.per_workload_mpl[t.workload] = t.limit;
+    }
+    need_mpl = true;
+  }
+  if (need_mpl) {
+    manager_->AddAdmissionController(
+        std::make_unique<MplAdmission>(mpl_config));
+  }
+
+  // Exception handling by the regulator.
+  if (need_kill) {
+    auto killer = std::make_unique<QueryKillController>(kill_config);
+    killer_ = killer.get();
+    manager_->AddExecutionController(std::move(killer));
+  }
+  if (need_aging) {
+    auto aging = std::make_unique<PriorityAgingController>(aging_config);
+    aging_ = aging.get();
+    manager_->AddExecutionController(std::move(aging));
+  }
+  return Status::OK();
+}
+
+std::vector<TeradataAsmFacade::WorkloadRecommendation>
+TeradataAsmFacade::AnalyzeQueryLog(const std::vector<const Request*>& log,
+                                   int64_t min_group_size, double slack) {
+  // Group completed queries by (application, kind) — the analyzer's
+  // "specify dimensions and group queries into candidate workloads".
+  std::map<std::pair<std::string, QueryKind>, std::vector<const Request*>>
+      groups;
+  for (const Request* r : log) {
+    if (r->state != RequestState::kCompleted) continue;
+    groups[{r->spec.session.application, r->spec.kind}].push_back(r);
+  }
+
+  std::vector<WorkloadRecommendation> out;
+  for (const auto& [key, requests] : groups) {
+    if (static_cast<int64_t>(requests.size()) < min_group_size) continue;
+    Percentiles responses;
+    double total_est = 0.0;
+    for (const Request* r : requests) {
+      responses.Add(r->ResponseTime());
+      total_est += r->plan.est_elapsed_seconds;
+    }
+    WorkloadRecommendation rec;
+    rec.sample_queries = static_cast<int64_t>(requests.size());
+    rec.observed_p90_response = responses.Percentile(90);
+    rec.definition.name = key.first + ":" + QueryKindToString(key.second);
+    rec.definition.application = key.first;
+    rec.definition.kind = key.second;
+    // Short, frequent work is presumed revenue-generating (high priority);
+    // long analytical work defaults lower — the DBA refines this.
+    double mean_est = total_est / static_cast<double>(requests.size());
+    rec.definition.priority = mean_est < 1.0 ? BusinessPriority::kHigh
+                                             : BusinessPriority::kLow;
+    rec.definition.slgs.push_back(ServiceLevelObjective::PercentileResponse(
+        90, rec.observed_p90_response * slack));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+int64_t TeradataAsmFacade::exception_aborts() const {
+  return killer_ != nullptr ? killer_->kills() : 0;
+}
+
+int64_t TeradataAsmFacade::exception_demotions() const {
+  return aging_ != nullptr ? aging_->demotions() : 0;
+}
+
+}  // namespace wlm

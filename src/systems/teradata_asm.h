@@ -1,0 +1,115 @@
+#ifndef WLM_SYSTEMS_TERADATA_ASM_H_
+#define WLM_SYSTEMS_TERADATA_ASM_H_
+
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/workload_manager.h"
+#include "execution/kill.h"
+#include "execution/priority_aging.h"
+
+namespace wlm {
+
+/// Facade modeled on Teradata Active System Management [71][72].
+///
+///  - *Filters* reject unwanted work before execution: object access
+///    filters (by origin) and query resource filters (estimated rows /
+///    estimated time too large).
+///  - *Throttles* (concurrency rules) cap active queries per workload or
+///    database-wide; utility throttles cap concurrent utilities.
+///  - *Workload definitions* carry classification criteria ("who" /
+///    "what"), a priority + resource allocation group, a workload
+///    concurrency throttle (excess queries go to the delay queue),
+///    exception criteria with actions (abort / demote), and SLGs.
+///  - The *regulator* is the runtime enforcing all of the above — here,
+///    the WorkloadManager pipeline the Build() call assembles.
+///  - The *workload analyzer* mines the query log (DBQL stand-in: the
+///    manager's completed requests) and recommends workload definitions
+///    with SLGs derived from observed percentiles.
+class TeradataAsmFacade {
+ public:
+  struct ObjectAccessFilter {
+    std::optional<std::string> application;
+    std::optional<std::string> user;
+  };
+  struct QueryResourceFilter {
+    double max_est_rows = std::numeric_limits<double>::infinity();
+    double max_est_seconds = std::numeric_limits<double>::infinity();
+  };
+  struct ObjectThrottle {
+    /// Empty workload = database-wide cap.
+    std::string workload;
+    int limit = 0;
+  };
+
+  enum class ExceptionAction { kAbort, kDemote };
+  struct ExceptionRule {
+    /// Triggers when a query of the workload runs past this.
+    double max_elapsed_seconds = 0.0;
+    ExceptionAction action = ExceptionAction::kAbort;
+  };
+
+  struct WorkloadDefinitionRule {
+    std::string name;
+    // "who"
+    std::optional<std::string> application;
+    std::optional<std::string> user;
+    std::optional<std::string> client_ip;
+    // "what"
+    std::optional<QueryKind> kind;
+    double max_est_seconds = std::numeric_limits<double>::infinity();
+    // behaviour
+    BusinessPriority priority = BusinessPriority::kMedium;
+    int concurrency_throttle = 0;  // 0 = unlimited
+    std::optional<ExceptionRule> exception;
+    std::vector<ServiceLevelObjective> slgs;
+  };
+
+  /// Analyzer recommendation: a candidate workload definition plus the
+  /// observed stats it was derived from.
+  struct WorkloadRecommendation {
+    WorkloadDefinitionRule definition;
+    int64_t sample_queries = 0;
+    double observed_p90_response = 0.0;
+  };
+
+  explicit TeradataAsmFacade(WorkloadManager* manager);
+
+  void AddObjectAccessFilter(ObjectAccessFilter filter);
+  void AddQueryResourceFilter(QueryResourceFilter filter);
+  void AddThrottle(ObjectThrottle throttle);
+  void AddWorkloadDefinition(WorkloadDefinitionRule rule);
+
+  /// Assembles the regulator pipeline. Call once.
+  Status Build();
+
+  /// Teradata Workload Analyzer: groups a query log by (application,
+  /// kind) and recommends one workload definition per group, with an SLG
+  /// at the observed p90 response (padded by `slack`).
+  static std::vector<WorkloadRecommendation> AnalyzeQueryLog(
+      const std::vector<const Request*>& log, int64_t min_group_size = 10,
+      double slack = 1.25);
+
+  int64_t filter_rejections() const { return filter_rejections_; }
+  int64_t exception_aborts() const;
+  int64_t exception_demotions() const;
+
+ private:
+  class FilterAdmission;
+
+  WorkloadManager* manager_;
+  std::vector<ObjectAccessFilter> access_filters_;
+  std::vector<QueryResourceFilter> resource_filters_;
+  std::vector<ObjectThrottle> throttles_;
+  std::vector<WorkloadDefinitionRule> definitions_;
+  bool built_ = false;
+  int64_t filter_rejections_ = 0;
+  const QueryKillController* killer_ = nullptr;
+  const PriorityAgingController* aging_ = nullptr;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_SYSTEMS_TERADATA_ASM_H_

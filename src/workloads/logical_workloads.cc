@@ -1,0 +1,237 @@
+#include "workloads/logical_workloads.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wlm {
+
+AnalyticalWorkload::AnalyticalWorkload(const Catalog* catalog,
+                                       CostModel cost_model, uint64_t seed,
+                                       QueryId first_id)
+    : catalog_(catalog),
+      cost_(cost_model),
+      rng_(seed),
+      next_id_(first_id),
+      templates_(DefaultTemplates()) {}
+
+std::vector<AnalyticalTemplate> AnalyticalWorkload::DefaultTemplates() {
+  return {
+      // Q1-flavoured: full scan + heavy aggregation.
+      {"pricing_summary", {"lineitem"}, 0.9, 1.0, 1'500'000},
+      // Q3/Q4-flavoured: selective join across the order path.
+      {"order_priority", {"lineitem", "orders", "customer"}, 0.02, 0.1,
+       10'000},
+      // Q8-flavoured: wide join touching most of the schema.
+      {"market_share",
+       {"lineitem", "orders", "customer", "part", "supplier"},
+       0.005, 0.05, 50'000},
+      // Small lookup-style report.
+      {"supplier_report", {"partsupp", "supplier"}, 0.01, 0.05, 500},
+  };
+}
+
+QuerySpec AnalyticalWorkload::Next() {
+  assert(!templates_.empty());
+  const AnalyticalTemplate& tmpl = templates_[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(templates_.size()) - 1))];
+  return Instantiate(tmpl);
+}
+
+QuerySpec AnalyticalWorkload::Instantiate(const AnalyticalTemplate& tmpl) {
+  QuerySpec spec;
+  spec.id = next_id_++;
+  spec.kind = QueryKind::kBiQuery;
+  spec.stmt = StatementType::kRead;
+  spec.session.application = "reporting";
+  spec.session.user = "analyst";
+  spec.session.client_ip = "10.0.0.2";
+  spec.sql_digest = tmpl.name;
+
+  double selectivity =
+      rng_.Uniform(tmpl.min_selectivity, tmpl.max_selectivity);
+
+  double io_ops = 0.0;
+  double cpu_seconds = 0.0;
+  double memory_mb = 16.0;
+  int64_t surviving_rows = 0;
+  for (size_t i = 0; i < tmpl.tables.size(); ++i) {
+    Result<TableSpec> table = catalog_->Lookup(tmpl.tables[i]);
+    assert(table.ok());
+    if (i == 0) {
+      // Probe side: sequential scan of the whole table, filter applies.
+      io_ops += static_cast<double>(table->pages) * cost_.io_ops_per_page;
+      cpu_seconds += static_cast<double>(table->rows) / 1e6 *
+                     cost_.cpu_seconds_per_mrow;
+      surviving_rows = static_cast<int64_t>(
+          std::llround(static_cast<double>(table->rows) * selectivity));
+    } else {
+      // Join side: scan it too (hash build) plus probe CPU.
+      io_ops += static_cast<double>(table->pages) * cost_.io_ops_per_page;
+      double build_mrows = static_cast<double>(table->rows) / 1e6;
+      cpu_seconds += build_mrows * cost_.cpu_seconds_per_mrow;
+      cpu_seconds += static_cast<double>(surviving_rows) / 1e6 *
+                     cost_.cpu_seconds_per_mrow;
+      memory_mb += build_mrows * cost_.join_mb_per_mrow;
+      // Each join narrows the stream a bit.
+      surviving_rows = std::max<int64_t>(1, surviving_rows / 2);
+    }
+  }
+  // Final aggregation.
+  cpu_seconds += static_cast<double>(surviving_rows) / 1e6 *
+                 cost_.cpu_seconds_per_mrow;
+  spec.result_rows =
+      std::max<int64_t>(1, surviving_rows / std::max<int64_t>(
+                                                1, tmpl.rows_per_group));
+  spec.cpu_seconds = std::max(0.01, cpu_seconds);
+  spec.io_ops = std::max(1.0, io_ops);
+  spec.memory_mb = memory_mb;
+  return spec;
+}
+
+TransactionalWorkload::TransactionalWorkload(const Catalog* catalog,
+                                             int warehouses, uint64_t seed,
+                                             QueryId first_id)
+    : catalog_(catalog),
+      warehouses_(warehouses),
+      rng_(seed),
+      next_id_(first_id) {
+  assert(warehouses_ > 0);
+  (void)catalog_;
+}
+
+const char* TransactionalWorkload::TxnTypeName(TxnType type) {
+  switch (type) {
+    case TxnType::kNewOrder:
+      return "NewOrder";
+    case TxnType::kPayment:
+      return "Payment";
+    case TxnType::kOrderStatus:
+      return "OrderStatus";
+    case TxnType::kDelivery:
+      return "Delivery";
+    case TxnType::kStockLevel:
+      return "StockLevel";
+  }
+  return "?";
+}
+
+LockKey TransactionalWorkload::KeyFor(int table_code, int64_t row) const {
+  return (static_cast<LockKey>(table_code) << 48) |
+         static_cast<LockKey>(row & 0xFFFFFFFFFFFFULL);
+}
+
+QuerySpec TransactionalWorkload::Next() {
+  // Standard TPC-C mix: 45/43/4/4/4.
+  double draw = rng_.Uniform01();
+  TxnType type;
+  if (draw < 0.45) {
+    type = TxnType::kNewOrder;
+  } else if (draw < 0.88) {
+    type = TxnType::kPayment;
+  } else if (draw < 0.92) {
+    type = TxnType::kOrderStatus;
+  } else if (draw < 0.96) {
+    type = TxnType::kDelivery;
+  } else {
+    type = TxnType::kStockLevel;
+  }
+  return Make(type);
+}
+
+QuerySpec TransactionalWorkload::Make(TxnType type) {
+  QuerySpec spec;
+  spec.id = next_id_++;
+  spec.kind = QueryKind::kOltpTransaction;
+  spec.session.application = "pos-system";
+  spec.session.user = "terminal";
+  spec.session.client_ip = "10.0.0.1";
+  spec.sql_digest = TxnTypeName(type);
+
+  int64_t w = rng_.UniformInt(0, warehouses_ - 1);
+  int64_t d = rng_.UniformInt(0, 9);
+  constexpr int kWarehouse = 1, kDistrict = 2, kCustomer = 3, kStock = 4,
+                kOrders = 5;
+
+  switch (type) {
+    case TxnType::kNewOrder: {
+      spec.stmt = StatementType::kDml;
+      spec.cpu_seconds = 0.004;
+      spec.io_ops = 12.0;
+      spec.memory_mb = 1.0;
+      spec.result_rows = 1;
+      // District next-order-id row is the classic hot spot: exclusive.
+      spec.locks.push_back({KeyFor(kDistrict, w * 10 + d), true});
+      // 5-15 stock rows, shared warehouse row.
+      spec.locks.push_back({KeyFor(kWarehouse, w), false});
+      int items = static_cast<int>(rng_.UniformInt(5, 15));
+      for (int i = 0; i < items; ++i) {
+        int64_t stock_row = w * 100'000 + rng_.Zipf(100'000, 0.6);
+        spec.locks.push_back({KeyFor(kStock, stock_row), true});
+      }
+      spec.io_ops += items;
+      break;
+    }
+    case TxnType::kPayment: {
+      spec.stmt = StatementType::kDml;
+      spec.cpu_seconds = 0.003;
+      spec.io_ops = 8.0;
+      spec.memory_mb = 1.0;
+      spec.result_rows = 1;
+      // Warehouse YTD update: the benchmark's other famous hot row.
+      spec.locks.push_back({KeyFor(kWarehouse, w), true});
+      spec.locks.push_back({KeyFor(kDistrict, w * 10 + d), true});
+      spec.locks.push_back(
+          {KeyFor(kCustomer, w * 30'000 + rng_.UniformInt(0, 29'999)),
+           true});
+      break;
+    }
+    case TxnType::kOrderStatus: {
+      spec.stmt = StatementType::kRead;
+      spec.cpu_seconds = 0.002;
+      spec.io_ops = 6.0;
+      spec.memory_mb = 1.0;
+      spec.result_rows = 15;
+      spec.locks.push_back(
+          {KeyFor(kCustomer, w * 30'000 + rng_.UniformInt(0, 29'999)),
+           false});
+      break;
+    }
+    case TxnType::kDelivery: {
+      spec.stmt = StatementType::kDml;
+      spec.cpu_seconds = 0.010;
+      spec.io_ops = 40.0;
+      spec.memory_mb = 2.0;
+      spec.result_rows = 10;
+      // Touches all 10 districts of the warehouse.
+      for (int64_t district = 0; district < 10; ++district) {
+        spec.locks.push_back(
+            {KeyFor(kOrders, w * 10 + district), true});
+      }
+      break;
+    }
+    case TxnType::kStockLevel: {
+      spec.stmt = StatementType::kRead;
+      spec.cpu_seconds = 0.008;
+      spec.io_ops = 60.0;
+      spec.memory_mb = 2.0;
+      spec.result_rows = 100;
+      spec.locks.push_back({KeyFor(kDistrict, w * 10 + d), false});
+      break;
+    }
+  }
+  // Keys in deterministic sorted order (index-ordered access).
+  std::sort(spec.locks.begin(), spec.locks.end(),
+            [](const LockRequest& a, const LockRequest& b) {
+              return a.key < b.key;
+            });
+  spec.locks.erase(
+      std::unique(spec.locks.begin(), spec.locks.end(),
+                  [](const LockRequest& a, const LockRequest& b) {
+                    return a.key == b.key;
+                  }),
+      spec.locks.end());
+  return spec;
+}
+
+}  // namespace wlm

@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "characterization/dynamic_classifier.h"
+#include "characterization/features.h"
+#include "characterization/static_classifier.h"
+#include "tests/wlm_test_util.h"
+#include "workloads/generators.h"
+
+namespace wlm {
+namespace {
+
+Request MakeRequest(const QuerySpec& spec, const Optimizer& optimizer) {
+  Request r;
+  r.spec = spec;
+  r.plan = optimizer.BuildPlan(spec);
+  return r;
+}
+
+// ------------------------------------------------------------- Features
+
+TEST(FeaturesTest, VectorMatchesNames) {
+  Optimizer optimizer;
+  QuerySpec spec = BiSpec(1);
+  Plan plan = optimizer.BuildPlan(spec);
+  EXPECT_EQ(PreExecutionFeatures(spec, plan).size(),
+            PreExecutionFeatureNames().size());
+}
+
+TEST(FeaturesTest, KindOneHotExclusive) {
+  Optimizer optimizer;
+  QuerySpec bi = BiSpec(1);
+  Plan plan = optimizer.BuildPlan(bi);
+  auto f = PreExecutionFeatures(bi, plan);
+  // is_oltp + is_bi + is_utility fields occupy indices 5..7.
+  EXPECT_DOUBLE_EQ(f[5] + f[6] + f[7], 1.0);
+  EXPECT_DOUBLE_EQ(f[6], 1.0);
+}
+
+TEST(FeaturesTest, WindowFeaturesAggregate) {
+  Optimizer optimizer;
+  std::vector<QuerySpec> specs = {OltpSpec(1), OltpSpec(2)};
+  specs[0].stmt = StatementType::kDml;
+  specs[1].stmt = StatementType::kRead;
+  std::vector<Plan> plans;
+  for (const auto& s : specs) plans.push_back(optimizer.BuildPlan(s));
+  std::vector<const Plan*> plan_ptrs{&plans[0], &plans[1]};
+  std::vector<const QuerySpec*> spec_ptrs{&specs[0], &specs[1]};
+  WorkloadWindowFeatures f =
+      ComputeWindowFeatures(plan_ptrs, spec_ptrs, 10.0);
+  EXPECT_DOUBLE_EQ(f.write_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(f.arrival_rate, 0.2);
+  EXPECT_GT(f.mean_est_cpu_seconds, 0.0);
+}
+
+TEST(FeaturesTest, EmptyWindowIsZero) {
+  WorkloadWindowFeatures f = ComputeWindowFeatures({}, {}, 10.0);
+  EXPECT_DOUBLE_EQ(f.arrival_rate, 0.0);
+  EXPECT_DOUBLE_EQ(f.write_fraction, 0.0);
+}
+
+// ------------------------------------------------------ StaticClassifier
+
+TEST(StaticClassifierTest, RuleMatchesByOrigin) {
+  TestRig rig;
+  WorkloadDefinition wl;
+  wl.name = "oltp";
+  rig.wlm.DefineWorkload(wl);
+  StaticClassifier classifier;
+  ClassificationRule rule;
+  rule.workload = "oltp";
+  rule.application = "pos-system";
+  rule.user = "cashier";
+  classifier.AddRule(rule);
+
+  Request match = MakeRequest(OltpSpec(1), rig.engine.optimizer());
+  Request miss = MakeRequest(BiSpec(2), rig.engine.optimizer());
+  EXPECT_EQ(classifier.Classify(match, rig.wlm), "oltp");
+  EXPECT_EQ(classifier.Classify(miss, rig.wlm), "default");
+}
+
+TEST(StaticClassifierTest, RuleMatchesByTypeAndCost) {
+  TestRig rig;
+  StaticClassifier classifier;
+  ClassificationRule big;
+  big.workload = "big-queries";
+  big.min_est_timerons = 1000.0;
+  classifier.AddRule(big);
+
+  Request small = MakeRequest(OltpSpec(1), rig.engine.optimizer());
+  Request large = MakeRequest(BiSpec(2, 10.0, 5000.0), rig.engine.optimizer());
+  EXPECT_EQ(classifier.Classify(large, rig.wlm), "big-queries");
+  EXPECT_EQ(classifier.Classify(small, rig.wlm), "default");
+}
+
+TEST(StaticClassifierTest, FirstMatchingRuleWins) {
+  TestRig rig;
+  StaticClassifier classifier;
+  ClassificationRule first;
+  first.workload = "first";
+  first.kind = QueryKind::kBiQuery;
+  ClassificationRule second;
+  second.workload = "second";  // also matches BI, but later
+  classifier.AddRule(first);
+  classifier.AddRule(second);
+  Request r = MakeRequest(BiSpec(1), rig.engine.optimizer());
+  EXPECT_EQ(classifier.Classify(r, rig.wlm), "first");
+}
+
+TEST(StaticClassifierTest, CriteriaFunctionPrecedesRules) {
+  TestRig rig;
+  StaticClassifier classifier;
+  ClassificationRule rule;
+  rule.workload = "by-rule";
+  classifier.AddRule(rule);
+  classifier.AddCriteriaFunction([](const Request& r) {
+    if (r.spec.session.user == "ceo") {
+      return std::optional<std::string>("vip");
+    }
+    return std::optional<std::string>();
+  });
+  QuerySpec vip = BiSpec(1);
+  vip.session.user = "ceo";
+  EXPECT_EQ(classifier.Classify(MakeRequest(vip, rig.engine.optimizer()),
+                                rig.wlm),
+            "vip");
+  EXPECT_EQ(classifier.Classify(MakeRequest(BiSpec(2), rig.engine.optimizer()),
+                                rig.wlm),
+            "by-rule");
+}
+
+TEST(StaticClassifierTest, StatementTypeRule) {
+  TestRig rig;
+  StaticClassifier classifier;
+  ClassificationRule writes;
+  writes.workload = "writes";
+  writes.stmt = StatementType::kDml;
+  classifier.AddRule(writes);
+  Request dml = MakeRequest(OltpSpec(1), rig.engine.optimizer());
+  EXPECT_EQ(classifier.Classify(dml, rig.wlm), "writes");
+}
+
+// ------------------------------------------------ WorkloadTypeClassifier
+
+WorkloadWindowFeatures OltpWindow(Rng* rng) {
+  WorkloadWindowFeatures f;
+  f.mean_est_cpu_seconds = rng->Uniform(0.002, 0.02);
+  f.mean_est_io_ops = rng->Uniform(3, 20);
+  f.mean_est_rows = rng->Uniform(1, 30);
+  f.write_fraction = rng->Uniform(0.5, 0.9);
+  f.arrival_rate = rng->Uniform(20, 200);
+  return f;
+}
+
+WorkloadWindowFeatures OlapWindow(Rng* rng) {
+  WorkloadWindowFeatures f;
+  f.mean_est_cpu_seconds = rng->Uniform(1.0, 50.0);
+  f.mean_est_io_ops = rng->Uniform(500, 50000);
+  f.mean_est_rows = rng->Uniform(1000, 1e6);
+  f.write_fraction = rng->Uniform(0.0, 0.1);
+  f.arrival_rate = rng->Uniform(0.01, 2.0);
+  return f;
+}
+
+TEST(WorkloadTypeClassifierTest, RequiresBothClasses) {
+  WorkloadTypeClassifier classifier;
+  Rng rng(1);
+  classifier.AddTrainingWindow(OltpWindow(&rng), WorkloadType::kOltp);
+  EXPECT_EQ(classifier.Train().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WorkloadTypeClassifierTest, IdentifiesWorkloadTypes) {
+  WorkloadTypeClassifier classifier;
+  Rng rng(2);
+  for (int i = 0; i < 40; ++i) {
+    classifier.AddTrainingWindow(OltpWindow(&rng), WorkloadType::kOltp);
+    classifier.AddTrainingWindow(OlapWindow(&rng), WorkloadType::kOlap);
+  }
+  ASSERT_TRUE(classifier.Train().ok());
+
+  std::vector<WorkloadWindowFeatures> test_windows;
+  std::vector<WorkloadType> labels;
+  for (int i = 0; i < 20; ++i) {
+    test_windows.push_back(OltpWindow(&rng));
+    labels.push_back(WorkloadType::kOltp);
+    test_windows.push_back(OlapWindow(&rng));
+    labels.push_back(WorkloadType::kOlap);
+  }
+  EXPECT_GT(classifier.Accuracy(test_windows, labels), 0.9);
+}
+
+TEST(WorkloadTypeClassifierTest, OlapProbabilityOrdersCorrectly) {
+  WorkloadTypeClassifier classifier;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    classifier.AddTrainingWindow(OltpWindow(&rng), WorkloadType::kOltp);
+    classifier.AddTrainingWindow(OlapWindow(&rng), WorkloadType::kOlap);
+  }
+  ASSERT_TRUE(classifier.Train().ok());
+  auto p_olap = classifier.OlapProbability(OlapWindow(&rng));
+  auto p_oltp = classifier.OlapProbability(OltpWindow(&rng));
+  ASSERT_TRUE(p_olap.ok());
+  ASSERT_TRUE(p_oltp.ok());
+  EXPECT_GT(*p_olap, *p_oltp);
+}
+
+TEST(WorkloadTypeClassifierTest, UntrainedClassifyFails) {
+  WorkloadTypeClassifier classifier;
+  Rng rng(4);
+  EXPECT_FALSE(classifier.Classify(OltpWindow(&rng)).ok());
+}
+
+// --------------------------------------------- LearnedRequestClassifier
+
+TEST(LearnedRequestClassifierTest, RoutesByLearnedBoundary) {
+  TestRig rig;
+  WorkloadDefinition oltp;
+  oltp.name = "oltp";
+  rig.wlm.DefineWorkload(oltp);
+  WorkloadDefinition bi;
+  bi.name = "bi";
+  rig.wlm.DefineWorkload(bi);
+
+  auto classifier = std::make_unique<LearnedRequestClassifier>();
+  WorkloadGenerator gen(42);
+  OltpWorkloadConfig oltp_config;
+  BiWorkloadConfig bi_config;
+  for (int i = 0; i < 100; ++i) {
+    QuerySpec txn = gen.NextOltp(oltp_config);
+    classifier->AddExample(txn, rig.engine.optimizer().BuildPlan(txn), "oltp");
+    QuerySpec query = gen.NextBi(bi_config);
+    classifier->AddExample(query, rig.engine.optimizer().BuildPlan(query),
+                           "bi");
+  }
+  ASSERT_TRUE(classifier->Train().ok());
+  EXPECT_TRUE(classifier->trained());
+
+  // Classify fresh requests.
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    Request txn = MakeRequest(gen.NextOltp(oltp_config),
+                              rig.engine.optimizer());
+    Request query = MakeRequest(gen.NextBi(bi_config),
+                                rig.engine.optimizer());
+    if (classifier->Classify(txn, rig.wlm) == "oltp") ++correct;
+    if (classifier->Classify(query, rig.wlm) == "bi") ++correct;
+  }
+  EXPECT_GE(correct, 38);  // 95%+
+}
+
+TEST(LearnedRequestClassifierTest, UntrainedFallsBackToDefault) {
+  TestRig rig;
+  LearnedRequestClassifier classifier;
+  Request r = MakeRequest(BiSpec(1), rig.engine.optimizer());
+  EXPECT_EQ(classifier.Classify(r, rig.wlm), "default");
+  EXPECT_EQ(classifier.Train().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace wlm

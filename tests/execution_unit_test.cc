@@ -1,0 +1,170 @@
+// Direct unit tests of QueryExecution's advance/throttle/suspend state
+// machine, independent of the engine's tick loop.
+
+#include <gtest/gtest.h>
+
+#include "engine/execution.h"
+#include "engine/optimizer.h"
+
+namespace wlm {
+namespace {
+
+Plan TwoOpPlan() {
+  Plan plan;
+  PlanOperator scan;
+  scan.type = OperatorType::kTableScan;
+  scan.cpu_seconds = 1.0;
+  scan.io_ops = 100.0;
+  scan.max_state_mb = 10.0;
+  scan.checkpoint_fraction = 0.25;
+  PlanOperator join;
+  join.type = OperatorType::kHashJoin;
+  join.cpu_seconds = 2.0;
+  join.io_ops = 50.0;
+  join.max_state_mb = 100.0;
+  join.checkpoint_fraction = 0.5;
+  plan.operators = {scan, join};
+  return plan;
+}
+
+QuerySpec SpecFor(const Plan& plan) {
+  QuerySpec spec;
+  spec.id = 1;
+  spec.cpu_seconds = plan.TotalCpu();
+  spec.io_ops = plan.TotalIo();
+  spec.memory_mb = 128.0;
+  spec.result_rows = 100;
+  return spec;
+}
+
+QueryExecution MakeExec(const Plan& plan) {
+  QueryExecution exec(SpecFor(plan), plan, ExecutionContext{}, 0.0, 1000.0);
+  exec.StartRunning(0.0, /*spill=*/1.0, /*hit=*/0.0, /*granted=*/128.0);
+  return exec;
+}
+
+TEST(QueryExecutionTest, OperatorsAdvanceSequentially) {
+  Plan plan = TwoOpPlan();
+  QueryExecution exec = MakeExec(plan);
+  // Grants larger than op 1's cpu do not leak into op 2 while op 1's io
+  // is unfinished.
+  EXPECT_FALSE(exec.Advance(/*cpu=*/1.5, /*io=*/0.0));
+  EXPECT_NEAR(exec.cpu_used(), 1.0, 1e-12);  // only op 1's cpu consumed
+  EXPECT_NEAR(exec.RemainingCpu(), 2.0, 1e-12);
+  // Finish op 1's io: excess grant flows into op 2 within the same call.
+  EXPECT_FALSE(exec.Advance(0.5, 120.0));
+  EXPECT_NEAR(exec.cpu_used(), 1.5, 1e-12);
+  EXPECT_NEAR(exec.io_used(), 120.0, 1e-12);
+  // Finish everything.
+  EXPECT_TRUE(exec.Advance(1.5, 30.0));
+  EXPECT_NEAR(exec.FractionDone(), 1.0, 1e-12);
+}
+
+TEST(QueryExecutionTest, DemandsCappedByDopAndDuty) {
+  Plan plan = TwoOpPlan();
+  QuerySpec spec = SpecFor(plan);
+  spec.dop = 2;
+  QueryExecution exec(spec, plan, ExecutionContext{}, 0.0, 1000.0);
+  exec.StartRunning(0.0, 1.0, 0.0, 128.0);
+  EXPECT_DOUBLE_EQ(exec.CpuDemand(0.1), 0.2);         // dop 2 * dt
+  EXPECT_DOUBLE_EQ(exec.IoDemand(0.1, 1000.0), 100.0);  // device rate * dt
+  exec.set_duty(0.5);
+  EXPECT_DOUBLE_EQ(exec.CpuDemand(0.1), 0.1);
+  EXPECT_DOUBLE_EQ(exec.IoDemand(0.1, 1000.0), 50.0);
+  // Demand never exceeds remaining work.
+  exec.set_duty(1.0);
+  EXPECT_DOUBLE_EQ(exec.CpuDemand(100.0), 3.0);
+}
+
+TEST(QueryExecutionTest, FractionDoneMonotone) {
+  Plan plan = TwoOpPlan();
+  QueryExecution exec = MakeExec(plan);
+  double last = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    exec.Advance(0.1, 5.0);
+    double f = exec.FractionDone();
+    EXPECT_GE(f, last - 1e-12);
+    last = f;
+  }
+}
+
+TEST(QueryExecutionTest, SleepBlocksDemandUntilWake) {
+  Plan plan = TwoOpPlan();
+  QueryExecution exec = MakeExec(plan);
+  exec.SleepUntil(5.0);
+  EXPECT_TRUE(exec.IsSleeping(1.0));
+  EXPECT_DOUBLE_EQ(exec.CpuDemand(0.1), 0.0);
+  EXPECT_DOUBLE_EQ(exec.IoDemand(0.1, 1000.0), 0.0);
+  exec.MaybeWake(4.0);
+  EXPECT_TRUE(exec.IsSleeping(4.0));  // not yet
+  exec.MaybeWake(5.0);
+  EXPECT_FALSE(exec.IsSleeping(5.0));
+  EXPECT_GT(exec.CpuDemand(0.1), 0.0);
+}
+
+TEST(QueryExecutionTest, SpillInflatesOnlyIo) {
+  Plan plan = TwoOpPlan();
+  QueryExecution exec(SpecFor(plan), plan, ExecutionContext{}, 0.0, 1000.0);
+  exec.StartRunning(0.0, /*spill=*/2.0, 0.0, 0.0);
+  EXPECT_NEAR(exec.RemainingCpu(), 3.0, 1e-12);
+  EXPECT_NEAR(exec.RemainingIo(), 300.0, 1e-12);  // 150 * 2
+}
+
+TEST(QueryExecutionTest, BufferHitsDeflateIo) {
+  Plan plan = TwoOpPlan();
+  QueryExecution exec(SpecFor(plan), plan, ExecutionContext{}, 0.0, 1000.0);
+  exec.StartRunning(0.0, 1.0, /*hit=*/0.5, 0.0);
+  EXPECT_NEAR(exec.RemainingIo(), 75.0, 1e-12);  // 150 * 0.5
+  EXPECT_DOUBLE_EQ(exec.buffer_hit_ratio(), 0.5);
+}
+
+TEST(QueryExecutionTest, CurrentStateGrowsWithOperatorProgress) {
+  Plan plan = TwoOpPlan();
+  QueryExecution exec = MakeExec(plan);
+  // Mid-scan: some of the scan's 10MB state.
+  exec.Advance(0.5, 50.0);
+  double mid_scan = exec.CurrentStateMb();
+  EXPECT_GT(mid_scan, 0.0);
+  EXPECT_LT(mid_scan, 10.0);
+  // Finish scan, advance into the join: join state dwarfs scan state.
+  exec.Advance(1.5, 75.0);
+  double mid_join = exec.CurrentStateMb();
+  EXPECT_GT(mid_join, mid_scan);
+}
+
+TEST(QueryExecutionTest, SuspendErrorsAfterFinish) {
+  Plan plan = TwoOpPlan();
+  QueryExecution exec = MakeExec(plan);
+  exec.Advance(10.0, 1000.0);
+  exec.MarkFinished();
+  SuspendedQuery bundle;
+  EXPECT_EQ(exec.BeginSuspend(SuspendStrategy::kGoBack, 1.0, 10.0, &bundle)
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryExecutionTest, SuspendFromSleepCarriesOperatorState) {
+  Plan plan = TwoOpPlan();
+  QueryExecution exec = MakeExec(plan);
+  exec.Advance(1.0, 100.0);  // scan done
+  exec.Advance(1.0, 25.0);   // join half done
+  exec.SleepUntil(100.0);    // interrupt-throttled
+  SuspendedQuery bundle;
+  ASSERT_TRUE(exec.BeginSuspend(SuspendStrategy::kDumpState, 1.0, 10.0,
+                                &bundle).ok());
+  // The sleeping join's in-memory state is persisted.
+  EXPECT_GT(bundle.saved_state_mb, 10.0);
+  ASSERT_EQ(bundle.remaining_ops.size(), 1u);
+  EXPECT_NEAR(bundle.remaining_ops[0].cpu_seconds, 1.0, 1e-9);
+}
+
+TEST(QueryExecutionTest, RowsEmittedTracksFraction) {
+  Plan plan = TwoOpPlan();
+  QueryExecution exec = MakeExec(plan);
+  EXPECT_EQ(exec.Snapshot(0.0).rows_emitted, 0);
+  exec.Advance(3.0, 150.0);
+  EXPECT_EQ(exec.Snapshot(1.0).rows_emitted, 100);
+}
+
+}  // namespace
+}  // namespace wlm

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+
+namespace wlm {
+namespace {
+
+// Synthetic problems with known structure.
+
+Dataset MakeAxisAlignedClasses(int n, uint64_t seed) {
+  // Class 1 iff x0 > 5 (x1 is noise).
+  Dataset data({"x0", "x1"});
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    double x0 = rng.Uniform(0.0, 10.0);
+    double x1 = rng.Uniform(0.0, 10.0);
+    data.Add({x0, x1}, x0 > 5.0 ? 1.0 : 0.0);
+  }
+  return data;
+}
+
+Dataset MakeLinearRegression(int n, uint64_t seed, double noise = 0.0) {
+  // y = 3*x0 - 2*x1 + 5
+  Dataset data({"x0", "x1"});
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    double x0 = rng.Uniform(-5.0, 5.0);
+    double x1 = rng.Uniform(-5.0, 5.0);
+    double y = 3.0 * x0 - 2.0 * x1 + 5.0 + rng.Normal(0.0, noise);
+    data.Add({x0, x1}, y);
+  }
+  return data;
+}
+
+// -------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset data({"a", "b"});
+  data.Add({1.0, 2.0}, 3.0);
+  data.Add({4.0, 5.0}, 6.0);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(data.row(1)[0], 4.0);
+  EXPECT_DOUBLE_EQ(data.target(0), 3.0);
+}
+
+TEST(DatasetTest, NormalizationMoments) {
+  Dataset data({"a"});
+  for (double v : {2.0, 4.0, 6.0, 8.0}) data.Add({v}, 0.0);
+  std::vector<double> means, stddevs;
+  data.ComputeNormalization(&means, &stddevs);
+  EXPECT_DOUBLE_EQ(means[0], 5.0);
+  EXPECT_NEAR(stddevs[0], std::sqrt(5.0), 1e-9);
+}
+
+TEST(DatasetTest, ConstantFeatureGetsUnitStddev) {
+  Dataset data({"a"});
+  data.Add({7.0}, 0.0);
+  data.Add({7.0}, 1.0);
+  std::vector<double> means, stddevs;
+  data.ComputeNormalization(&means, &stddevs);
+  EXPECT_DOUBLE_EQ(stddevs[0], 1.0);  // avoids division by zero
+}
+
+TEST(DatasetTest, SplitPartitionsAllRows) {
+  Dataset data = MakeAxisAlignedClasses(100, 1);
+  Rng rng(2);
+  auto [train, test] = data.Split(0.7, &rng);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  EXPECT_EQ(train.num_features(), 2u);
+}
+
+TEST(DatasetTest, SplitIsDeterministic) {
+  Dataset data = MakeAxisAlignedClasses(50, 1);
+  Rng rng_a(7), rng_b(7);
+  auto [train_a, test_a] = data.Split(0.5, &rng_a);
+  auto [train_b, test_b] = data.Split(0.5, &rng_b);
+  ASSERT_EQ(train_a.size(), train_b.size());
+  for (size_t i = 0; i < train_a.size(); ++i) {
+    EXPECT_EQ(train_a.row(i), train_b.row(i));
+  }
+}
+
+// --------------------------------------------------------- DecisionTree
+
+TEST(DecisionTreeTest, LearnsAxisAlignedBoundary) {
+  Dataset train = MakeAxisAlignedClasses(500, 3);
+  DecisionTree tree;
+  tree.Fit(train);
+  ASSERT_TRUE(tree.fitted());
+  Dataset test = MakeAxisAlignedClasses(200, 4);
+  int correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (tree.Predict(test.row(i)) == test.target(i)) ++correct;
+  }
+  EXPECT_GT(correct, 190);  // > 95% on a trivially separable problem
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  DecisionTreeConfig config;
+  config.max_depth = 2;
+  DecisionTree tree(config);
+  tree.Fit(MakeAxisAlignedClasses(500, 3));
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, PureNodeStopsSplitting) {
+  Dataset data({"x"});
+  for (int i = 0; i < 50; ++i) data.Add({static_cast<double>(i)}, 1.0);
+  DecisionTree tree;
+  tree.Fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);  // all same label: single leaf
+  EXPECT_DOUBLE_EQ(tree.Predict({3.0}), 1.0);
+}
+
+TEST(DecisionTreeTest, RegressionApproximatesStepFunction) {
+  Dataset data({"x"});
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    double x = rng.Uniform(0.0, 10.0);
+    data.Add({x}, x < 5.0 ? 10.0 : 50.0);
+  }
+  DecisionTreeConfig config;
+  config.regression = true;
+  DecisionTree tree(config);
+  tree.Fit(data);
+  EXPECT_NEAR(tree.Predict({2.0}), 10.0, 1.0);
+  EXPECT_NEAR(tree.Predict({8.0}), 50.0, 1.0);
+}
+
+TEST(DecisionTreeTest, MinSamplesLeafHonored) {
+  DecisionTreeConfig config;
+  config.min_samples_leaf = 40;
+  DecisionTree tree(config);
+  Dataset data = MakeAxisAlignedClasses(100, 9);
+  tree.Fit(data);
+  // At most 100/40 = 2 leaves -> at most 3 nodes.
+  EXPECT_LE(tree.node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, EmptyDatasetLeavesUnfitted) {
+  DecisionTree tree;
+  tree.Fit(Dataset({"x"}));
+  EXPECT_FALSE(tree.fitted());
+}
+
+// ----------------------------------------------------------------- kNN
+
+TEST(KnnTest, ExactNeighborRecovery) {
+  Dataset data({"x"});
+  for (int i = 0; i < 10; ++i) {
+    data.Add({static_cast<double>(i)}, static_cast<double>(i) * 10.0);
+  }
+  KnnRegressor knn(1);
+  knn.Fit(data);
+  EXPECT_NEAR(knn.Predict({3.01}), 30.0, 1e-6);
+}
+
+TEST(KnnTest, InterpolatesLinearFunction) {
+  Dataset train = MakeLinearRegression(800, 11);
+  KnnRegressor knn(5);
+  knn.Fit(train);
+  Dataset test = MakeLinearRegression(50, 12);
+  double total_err = 0.0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    total_err += std::abs(knn.Predict(test.row(i)) - test.target(i));
+  }
+  EXPECT_LT(total_err / 50.0, 1.5);  // dense sample -> small error
+}
+
+TEST(KnnTest, NormalizationMakesScalesComparable) {
+  // Feature 1 has a huge scale but no predictive power; without z-scoring
+  // it would dominate distances.
+  Dataset data({"signal", "noise"});
+  Rng rng(13);
+  for (int i = 0; i < 500; ++i) {
+    double signal = rng.Uniform(0.0, 1.0);
+    double noise = rng.Uniform(0.0, 1e6);
+    data.Add({signal, noise}, signal > 0.5 ? 100.0 : 0.0);
+  }
+  KnnRegressor knn(7);
+  knn.Fit(data);
+  EXPECT_GT(knn.Predict({0.9, 5e5}), 60.0);
+  EXPECT_LT(knn.Predict({0.1, 5e5}), 40.0);
+}
+
+TEST(KnnTest, KLargerThanTrainingSetStillWorks) {
+  Dataset data({"x"});
+  data.Add({0.0}, 1.0);
+  data.Add({1.0}, 3.0);
+  KnnRegressor knn(10, /*distance_weighted=*/false);
+  knn.Fit(data);
+  EXPECT_NEAR(knn.Predict({0.5}), 2.0, 1e-9);
+}
+
+// ----------------------------------------------------------- NaiveBayes
+
+TEST(NaiveBayesTest, SeparatesGaussianClusters) {
+  Dataset data({"x", "y"});
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    data.Add({rng.Normal(0.0, 1.0), rng.Normal(0.0, 1.0)}, 0.0);
+    data.Add({rng.Normal(6.0, 1.0), rng.Normal(6.0, 1.0)}, 1.0);
+  }
+  NaiveBayes nb;
+  nb.Fit(data);
+  ASSERT_TRUE(nb.fitted());
+  EXPECT_EQ(nb.PredictClass({0.5, -0.5}), 0);
+  EXPECT_EQ(nb.PredictClass({5.5, 6.5}), 1);
+}
+
+TEST(NaiveBayesTest, ProbabilitiesSumToOne) {
+  Dataset data({"x"});
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    data.Add({rng.Normal(0.0, 1.0)}, 0.0);
+    data.Add({rng.Normal(4.0, 1.0)}, 1.0);
+    data.Add({rng.Normal(8.0, 1.0)}, 2.0);
+  }
+  NaiveBayes nb;
+  nb.Fit(data);
+  std::vector<double> proba = nb.PredictProba({4.0});
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(nb.PredictClass({4.0}), 1);
+}
+
+TEST(NaiveBayesTest, PriorsMatterForAmbiguousPoints) {
+  // Class 0 is 10x more common; an equidistant point goes to it.
+  Dataset data({"x"});
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) data.Add({rng.Normal(0.0, 2.0)}, 0.0);
+  for (int i = 0; i < 100; ++i) data.Add({rng.Normal(4.0, 2.0)}, 1.0);
+  NaiveBayes nb;
+  nb.Fit(data);
+  EXPECT_EQ(nb.PredictClass({2.0}), 0);
+}
+
+// Parameterized sweep: the tree should beat a majority-class baseline on
+// separable data across a range of depths.
+class TreeDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeDepthSweep, BeatsBaselineAtAnyDepth) {
+  DecisionTreeConfig config;
+  config.max_depth = GetParam();
+  DecisionTree tree(config);
+  tree.Fit(MakeAxisAlignedClasses(400, 29));
+  Dataset test = MakeAxisAlignedClasses(200, 31);
+  int correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (tree.Predict(test.row(i)) == test.target(i)) ++correct;
+  }
+  EXPECT_GT(correct, 120);  // > 60% (baseline ~50%)
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepthSweep,
+                         ::testing::Values(1, 2, 4, 8, 12));
+
+}  // namespace
+}  // namespace wlm

@@ -1,0 +1,357 @@
+// Property-style tests: invariants that must hold across randomized
+// parameter sweeps, checked with parameterized gtest. These complement
+// the per-module unit tests with cross-cutting guarantees:
+//   - engine conservation: work in == work out, capacity never exceeded
+//   - lock manager safety: no conflicting grants, ever
+//   - plan slicing: lossless decomposition for arbitrary plans
+//   - queueing formulas vs the simulated engine (model cross-validation)
+//   - deterministic replay: identical seeds -> identical outcomes
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "control/queueing.h"
+#include "scheduling/queue_schedulers.h"
+#include "scheduling/restructuring.h"
+#include "tests/wlm_test_util.h"
+#include "workloads/generators.h"
+
+namespace wlm {
+namespace {
+
+// ------------------------------------------------- engine conservation
+
+class EngineConservationSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineConservationSweep, WorkConservedAndCapacityRespected) {
+  uint64_t seed = GetParam();
+  Simulation sim;
+  EngineConfig cfg = TestEngineConfig();
+  cfg.num_cpus = 2;
+  cfg.memory_mb = 256.0;  // spills occur: io inflation must be consistent
+  DatabaseEngine engine(&sim, cfg);
+
+  WorkloadGenerator gen(seed);
+  BiWorkloadConfig bi;
+  bi.cpu_mu = -1.0;
+  std::map<QueryId, QuerySpec> specs;
+  std::map<QueryId, QueryOutcome> outcomes;
+  engine.set_finish_observer(
+      [&](const QueryOutcome& o) { outcomes[o.id] = o; });
+  for (int i = 0; i < 12; ++i) {
+    QuerySpec spec = gen.NextBi(bi);
+    specs[spec.id] = spec;
+    ASSERT_TRUE(engine.Dispatch(spec, {}).ok());
+  }
+  sim.RunUntil(600.0);
+  ASSERT_EQ(outcomes.size(), specs.size());
+
+  double total_cpu = 0.0;
+  for (const auto& [id, outcome] : outcomes) {
+    EXPECT_EQ(outcome.kind, OutcomeKind::kCompleted);
+    // Work conservation: exactly the spec'd cpu was executed; io was the
+    // spec'd io inflated by the recorded spill factor.
+    EXPECT_NEAR(outcome.cpu_used, specs[id].cpu_seconds, 1e-6);
+    EXPECT_NEAR(outcome.io_used, specs[id].io_ops * outcome.spill_factor,
+                1e-3);
+    EXPECT_GE(outcome.spill_factor, 1.0);
+    EXPECT_LE(outcome.spill_factor, 1.0 + cfg.spill_penalty + 1e-9);
+    total_cpu += outcome.cpu_used;
+    // Capacity: a query can never run faster than alone.
+    double wall = outcome.finish_time - outcome.dispatch_time;
+    EXPECT_GE(wall + 2 * cfg.tick_seconds,
+              specs[id].cpu_seconds / std::max(1, specs[id].dop));
+  }
+  // Engine-level accounting matches the sum of per-query usage.
+  EXPECT_NEAR(engine.counters().cpu_used_seconds, total_cpu, 1e-3);
+  // Memory fully returned.
+  EXPECT_NEAR(engine.memory().used_mb(), 0.0, 1e-9);
+  EXPECT_EQ(engine.lock_manager().total_locks_held(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineConservationSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------- lock-safety sweep
+
+class LockSafetySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LockSafetySweep, NoConflictingGrantsUnderRandomTraffic) {
+  // Random acquire/release traffic; after every operation, validate that
+  // no key has an exclusive holder alongside any other holder.
+  Rng rng(GetParam());
+  LockManager lm;
+  std::map<TxnId, std::map<LockKey, LockMode>> held;
+  std::map<TxnId, std::map<LockKey, LockMode>> wanted;
+  lm.set_grant_callback([&](TxnId txn, LockKey key) {
+    held[txn][key] = wanted[txn][key];
+  });
+
+  auto validate = [&] {
+    std::map<LockKey, std::pair<int, int>> counts;  // key -> (shared, excl)
+    for (const auto& [txn, locks] : held) {
+      for (const auto& [key, mode] : locks) {
+        if (mode == LockMode::kExclusive) {
+          ++counts[key].second;
+        } else {
+          ++counts[key].first;
+        }
+      }
+    }
+    for (const auto& [key, c] : counts) {
+      if (c.second > 0) {
+        ASSERT_EQ(c.second, 1) << "two exclusive holders on key " << key;
+        ASSERT_EQ(c.first, 0) << "shared+exclusive on key " << key;
+      }
+    }
+  };
+
+  for (int op = 0; op < 2000; ++op) {
+    TxnId txn = static_cast<TxnId>(rng.UniformInt(1, 20));
+    if (rng.Bernoulli(0.7)) {
+      LockKey key = static_cast<LockKey>(rng.UniformInt(1, 15));
+      LockMode mode =
+          rng.Bernoulli(0.4) ? LockMode::kExclusive : LockMode::kShared;
+      // Sequential acquisition discipline: a blocked txn issues nothing.
+      if (lm.IsBlocked(txn)) continue;
+      wanted[txn][key] = mode;
+      if (lm.Acquire(txn, key, mode)) {
+        held[txn][key] = mode;
+      }
+    } else {
+      lm.ReleaseAll(txn);
+      held.erase(txn);
+      wanted.erase(txn);
+    }
+    validate();
+    // Resolve any deadlock so the traffic keeps flowing.
+    for (TxnId victim : lm.FindDeadlockVictims()) {
+      lm.ReleaseAll(victim);
+      held.erase(victim);
+      wanted.erase(victim);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockSafetySweep,
+                         ::testing::Values(7, 11, 23, 41, 59, 97));
+
+// ----------------------------------------------------- SlicePlan sweep
+
+class SlicePlanSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SlicePlanSweep, LosslessForRandomPlansAtAnyBudget) {
+  double budget = GetParam();
+  Rng rng(static_cast<uint64_t>(budget * 1000.0) + 3);
+  Optimizer optimizer;
+  WorkloadGenerator gen(17);
+  BiWorkloadConfig bi;
+  const double io_rate = 1000.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    QuerySpec spec = gen.NextBi(bi);
+    Plan plan = optimizer.BuildPlan(spec);
+    std::vector<Plan> chunks = SlicePlan(plan, budget, io_rate);
+    double cpu = 0.0, io = 0.0, state = 0.0;
+    for (const Plan& chunk : chunks) {
+      EXPECT_LE(chunk.TotalWork(io_rate), budget + 1e-6);
+      cpu += chunk.TotalCpu();
+      io += chunk.TotalIo();
+      for (const PlanOperator& op : chunk.operators) {
+        state += op.max_state_mb;
+        EXPECT_GE(op.cpu_seconds, -1e-12);
+        EXPECT_GE(op.io_ops, -1e-9);
+      }
+    }
+    EXPECT_NEAR(cpu, plan.TotalCpu(), 1e-6);
+    EXPECT_NEAR(io, plan.TotalIo(), 1e-6);
+    // Sliced state sums to the original (pieces hold proportional state).
+    double original_state = 0.0;
+    for (const PlanOperator& op : plan.operators) {
+      original_state += op.max_state_mb;
+    }
+    EXPECT_NEAR(state, original_state, 1e-6);
+    (void)rng;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SlicePlanSweep,
+                         ::testing::Values(0.1, 0.5, 1.0, 3.0, 10.0, 100.0));
+
+// --------------------------- queueing model vs simulated engine
+
+struct MmcCase {
+  double lambda;
+  double service;  // mean service seconds
+  int servers;
+};
+
+class QueueingCrossValidation : public ::testing::TestWithParam<MmcCase> {};
+
+TEST_P(QueueingCrossValidation, AnalyticResponseMatchesSimulation) {
+  // Drive the engine as an M/M/c queue: Poisson arrivals, exponential
+  // CPU-only service, FIFO dispatch at MPL=c with instant handoff. The
+  // measured mean response should match the Erlang-C prediction within
+  // simulation noise + tick quantization.
+  MmcCase c = GetParam();
+  EngineConfig cfg = TestEngineConfig();
+  cfg.num_cpus = c.servers;
+  cfg.tick_seconds = 0.005;
+  TestRig rig(cfg);
+  rig.wlm.set_scheduler(std::make_unique<FifoScheduler>(c.servers));
+
+  WorkloadGenerator gen(1234);
+  Rng arrivals(4321);
+  OpenLoopDriver driver(
+      &rig.sim, &arrivals, c.lambda,
+      [&] {
+        QuerySpec spec;
+        spec.id = gen.next_id();
+        (void)gen.NextOltp(OltpWorkloadConfig{});  // advance id stream
+        spec.kind = QueryKind::kBiQuery;
+        spec.cpu_seconds = gen.rng().Exponential(c.service);
+        spec.io_ops = 0.0;
+        spec.memory_mb = 0.0;
+        spec.result_rows = 1;
+        return spec;
+      },
+      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+  driver.Start(400.0);
+  rig.sim.RunUntil(600.0);
+
+  double predicted =
+      MmcMeanResponse(c.lambda, 1.0 / c.service, c.servers);
+  double measured = rig.monitor.tag_stats("default").response_times.mean();
+  // 25% relative tolerance + 3 ticks absolute: simulation noise, finite
+  // run, tick rounding.
+  EXPECT_NEAR(measured, predicted,
+              0.25 * predicted + 3 * cfg.tick_seconds)
+      << "lambda=" << c.lambda << " service=" << c.service
+      << " servers=" << c.servers;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, QueueingCrossValidation,
+    ::testing::Values(MmcCase{2.0, 0.2, 1},    // rho 0.4
+                      MmcCase{4.0, 0.2, 1},    // rho 0.8
+                      MmcCase{6.0, 0.2, 2},    // rho 0.6, 2 servers
+                      MmcCase{12.0, 0.2, 4})); // rho 0.6, 4 servers
+
+// ------------------------------------- suspend/resume work conservation
+
+struct SuspendCase {
+  double suspend_at;  // progress fraction
+  SuspendStrategy strategy;
+};
+
+class SuspendConservationSweep
+    : public ::testing::TestWithParam<SuspendCase> {};
+
+TEST_P(SuspendConservationSweep, NoUsefulWorkLostOrDuplicated) {
+  SuspendCase c = GetParam();
+  Simulation sim;
+  EngineConfig cfg = TestEngineConfig();
+  DatabaseEngine engine(&sim, cfg);
+
+  QuerySpec spec;
+  spec.id = 1;
+  spec.kind = QueryKind::kBiQuery;
+  spec.cpu_seconds = 4.0;
+  spec.io_ops = 2000.0;
+  spec.memory_mb = 128.0;
+  spec.result_rows = 1000;
+
+  std::vector<QueryOutcome> outcomes;
+  ExecutionContext ctx;
+  ctx.on_finish = [&](const QueryOutcome& o) { outcomes.push_back(o); };
+  ASSERT_TRUE(engine.Dispatch(spec, ctx).ok());
+  // Advance to the requested progress point, then suspend.
+  while (true) {
+    sim.RunFor(0.05);
+    auto progress = engine.GetProgress(1);
+    ASSERT_TRUE(progress.ok());
+    if (progress->fraction_done >= c.suspend_at) break;
+  }
+  ASSERT_TRUE(engine.Suspend(1, c.strategy).ok());
+  sim.RunUntil(sim.Now() + 100.0);
+  ASSERT_EQ(outcomes.size(), 1u);
+  ASSERT_EQ(outcomes[0].kind, OutcomeKind::kSuspended);
+
+  auto bundle = engine.TakeSuspended(1);
+  ASSERT_TRUE(bundle.ok());
+  ASSERT_TRUE(engine.Resume(*bundle, ctx).ok());
+  sim.RunUntil(sim.Now() + 300.0);
+  ASSERT_EQ(outcomes.size(), 2u);
+  ASSERT_EQ(outcomes[1].kind, OutcomeKind::kCompleted);
+
+  // Useful CPU across both segments = original demand + redo; the flush
+  // contributes only I/O.
+  double total_cpu = outcomes[0].cpu_used + outcomes[1].cpu_used;
+  EXPECT_NEAR(total_cpu, spec.cpu_seconds + bundle->redo_cpu, 1e-6);
+  if (c.strategy == SuspendStrategy::kDumpState) {
+    EXPECT_DOUBLE_EQ(bundle->redo_cpu, 0.0);
+  }
+  // Total I/O = original + redo + flush + reload (spill factor is 1 here:
+  // ample memory).
+  double total_io = outcomes[0].io_used + outcomes[1].io_used;
+  EXPECT_NEAR(total_io,
+              spec.io_ops + bundle->redo_io + bundle->suspend_io_cost +
+                  bundle->resume_io_cost,
+              1e-3);
+  // All resources returned.
+  EXPECT_NEAR(engine.memory().used_mb(), 0.0, 1e-9);
+  EXPECT_EQ(engine.running_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Points, SuspendConservationSweep,
+    ::testing::Values(SuspendCase{0.15, SuspendStrategy::kDumpState},
+                      SuspendCase{0.15, SuspendStrategy::kGoBack},
+                      SuspendCase{0.5, SuspendStrategy::kDumpState},
+                      SuspendCase{0.5, SuspendStrategy::kGoBack},
+                      SuspendCase{0.85, SuspendStrategy::kDumpState},
+                      SuspendCase{0.85, SuspendStrategy::kGoBack}));
+
+// ------------------------------------------------- deterministic replay
+
+class DeterminismSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeterminismSweep, IdenticalSeedsIdenticalOutcomes) {
+  auto run = [&](uint64_t seed) {
+    TestRig rig;
+    WorkloadGenerator gen(seed);
+    OltpWorkloadConfig oltp;
+    BiWorkloadConfig bi;
+    Rng arrivals(seed ^ 0xabcdef);
+    OpenLoopDriver oltp_driver(
+        &rig.sim, &arrivals, 20.0, [&] { return gen.NextOltp(oltp); },
+        [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+    OpenLoopDriver bi_driver(
+        &rig.sim, &arrivals, 0.5, [&] { return gen.NextBi(bi); },
+        [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+    oltp_driver.Start(20.0);
+    bi_driver.Start(20.0);
+    rig.sim.RunUntil(120.0);
+    std::vector<std::pair<QueryId, double>> result;
+    for (const Request* r : rig.wlm.AllRequests()) {
+      result.emplace_back(r->spec.id, r->finish_time);
+    }
+    return result;
+  };
+  auto a = run(GetParam());
+  auto b = run(GetParam());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_DOUBLE_EQ(a[i].second, b[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
+                         ::testing::Values(3, 1007, 424242));
+
+}  // namespace
+}  // namespace wlm

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace wlm {
+namespace {
+
+TEST(SimulationTest, StartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.Schedule(3.0, [&] { order.push_back(3); });
+  sim.Schedule(1.0, [&] { order.push_back(1); });
+  sim.Schedule(2.0, [&] { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 3.0);
+}
+
+TEST(SimulationTest, TiesBreakInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulation sim;
+  sim.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulationTest, RunUntilExecutesEventsAtBoundary) {
+  Simulation sim;
+  bool at_boundary = false;
+  bool after_boundary = false;
+  sim.Schedule(5.0, [&] { at_boundary = true; });
+  sim.Schedule(5.0001, [&] { after_boundary = true; });
+  sim.RunUntil(5.0);
+  EXPECT_TRUE(at_boundary);
+  EXPECT_FALSE(after_boundary);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  sim.RunUntil(2.0);
+  double fired_at = -1.0;
+  sim.Schedule(-5.0, [&] { fired_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 2.0);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  std::vector<double> times;
+  std::function<void()> chain = [&] {
+    times.push_back(sim.Now());
+    if (times.size() < 4) sim.Schedule(1.5, chain);
+  };
+  sim.Schedule(1.5, chain);
+  sim.RunAll();
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[3], 6.0);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  auto id = sim.Schedule(1.0, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(SimulationTest, CancelIsIdempotentAndSafeAfterFire) {
+  Simulation sim;
+  int fires = 0;
+  auto id = sim.Schedule(1.0, [&] { ++fires; });
+  sim.RunAll();
+  sim.Cancel(id);  // already fired: no-op
+  sim.Cancel(id);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(SimulationTest, StepExecutesExactlyOneLiveEvent) {
+  Simulation sim;
+  int fires = 0;
+  auto id = sim.Schedule(1.0, [&] { ++fires; });
+  sim.Cancel(id);
+  sim.Schedule(2.0, [&] { ++fires; });
+  sim.Schedule(3.0, [&] { ++fires; });
+  EXPECT_TRUE(sim.Step());  // skips cancelled, runs t=2
+  EXPECT_EQ(fires, 1);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.0);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, RunAllBoundsRunawayLoops) {
+  Simulation sim;
+  std::function<void()> forever = [&] { sim.Schedule(1.0, forever); };
+  sim.Schedule(1.0, forever);
+  EXPECT_FALSE(sim.RunAll(100));
+  EXPECT_EQ(sim.events_executed(), 100u);
+}
+
+TEST(PeriodicTaskTest, FiresEveryPeriod) {
+  Simulation sim;
+  std::vector<double> times;
+  PeriodicTask task(&sim, 2.0, [&] { times.push_back(sim.Now()); });
+  task.Start();
+  sim.RunUntil(7.0);
+  EXPECT_EQ(times, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(PeriodicTaskTest, StopHalts) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTask task(&sim, 1.0, [&] { ++fires; });
+  task.Start();
+  sim.RunUntil(3.0);
+  task.Stop();
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, CallbackCanStopItself) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTask* self = nullptr;
+  PeriodicTask task(&sim, 1.0, [&] {
+    if (++fires == 2) self->Stop();
+  });
+  self = &task;
+  task.Start();
+  EXPECT_TRUE(sim.RunAll());
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(PeriodicTaskTest, RestartAfterStop) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTask task(&sim, 1.0, [&] { ++fires; });
+  task.Start();
+  sim.RunUntil(2.0);
+  task.Stop();
+  task.Start();
+  sim.RunUntil(4.0);
+  EXPECT_EQ(fires, 4);
+}
+
+TEST(PeriodicTaskTest, StartIsIdempotent) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTask task(&sim, 1.0, [&] { ++fires; });
+  task.Start();
+  task.Start();
+  sim.RunUntil(1.0);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(PeriodicTaskTest, PeriodChangeTakesEffectNextCycle) {
+  Simulation sim;
+  std::vector<double> times;
+  PeriodicTask task(&sim, 1.0, [&] { times.push_back(sim.Now()); });
+  task.Start();
+  sim.RunUntil(2.0);  // fires at 1, 2 (and re-arms for 3 at the old period)
+  task.set_period(3.0);
+  sim.RunUntil(8.0);  // fires at 3, then every 3s -> 6
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 3.0, 6.0}));
+}
+
+}  // namespace
+}  // namespace wlm

@@ -1,0 +1,74 @@
+#ifndef WLM_TESTS_WLM_TEST_UTIL_H_
+#define WLM_TESTS_WLM_TEST_UTIL_H_
+
+#include <string>
+
+#include "core/workload_manager.h"
+#include "engine/engine.h"
+#include "engine/monitor.h"
+#include "sim/simulation.h"
+
+namespace wlm {
+
+inline EngineConfig TestEngineConfig() {
+  EngineConfig cfg;
+  cfg.num_cpus = 2;
+  cfg.io_ops_per_second = 1000.0;
+  cfg.memory_mb = 1024.0;
+  cfg.tick_seconds = 0.01;
+  cfg.optimizer.error_sigma = 0.0;
+  cfg.optimizer.rows_error_sigma = 0.0;
+  return cfg;
+}
+
+/// One-stop simulation + engine + monitor + workload manager fixture.
+struct TestRig {
+  Simulation sim;
+  DatabaseEngine engine;
+  Monitor monitor;
+  WorkloadManager wlm;
+
+  explicit TestRig(EngineConfig cfg = TestEngineConfig(),
+                   double monitor_interval = 0.5,
+                   WlmConfig wlm_config = WlmConfig())
+      : engine(&sim, cfg),
+        monitor(&sim, &engine, monitor_interval),
+        wlm(&sim, &engine, &monitor, wlm_config) {
+    monitor.Start();
+  }
+};
+
+inline QuerySpec BiSpec(QueryId id, double cpu = 2.0, double io = 1000.0,
+                        double mem = 128.0,
+                        const std::string& application = "reporting") {
+  QuerySpec spec;
+  spec.id = id;
+  spec.kind = QueryKind::kBiQuery;
+  spec.stmt = StatementType::kRead;
+  spec.cpu_seconds = cpu;
+  spec.io_ops = io;
+  spec.memory_mb = mem;
+  spec.result_rows = 10000;
+  spec.session.application = application;
+  spec.session.user = "analyst";
+  return spec;
+}
+
+inline QuerySpec OltpSpec(QueryId id, double cpu = 0.01,
+                          const std::string& application = "pos-system") {
+  QuerySpec spec;
+  spec.id = id;
+  spec.kind = QueryKind::kOltpTransaction;
+  spec.stmt = StatementType::kDml;
+  spec.cpu_seconds = cpu;
+  spec.io_ops = 5.0;
+  spec.memory_mb = 2.0;
+  spec.result_rows = 1;
+  spec.session.application = application;
+  spec.session.user = "cashier";
+  return spec;
+}
+
+}  // namespace wlm
+
+#endif  // WLM_TESTS_WLM_TEST_UTIL_H_

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/stats.h"
+#include "engine/catalog.h"
+#include "engine/lock_manager.h"
+#include "workloads/logical_workloads.h"
+#include "tests/wlm_test_util.h"
+#include "workloads/generators.h"
+
+namespace wlm {
+namespace {
+
+TEST(WorkloadGeneratorTest, IdsMonotonic) {
+  WorkloadGenerator gen(1, 100);
+  OltpWorkloadConfig config;
+  QuerySpec a = gen.NextOltp(config);
+  QuerySpec b = gen.NextOltp(config);
+  EXPECT_EQ(a.id, 100u);
+  EXPECT_EQ(b.id, 101u);
+}
+
+TEST(WorkloadGeneratorTest, DeterministicForSeed) {
+  WorkloadGenerator a(42), b(42);
+  OltpWorkloadConfig config;
+  for (int i = 0; i < 20; ++i) {
+    QuerySpec sa = a.NextOltp(config);
+    QuerySpec sb = b.NextOltp(config);
+    EXPECT_DOUBLE_EQ(sa.cpu_seconds, sb.cpu_seconds);
+    ASSERT_EQ(sa.locks.size(), sb.locks.size());
+    for (size_t k = 0; k < sa.locks.size(); ++k) {
+      EXPECT_EQ(sa.locks[k].key, sb.locks[k].key);
+    }
+  }
+}
+
+TEST(WorkloadGeneratorTest, OltpShape) {
+  WorkloadGenerator gen(2);
+  OltpWorkloadConfig config;
+  config.locks_per_txn = 4;
+  OnlineStats cpu;
+  std::set<LockKey> all_keys;
+  for (int i = 0; i < 500; ++i) {
+    QuerySpec spec = gen.NextOltp(config);
+    EXPECT_EQ(spec.kind, QueryKind::kOltpTransaction);
+    EXPECT_EQ(spec.locks.size(), 4u);
+    // Locks sorted and distinct.
+    for (size_t k = 1; k < spec.locks.size(); ++k) {
+      EXPECT_LT(spec.locks[k - 1].key, spec.locks[k].key);
+    }
+    for (const LockRequest& lock : spec.locks) all_keys.insert(lock.key);
+    cpu.Add(spec.cpu_seconds);
+  }
+  EXPECT_NEAR(cpu.mean(), config.mean_cpu_seconds, 0.001);
+  // Zipf skew: key 0 is hot.
+  EXPECT_TRUE(all_keys.count(0) > 0);
+}
+
+TEST(WorkloadGeneratorTest, BiShapeHeavyTailed) {
+  WorkloadGenerator gen(3);
+  BiWorkloadConfig config;
+  Percentiles cpu;
+  for (int i = 0; i < 2000; ++i) {
+    QuerySpec spec = gen.NextBi(config);
+    EXPECT_EQ(spec.kind, QueryKind::kBiQuery);
+    EXPECT_TRUE(spec.locks.empty());
+    EXPECT_GE(spec.memory_mb, config.min_memory_mb);
+    cpu.Add(spec.cpu_seconds);
+  }
+  // Lognormal: p99 way above median.
+  EXPECT_GT(cpu.Percentile(99), 5.0 * cpu.Percentile(50));
+}
+
+TEST(WorkloadGeneratorTest, UtilityShape) {
+  WorkloadGenerator gen(4);
+  UtilityWorkloadConfig config;
+  QuerySpec spec = gen.NextUtility(config);
+  EXPECT_EQ(spec.kind, QueryKind::kUtility);
+  EXPECT_NEAR(spec.cpu_seconds, config.cpu_seconds, config.cpu_seconds * 0.3);
+}
+
+TEST(OpenLoopDriverTest, PoissonArrivalsApproximateRate) {
+  Simulation sim;
+  Rng rng(5);
+  int arrivals = 0;
+  WorkloadGenerator gen(6);
+  OltpWorkloadConfig config;
+  OpenLoopDriver driver(
+      &sim, &rng, 10.0, [&] { return gen.NextOltp(config); },
+      [&](QuerySpec) { ++arrivals; });
+  driver.Start(100.0);
+  sim.RunUntil(100.0);
+  EXPECT_NEAR(arrivals, 1000, 100);  // ~3 sigma
+  EXPECT_EQ(driver.generated(), arrivals);
+}
+
+TEST(OpenLoopDriverTest, StopHaltsArrivals) {
+  Simulation sim;
+  Rng rng(7);
+  int arrivals = 0;
+  WorkloadGenerator gen(8);
+  OltpWorkloadConfig config;
+  OpenLoopDriver driver(
+      &sim, &rng, 100.0, [&] { return gen.NextOltp(config); },
+      [&](QuerySpec) { ++arrivals; });
+  driver.Start();
+  sim.RunUntil(1.0);
+  int at_stop = arrivals;
+  driver.Stop();
+  sim.RunUntil(5.0);
+  EXPECT_EQ(arrivals, at_stop);
+}
+
+TEST(ClosedLoopDriverTest, MaintainsPopulation) {
+  TestRig rig;
+  WorkloadGenerator gen(9);
+  OltpWorkloadConfig config;
+  config.locks_per_txn = 0;
+  ClosedLoopDriver driver(
+      &rig.sim, &gen.rng(), 4, 0.05,
+      [&] { return gen.NextOltp(config); },
+      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+  rig.wlm.AddCompletionListener(
+      [&](const Request& r) { driver.OnRequestFinished(r.spec.id); });
+  driver.Start();
+  rig.sim.RunUntil(10.0);
+  driver.Stop();
+  // 4 clients cycling: population never exceeds 4.
+  EXPECT_LE(rig.wlm.running_count() + rig.wlm.queue_depth(), 4u);
+  EXPECT_GT(rig.wlm.counters("default").completed, 50);
+  int64_t at_stop = driver.submitted();
+  rig.sim.RunUntil(20.0);
+  EXPECT_EQ(driver.submitted(), at_stop);
+}
+
+TEST(ClosedLoopDriverTest, ThinkTimeThrottlesSubmissionRate) {
+  TestRig fast_rig;
+  TestRig slow_rig;
+  WorkloadGenerator gen_fast(10), gen_slow(10);
+  OltpWorkloadConfig config;
+  config.locks_per_txn = 0;
+  ClosedLoopDriver fast(
+      &fast_rig.sim, &gen_fast.rng(), 2, 0.01,
+      [&] { return gen_fast.NextOltp(config); },
+      [&](QuerySpec spec) { fast_rig.wlm.Submit(std::move(spec)); });
+  ClosedLoopDriver slow(
+      &slow_rig.sim, &gen_slow.rng(), 2, 1.0,
+      [&] { return gen_slow.NextOltp(config); },
+      [&](QuerySpec spec) { slow_rig.wlm.Submit(std::move(spec)); });
+  fast_rig.wlm.AddCompletionListener(
+      [&](const Request& r) { fast.OnRequestFinished(r.spec.id); });
+  slow_rig.wlm.AddCompletionListener(
+      [&](const Request& r) { slow.OnRequestFinished(r.spec.id); });
+  fast.Start();
+  slow.Start();
+  fast_rig.sim.RunUntil(20.0);
+  slow_rig.sim.RunUntil(20.0);
+  EXPECT_GT(fast.submitted(), 3 * slow.submitted());
+}
+
+TEST(TraceReplayTest, SubmitsAtScheduledTimes) {
+  Simulation sim;
+  std::vector<TraceEntry> trace;
+  for (int i = 0; i < 5; ++i) {
+    TraceEntry entry;
+    entry.arrival_time = 2.0 * i;
+    entry.spec = OltpSpec(static_cast<QueryId>(i + 1));
+    trace.push_back(entry);
+  }
+  std::vector<std::pair<double, QueryId>> seen;
+  ReplayTrace(&sim, trace, [&](QuerySpec spec) {
+    seen.emplace_back(sim.Now(), spec.id);
+  });
+  sim.RunUntil(100.0);
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_DOUBLE_EQ(seen[2].first, 4.0);
+  EXPECT_EQ(seen[2].second, 3u);
+}
+
+// --------------------------------------------------------------- Catalog
+
+TEST(CatalogTest, AddAndLookupComputesPages) {
+  Catalog catalog;
+  TableSpec t;
+  t.name = "t";
+  t.rows = 1000;
+  t.row_bytes = 100;
+  catalog.AddTable(t);
+  auto found = catalog.Lookup("t");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->pages, (1000 * 100 + 8191) / 8192);
+  EXPECT_FALSE(catalog.Lookup("missing").ok());
+}
+
+TEST(CatalogTest, TpchLikeScalesWithFactor) {
+  Catalog sf1 = Catalog::TpchLike(1.0);
+  Catalog sf10 = Catalog::TpchLike(10.0);
+  auto li1 = sf1.Lookup("lineitem");
+  auto li10 = sf10.Lookup("lineitem");
+  ASSERT_TRUE(li1.ok());
+  ASSERT_TRUE(li10.ok());
+  EXPECT_EQ(li10->rows, 10 * li1->rows);
+  EXPECT_GE(sf1.table_count(), 8u);
+}
+
+TEST(CatalogTest, TpccLikeScalesWithWarehouses) {
+  Catalog w10 = Catalog::TpccLike(10);
+  Catalog w100 = Catalog::TpccLike(100);
+  EXPECT_EQ(w100.Lookup("stock")->rows, 10 * w10.Lookup("stock")->rows);
+  // Items are warehouse-independent.
+  EXPECT_EQ(w100.Lookup("item")->rows, w10.Lookup("item")->rows);
+}
+
+// ---------------------------------------------------- AnalyticalWorkload
+
+TEST(AnalyticalWorkloadTest, DemandsScaleWithSchema) {
+  Catalog small = Catalog::TpchLike(0.1);
+  Catalog big = Catalog::TpchLike(1.0);
+  CostModel cost;
+  AnalyticalWorkload small_gen(&small, cost, 1);
+  AnalyticalWorkload big_gen(&big, cost, 1);
+  AnalyticalTemplate q1 = AnalyticalWorkload::DefaultTemplates()[0];
+  QuerySpec small_q = small_gen.Instantiate(q1);
+  QuerySpec big_q = big_gen.Instantiate(q1);
+  // Same template, 10x the data: ~10x the I/O.
+  EXPECT_NEAR(big_q.io_ops / small_q.io_ops, 10.0, 1.5);
+  EXPECT_GT(big_q.cpu_seconds, small_q.cpu_seconds * 5);
+}
+
+TEST(AnalyticalWorkloadTest, WideJoinNeedsMoreMemory) {
+  Catalog catalog = Catalog::TpchLike(1.0);
+  AnalyticalWorkload gen(&catalog, CostModel{}, 2);
+  auto templates = AnalyticalWorkload::DefaultTemplates();
+  QuerySpec scan_only = gen.Instantiate(templates[0]);   // pricing_summary
+  QuerySpec wide_join = gen.Instantiate(templates[2]);   // market_share
+  EXPECT_GT(wide_join.memory_mb, scan_only.memory_mb * 2);
+  EXPECT_TRUE(scan_only.locks.empty());
+  EXPECT_EQ(wide_join.kind, QueryKind::kBiQuery);
+}
+
+TEST(AnalyticalWorkloadTest, SelectivityDrivesResultRows) {
+  Catalog catalog = Catalog::TpchLike(1.0);
+  AnalyticalWorkload gen(&catalog, CostModel{}, 3);
+  AnalyticalTemplate selective;
+  selective.name = "needle";
+  selective.tables = {"lineitem"};
+  selective.min_selectivity = selective.max_selectivity = 0.001;
+  selective.rows_per_group = 1;
+  AnalyticalTemplate broad = selective;
+  broad.name = "haystack";
+  broad.min_selectivity = broad.max_selectivity = 0.5;
+  QuerySpec needle = gen.Instantiate(selective);
+  QuerySpec haystack = gen.Instantiate(broad);
+  EXPECT_GT(haystack.result_rows, needle.result_rows * 100);
+}
+
+// ------------------------------------------------- TransactionalWorkload
+
+TEST(TransactionalWorkloadTest, MixApproximatesTpcc) {
+  Catalog catalog = Catalog::TpccLike(10);
+  TransactionalWorkload gen(&catalog, 10, 7);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 4000; ++i) ++counts[gen.Next().sql_digest];
+  EXPECT_NEAR(counts["NewOrder"] / 4000.0, 0.45, 0.03);
+  EXPECT_NEAR(counts["Payment"] / 4000.0, 0.43, 0.03);
+  EXPECT_NEAR(counts["Delivery"] / 4000.0, 0.04, 0.02);
+}
+
+TEST(TransactionalWorkloadTest, LocksSortedDistinctAndHotSpotsShared) {
+  Catalog catalog = Catalog::TpccLike(2);
+  TransactionalWorkload gen(&catalog, 2, 11);
+  // Payment updates the warehouse row exclusively: with only 2 warehouses,
+  // two payments often collide on the same key.
+  QuerySpec a = gen.Make(TransactionalWorkload::TxnType::kPayment);
+  for (size_t i = 1; i < a.locks.size(); ++i) {
+    EXPECT_LT(a.locks[i - 1].key, a.locks[i].key);
+  }
+  bool has_exclusive = false;
+  for (const LockRequest& lock : a.locks) has_exclusive |= lock.exclusive;
+  EXPECT_TRUE(has_exclusive);
+}
+
+TEST(TransactionalWorkloadTest, NewOrderLocksScaleWithItems) {
+  Catalog catalog = Catalog::TpccLike(10);
+  TransactionalWorkload gen(&catalog, 10, 13);
+  QuerySpec txn = gen.Make(TransactionalWorkload::TxnType::kNewOrder);
+  // district + warehouse + 5..15 stock rows (minus rare duplicates).
+  EXPECT_GE(txn.locks.size(), 6u);
+  EXPECT_LE(txn.locks.size(), 17u);
+}
+
+TEST(TransactionalWorkloadTest, FewerWarehousesMoreContention) {
+  // Empirical: run the same payment stream against 1 vs 32 warehouses and
+  // count immediate lock conflicts on a fresh lock table.
+  auto conflicts = [&](int warehouses) {
+    Catalog catalog = Catalog::TpccLike(warehouses);
+    TransactionalWorkload gen(&catalog, warehouses, 17);
+    LockManager lm;
+    int blocked = 0;
+    // A sliding window of 8 concurrently held transactions.
+    constexpr TxnId kWindow = 8;
+    for (TxnId txn = 1; txn <= 200; ++txn) {
+      if (txn > kWindow) lm.ReleaseAll(txn - kWindow);
+      QuerySpec spec = gen.Make(TransactionalWorkload::TxnType::kPayment);
+      for (const LockRequest& lock : spec.locks) {
+        if (!lm.Acquire(txn, lock.key,
+                        lock.exclusive ? LockMode::kExclusive
+                                       : LockMode::kShared)) {
+          ++blocked;
+          break;  // sequential acquisition: stop at the first block
+        }
+      }
+    }
+    return blocked;
+  };
+  EXPECT_GT(conflicts(1), 3 * conflicts(32));
+}
+
+}  // namespace
+}  // namespace wlm
