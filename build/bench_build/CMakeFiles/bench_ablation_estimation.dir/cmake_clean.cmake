@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_estimation"
+  "../bench/bench_ablation_estimation.pdb"
+  "CMakeFiles/bench_ablation_estimation.dir/bench_ablation_estimation.cc.o"
+  "CMakeFiles/bench_ablation_estimation.dir/bench_ablation_estimation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

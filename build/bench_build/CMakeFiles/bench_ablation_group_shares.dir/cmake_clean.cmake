@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_group_shares"
+  "../bench/bench_ablation_group_shares.pdb"
+  "CMakeFiles/bench_ablation_group_shares.dir/bench_ablation_group_shares.cc.o"
+  "CMakeFiles/bench_ablation_group_shares.dir/bench_ablation_group_shares.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_group_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mpl_thrashing"
+  "../bench/bench_mpl_thrashing.pdb"
+  "CMakeFiles/bench_mpl_thrashing.dir/bench_mpl_thrashing.cc.o"
+  "CMakeFiles/bench_mpl_thrashing.dir/bench_mpl_thrashing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpl_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_restructuring"
+  "../bench/bench_restructuring.pdb"
+  "CMakeFiles/bench_restructuring.dir/bench_restructuring.cc.o"
+  "CMakeFiles/bench_restructuring.dir/bench_restructuring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_restructuring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

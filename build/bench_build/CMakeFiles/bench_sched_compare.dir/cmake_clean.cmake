@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sched_compare"
+  "../bench/bench_sched_compare.pdb"
+  "CMakeFiles/bench_sched_compare.dir/bench_sched_compare.cc.o"
+  "CMakeFiles/bench_sched_compare.dir/bench_sched_compare.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sched_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_suspend_resume"
+  "../bench/bench_suspend_resume.pdb"
+  "CMakeFiles/bench_suspend_resume.dir/bench_suspend_resume.cc.o"
+  "CMakeFiles/bench_suspend_resume.dir/bench_suspend_resume.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_suspend_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

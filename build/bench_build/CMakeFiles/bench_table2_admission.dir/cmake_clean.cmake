@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_admission"
+  "../bench/bench_table2_admission.pdb"
+  "CMakeFiles/bench_table2_admission.dir/bench_table2_admission.cc.o"
+  "CMakeFiles/bench_table2_admission.dir/bench_table2_admission.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

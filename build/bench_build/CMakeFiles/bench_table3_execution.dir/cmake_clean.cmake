@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_execution"
+  "../bench/bench_table3_execution.pdb"
+  "CMakeFiles/bench_table3_execution.dir/bench_table3_execution.cc.o"
+  "CMakeFiles/bench_table3_execution.dir/bench_table3_execution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

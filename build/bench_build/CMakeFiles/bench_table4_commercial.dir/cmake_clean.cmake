@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_commercial"
+  "../bench/bench_table4_commercial.pdb"
+  "CMakeFiles/bench_table4_commercial.dir/bench_table4_commercial.cc.o"
+  "CMakeFiles/bench_table4_commercial.dir/bench_table4_commercial.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_commercial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

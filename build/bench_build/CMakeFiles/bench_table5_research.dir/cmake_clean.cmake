@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_research"
+  "../bench/bench_table5_research.pdb"
+  "CMakeFiles/bench_table5_research.dir/bench_table5_research.cc.o"
+  "CMakeFiles/bench_table5_research.dir/bench_table5_research.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_research.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

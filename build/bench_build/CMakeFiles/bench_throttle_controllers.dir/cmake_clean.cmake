@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_throttle_controllers"
+  "../bench/bench_throttle_controllers.pdb"
+  "CMakeFiles/bench_throttle_controllers.dir/bench_throttle_controllers.cc.o"
+  "CMakeFiles/bench_throttle_controllers.dir/bench_throttle_controllers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throttle_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

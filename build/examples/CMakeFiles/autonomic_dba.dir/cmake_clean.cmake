@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomic_dba.dir/autonomic_dba.cpp.o"
+  "CMakeFiles/autonomic_dba.dir/autonomic_dba.cpp.o.d"
+  "autonomic_dba"
+  "autonomic_dba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomic_dba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/consolidation.cpp" "examples/CMakeFiles/consolidation.dir/consolidation.cpp.o" "gcc" "examples/CMakeFiles/consolidation.dir/consolidation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/systems/CMakeFiles/wlm_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wlm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/admission/CMakeFiles/wlm_admission.dir/DependInfo.cmake"
+  "/root/repo/build/src/characterization/CMakeFiles/wlm_characterization.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wlm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduling/CMakeFiles/wlm_scheduling.dir/DependInfo.cmake"
+  "/root/repo/build/src/execution/CMakeFiles/wlm_execution.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/wlm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/autonomic/CMakeFiles/wlm_autonomic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/wlm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wlm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

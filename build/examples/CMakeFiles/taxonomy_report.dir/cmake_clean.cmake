@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taxonomy_report.dir/taxonomy_report.cpp.o"
+  "CMakeFiles/taxonomy_report.dir/taxonomy_report.cpp.o.d"
+  "taxonomy_report"
+  "taxonomy_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taxonomy_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

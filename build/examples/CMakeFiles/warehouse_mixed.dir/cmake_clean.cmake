@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_mixed.dir/warehouse_mixed.cpp.o"
+  "CMakeFiles/warehouse_mixed.dir/warehouse_mixed.cpp.o.d"
+  "warehouse_mixed"
+  "warehouse_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_analyzer.dir/workload_analyzer.cpp.o"
+  "CMakeFiles/workload_analyzer.dir/workload_analyzer.cpp.o.d"
+  "workload_analyzer"
+  "workload_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

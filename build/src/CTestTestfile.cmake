@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("engine")
+subdirs("ml")
+subdirs("control")
+subdirs("core")
+subdirs("characterization")
+subdirs("admission")
+subdirs("scheduling")
+subdirs("execution")
+subdirs("autonomic")
+subdirs("systems")
+subdirs("workloads")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_admission.dir/operating_periods.cc.o"
+  "CMakeFiles/wlm_admission.dir/operating_periods.cc.o.d"
+  "CMakeFiles/wlm_admission.dir/prediction_admission.cc.o"
+  "CMakeFiles/wlm_admission.dir/prediction_admission.cc.o.d"
+  "CMakeFiles/wlm_admission.dir/threshold_admission.cc.o"
+  "CMakeFiles/wlm_admission.dir/threshold_admission.cc.o.d"
+  "libwlm_admission.a"
+  "libwlm_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_autonomic.dir/mape.cc.o"
+  "CMakeFiles/wlm_autonomic.dir/mape.cc.o.d"
+  "libwlm_autonomic.a"
+  "libwlm_autonomic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_autonomic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/characterization/dynamic_classifier.cc" "src/characterization/CMakeFiles/wlm_characterization.dir/dynamic_classifier.cc.o" "gcc" "src/characterization/CMakeFiles/wlm_characterization.dir/dynamic_classifier.cc.o.d"
+  "/root/repo/src/characterization/features.cc" "src/characterization/CMakeFiles/wlm_characterization.dir/features.cc.o" "gcc" "src/characterization/CMakeFiles/wlm_characterization.dir/features.cc.o.d"
+  "/root/repo/src/characterization/static_classifier.cc" "src/characterization/CMakeFiles/wlm_characterization.dir/static_classifier.cc.o" "gcc" "src/characterization/CMakeFiles/wlm_characterization.dir/static_classifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wlm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/wlm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wlm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_characterization.dir/dynamic_classifier.cc.o"
+  "CMakeFiles/wlm_characterization.dir/dynamic_classifier.cc.o.d"
+  "CMakeFiles/wlm_characterization.dir/features.cc.o"
+  "CMakeFiles/wlm_characterization.dir/features.cc.o.d"
+  "CMakeFiles/wlm_characterization.dir/static_classifier.cc.o"
+  "CMakeFiles/wlm_characterization.dir/static_classifier.cc.o.d"
+  "libwlm_characterization.a"
+  "libwlm_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

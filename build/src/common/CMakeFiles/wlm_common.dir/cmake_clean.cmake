@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_common.dir/rng.cc.o"
+  "CMakeFiles/wlm_common.dir/rng.cc.o.d"
+  "CMakeFiles/wlm_common.dir/stats.cc.o"
+  "CMakeFiles/wlm_common.dir/stats.cc.o.d"
+  "CMakeFiles/wlm_common.dir/status.cc.o"
+  "CMakeFiles/wlm_common.dir/status.cc.o.d"
+  "CMakeFiles/wlm_common.dir/table_printer.cc.o"
+  "CMakeFiles/wlm_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/wlm_common.dir/time_series.cc.o"
+  "CMakeFiles/wlm_common.dir/time_series.cc.o.d"
+  "libwlm_common.a"
+  "libwlm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

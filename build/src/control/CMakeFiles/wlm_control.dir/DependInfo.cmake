@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/capacity.cc" "src/control/CMakeFiles/wlm_control.dir/capacity.cc.o" "gcc" "src/control/CMakeFiles/wlm_control.dir/capacity.cc.o.d"
+  "/root/repo/src/control/controllers.cc" "src/control/CMakeFiles/wlm_control.dir/controllers.cc.o" "gcc" "src/control/CMakeFiles/wlm_control.dir/controllers.cc.o.d"
+  "/root/repo/src/control/queueing.cc" "src/control/CMakeFiles/wlm_control.dir/queueing.cc.o" "gcc" "src/control/CMakeFiles/wlm_control.dir/queueing.cc.o.d"
+  "/root/repo/src/control/utility.cc" "src/control/CMakeFiles/wlm_control.dir/utility.cc.o" "gcc" "src/control/CMakeFiles/wlm_control.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wlm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

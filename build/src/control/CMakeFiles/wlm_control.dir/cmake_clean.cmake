@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_control.dir/capacity.cc.o"
+  "CMakeFiles/wlm_control.dir/capacity.cc.o.d"
+  "CMakeFiles/wlm_control.dir/controllers.cc.o"
+  "CMakeFiles/wlm_control.dir/controllers.cc.o.d"
+  "CMakeFiles/wlm_control.dir/queueing.cc.o"
+  "CMakeFiles/wlm_control.dir/queueing.cc.o.d"
+  "CMakeFiles/wlm_control.dir/utility.cc.o"
+  "CMakeFiles/wlm_control.dir/utility.cc.o.d"
+  "libwlm_control.a"
+  "libwlm_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/event_log.cc" "src/core/CMakeFiles/wlm_core.dir/event_log.cc.o" "gcc" "src/core/CMakeFiles/wlm_core.dir/event_log.cc.o.d"
+  "/root/repo/src/core/request.cc" "src/core/CMakeFiles/wlm_core.dir/request.cc.o" "gcc" "src/core/CMakeFiles/wlm_core.dir/request.cc.o.d"
+  "/root/repo/src/core/slo.cc" "src/core/CMakeFiles/wlm_core.dir/slo.cc.o" "gcc" "src/core/CMakeFiles/wlm_core.dir/slo.cc.o.d"
+  "/root/repo/src/core/taxonomy.cc" "src/core/CMakeFiles/wlm_core.dir/taxonomy.cc.o" "gcc" "src/core/CMakeFiles/wlm_core.dir/taxonomy.cc.o.d"
+  "/root/repo/src/core/workload_manager.cc" "src/core/CMakeFiles/wlm_core.dir/workload_manager.cc.o" "gcc" "src/core/CMakeFiles/wlm_core.dir/workload_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wlm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/wlm_engine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_core.dir/event_log.cc.o"
+  "CMakeFiles/wlm_core.dir/event_log.cc.o.d"
+  "CMakeFiles/wlm_core.dir/request.cc.o"
+  "CMakeFiles/wlm_core.dir/request.cc.o.d"
+  "CMakeFiles/wlm_core.dir/slo.cc.o"
+  "CMakeFiles/wlm_core.dir/slo.cc.o.d"
+  "CMakeFiles/wlm_core.dir/taxonomy.cc.o"
+  "CMakeFiles/wlm_core.dir/taxonomy.cc.o.d"
+  "CMakeFiles/wlm_core.dir/workload_manager.cc.o"
+  "CMakeFiles/wlm_core.dir/workload_manager.cc.o.d"
+  "libwlm_core.a"
+  "libwlm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/buffer_pool.cc" "src/engine/CMakeFiles/wlm_engine.dir/buffer_pool.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/engine/CMakeFiles/wlm_engine.dir/catalog.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/catalog.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/wlm_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/execution.cc" "src/engine/CMakeFiles/wlm_engine.dir/execution.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/execution.cc.o.d"
+  "/root/repo/src/engine/lock_manager.cc" "src/engine/CMakeFiles/wlm_engine.dir/lock_manager.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/lock_manager.cc.o.d"
+  "/root/repo/src/engine/memory_governor.cc" "src/engine/CMakeFiles/wlm_engine.dir/memory_governor.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/memory_governor.cc.o.d"
+  "/root/repo/src/engine/monitor.cc" "src/engine/CMakeFiles/wlm_engine.dir/monitor.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/monitor.cc.o.d"
+  "/root/repo/src/engine/optimizer.cc" "src/engine/CMakeFiles/wlm_engine.dir/optimizer.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/optimizer.cc.o.d"
+  "/root/repo/src/engine/plan.cc" "src/engine/CMakeFiles/wlm_engine.dir/plan.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/plan.cc.o.d"
+  "/root/repo/src/engine/progress.cc" "src/engine/CMakeFiles/wlm_engine.dir/progress.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/progress.cc.o.d"
+  "/root/repo/src/engine/types.cc" "src/engine/CMakeFiles/wlm_engine.dir/types.cc.o" "gcc" "src/engine/CMakeFiles/wlm_engine.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wlm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_engine.dir/buffer_pool.cc.o"
+  "CMakeFiles/wlm_engine.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/catalog.cc.o"
+  "CMakeFiles/wlm_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/engine.cc.o"
+  "CMakeFiles/wlm_engine.dir/engine.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/execution.cc.o"
+  "CMakeFiles/wlm_engine.dir/execution.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/lock_manager.cc.o"
+  "CMakeFiles/wlm_engine.dir/lock_manager.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/memory_governor.cc.o"
+  "CMakeFiles/wlm_engine.dir/memory_governor.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/monitor.cc.o"
+  "CMakeFiles/wlm_engine.dir/monitor.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/optimizer.cc.o"
+  "CMakeFiles/wlm_engine.dir/optimizer.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/plan.cc.o"
+  "CMakeFiles/wlm_engine.dir/plan.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/progress.cc.o"
+  "CMakeFiles/wlm_engine.dir/progress.cc.o.d"
+  "CMakeFiles/wlm_engine.dir/types.cc.o"
+  "CMakeFiles/wlm_engine.dir/types.cc.o.d"
+  "libwlm_engine.a"
+  "libwlm_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

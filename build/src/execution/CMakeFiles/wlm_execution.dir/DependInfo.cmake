@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/execution/fuzzy_controller.cc" "src/execution/CMakeFiles/wlm_execution.dir/fuzzy_controller.cc.o" "gcc" "src/execution/CMakeFiles/wlm_execution.dir/fuzzy_controller.cc.o.d"
+  "/root/repo/src/execution/kill.cc" "src/execution/CMakeFiles/wlm_execution.dir/kill.cc.o" "gcc" "src/execution/CMakeFiles/wlm_execution.dir/kill.cc.o.d"
+  "/root/repo/src/execution/priority_aging.cc" "src/execution/CMakeFiles/wlm_execution.dir/priority_aging.cc.o" "gcc" "src/execution/CMakeFiles/wlm_execution.dir/priority_aging.cc.o.d"
+  "/root/repo/src/execution/progress_control.cc" "src/execution/CMakeFiles/wlm_execution.dir/progress_control.cc.o" "gcc" "src/execution/CMakeFiles/wlm_execution.dir/progress_control.cc.o.d"
+  "/root/repo/src/execution/reallocation.cc" "src/execution/CMakeFiles/wlm_execution.dir/reallocation.cc.o" "gcc" "src/execution/CMakeFiles/wlm_execution.dir/reallocation.cc.o.d"
+  "/root/repo/src/execution/suspend_resume.cc" "src/execution/CMakeFiles/wlm_execution.dir/suspend_resume.cc.o" "gcc" "src/execution/CMakeFiles/wlm_execution.dir/suspend_resume.cc.o.d"
+  "/root/repo/src/execution/throttling.cc" "src/execution/CMakeFiles/wlm_execution.dir/throttling.cc.o" "gcc" "src/execution/CMakeFiles/wlm_execution.dir/throttling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/wlm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/wlm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wlm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_execution.dir/fuzzy_controller.cc.o"
+  "CMakeFiles/wlm_execution.dir/fuzzy_controller.cc.o.d"
+  "CMakeFiles/wlm_execution.dir/kill.cc.o"
+  "CMakeFiles/wlm_execution.dir/kill.cc.o.d"
+  "CMakeFiles/wlm_execution.dir/priority_aging.cc.o"
+  "CMakeFiles/wlm_execution.dir/priority_aging.cc.o.d"
+  "CMakeFiles/wlm_execution.dir/progress_control.cc.o"
+  "CMakeFiles/wlm_execution.dir/progress_control.cc.o.d"
+  "CMakeFiles/wlm_execution.dir/reallocation.cc.o"
+  "CMakeFiles/wlm_execution.dir/reallocation.cc.o.d"
+  "CMakeFiles/wlm_execution.dir/suspend_resume.cc.o"
+  "CMakeFiles/wlm_execution.dir/suspend_resume.cc.o.d"
+  "CMakeFiles/wlm_execution.dir/throttling.cc.o"
+  "CMakeFiles/wlm_execution.dir/throttling.cc.o.d"
+  "libwlm_execution.a"
+  "libwlm_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

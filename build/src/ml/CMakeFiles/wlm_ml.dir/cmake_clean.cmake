@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_ml.dir/dataset.cc.o"
+  "CMakeFiles/wlm_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/wlm_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/wlm_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/wlm_ml.dir/knn.cc.o"
+  "CMakeFiles/wlm_ml.dir/knn.cc.o.d"
+  "libwlm_ml.a"
+  "libwlm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

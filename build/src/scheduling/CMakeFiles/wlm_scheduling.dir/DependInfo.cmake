@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduling/batch_scheduler.cc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/batch_scheduler.cc.o" "gcc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/batch_scheduler.cc.o.d"
+  "/root/repo/src/scheduling/mpl_scheduler.cc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/mpl_scheduler.cc.o" "gcc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/mpl_scheduler.cc.o.d"
+  "/root/repo/src/scheduling/queue_schedulers.cc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/queue_schedulers.cc.o" "gcc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/queue_schedulers.cc.o.d"
+  "/root/repo/src/scheduling/restructuring.cc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/restructuring.cc.o" "gcc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/restructuring.cc.o.d"
+  "/root/repo/src/scheduling/utility_scheduler.cc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/utility_scheduler.cc.o" "gcc" "src/scheduling/CMakeFiles/wlm_scheduling.dir/utility_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/wlm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/wlm_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wlm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wlm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

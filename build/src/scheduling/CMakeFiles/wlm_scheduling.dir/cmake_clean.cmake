@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_scheduling.dir/batch_scheduler.cc.o"
+  "CMakeFiles/wlm_scheduling.dir/batch_scheduler.cc.o.d"
+  "CMakeFiles/wlm_scheduling.dir/mpl_scheduler.cc.o"
+  "CMakeFiles/wlm_scheduling.dir/mpl_scheduler.cc.o.d"
+  "CMakeFiles/wlm_scheduling.dir/queue_schedulers.cc.o"
+  "CMakeFiles/wlm_scheduling.dir/queue_schedulers.cc.o.d"
+  "CMakeFiles/wlm_scheduling.dir/restructuring.cc.o"
+  "CMakeFiles/wlm_scheduling.dir/restructuring.cc.o.d"
+  "CMakeFiles/wlm_scheduling.dir/utility_scheduler.cc.o"
+  "CMakeFiles/wlm_scheduling.dir/utility_scheduler.cc.o.d"
+  "libwlm_scheduling.a"
+  "libwlm_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_sim.dir/simulation.cc.o"
+  "CMakeFiles/wlm_sim.dir/simulation.cc.o.d"
+  "libwlm_sim.a"
+  "libwlm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_systems.dir/db2_wlm.cc.o"
+  "CMakeFiles/wlm_systems.dir/db2_wlm.cc.o.d"
+  "CMakeFiles/wlm_systems.dir/resource_governor.cc.o"
+  "CMakeFiles/wlm_systems.dir/resource_governor.cc.o.d"
+  "CMakeFiles/wlm_systems.dir/technique_catalog.cc.o"
+  "CMakeFiles/wlm_systems.dir/technique_catalog.cc.o.d"
+  "CMakeFiles/wlm_systems.dir/teradata_asm.cc.o"
+  "CMakeFiles/wlm_systems.dir/teradata_asm.cc.o.d"
+  "libwlm_systems.a"
+  "libwlm_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_workloads.dir/generators.cc.o"
+  "CMakeFiles/wlm_workloads.dir/generators.cc.o.d"
+  "CMakeFiles/wlm_workloads.dir/logical_workloads.cc.o"
+  "CMakeFiles/wlm_workloads.dir/logical_workloads.cc.o.d"
+  "libwlm_workloads.a"
+  "libwlm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonomic_test.dir/autonomic_test.cc.o"
+  "CMakeFiles/autonomic_test.dir/autonomic_test.cc.o.d"
+  "autonomic_test"
+  "autonomic_test.pdb"
+  "autonomic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonomic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

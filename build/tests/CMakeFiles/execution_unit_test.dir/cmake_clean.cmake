@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_unit_test.dir/execution_unit_test.cc.o"
+  "CMakeFiles/execution_unit_test.dir/execution_unit_test.cc.o.d"
+  "execution_unit_test"
+  "execution_unit_test.pdb"
+  "execution_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
