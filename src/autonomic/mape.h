@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "core/interfaces.h"
-#include "core/slo.h"
+#include "telemetry/slo.h"
 
 namespace wlm {
 

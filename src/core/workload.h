@@ -6,7 +6,7 @@
 
 #include "common/stats.h"
 #include "core/request.h"
-#include "core/slo.h"
+#include "telemetry/slo.h"
 
 namespace wlm {
 

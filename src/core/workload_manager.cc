@@ -8,6 +8,8 @@ namespace wlm {
 WorkloadManager::WorkloadManager(Simulation* sim, DatabaseEngine* engine,
                                  Monitor* monitor, WlmConfig config)
     : sim_(sim), engine_(engine), monitor_(monitor), config_(config) {
+  telemetry_ = std::make_unique<Telemetry>(sim_, monitor_, &event_log_,
+                                           config_.telemetry);
   WorkloadDefinition fallback;
   fallback.name = config_.default_workload;
   DefineWorkload(std::move(fallback));
@@ -18,6 +20,7 @@ WorkloadManager::WorkloadManager(Simulation* sim, DatabaseEngine* engine,
 WorkloadManager::~WorkloadManager() = default;
 
 void WorkloadManager::DefineWorkload(WorkloadDefinition def) {
+  telemetry_->WatchSlos(def.name, def.slos);
   workloads_[def.name] = std::move(def);
 }
 
@@ -95,6 +98,7 @@ Status WorkloadManager::SubmitWithPlan(QuerySpec spec, Plan plan) {
   requests_[raw->spec.id] = std::move(request);
   submission_order_.push_back(raw->spec.id);
   LogEvent(WlmEventType::kSubmitted, *raw);
+  telemetry_->OnSubmit(raw->spec.id, raw->workload, raw->spec.kind);
 
   // 2. Admission control at arrival.
   for (const auto& ac : admission_) {
@@ -105,6 +109,8 @@ Status WorkloadManager::SubmitWithPlan(QuerySpec spec, Plan plan) {
       raw->reject_reason = decision.message();
       ++counters.rejected;
       LogEvent(WlmEventType::kRejected, *raw, decision.message());
+      telemetry_->OnRejected(raw->spec.id, raw->workload, ac->info().name,
+                             decision.message());
       for (const auto& fn : completion_listeners_) fn(*raw);
       return Status::Rejected(decision.message());
     }
@@ -113,6 +119,7 @@ Status WorkloadManager::SubmitWithPlan(QuerySpec spec, Plan plan) {
   // 3. Enter the wait queue; scheduling decides when it runs.
   raw->state = RequestState::kQueued;
   queue_.push_back(raw->spec.id);
+  telemetry_->OnAdmitted(raw->spec.id, raw->workload);
   TryDispatch();
   return Status::OK();
 }
@@ -152,6 +159,8 @@ void WorkloadManager::TryDispatch() {
       bool gated = false;
       for (const auto& ac : admission_) {
         if (!ac->AllowDispatch(*request, *this)) {
+          telemetry_->OnDispatchGated(id, request->workload,
+                                      ac->info().name);
           gated = true;
           break;
         }
@@ -188,9 +197,11 @@ void WorkloadManager::DispatchRequest(Request* request) {
     resumable_.erase(resume_it);
     LogEvent(WlmEventType::kResumed, *request,
              SuspendStrategyToString(bundle.strategy));
+    telemetry_->OnDispatch(id, request->workload, /*resumed=*/true);
     status = engine_->Resume(bundle, std::move(ctx));
   } else {
     LogEvent(WlmEventType::kDispatched, *request);
+    telemetry_->OnDispatch(id, request->workload, /*resumed=*/false);
     status =
         engine_->DispatchWithPlan(request->spec, request->plan, std::move(ctx));
   }
@@ -213,6 +224,7 @@ void WorkloadManager::LogEvent(WlmEventType type, const Request& request,
 void WorkloadManager::Requeue(Request* request) {
   request->state = RequestState::kQueued;
   queue_.push_back(request->spec.id);
+  telemetry_->OnRequeued(request->spec.id, request->workload);
 }
 
 void WorkloadManager::FinishTerminal(Request* request, RequestState state,
@@ -222,6 +234,7 @@ void WorkloadManager::FinishTerminal(Request* request, RequestState state,
   WorkloadCounters& counters = counters_[request->workload];
   double velocity = request->Velocity(engine_->config().num_cpus,
                                       engine_->config().io_ops_per_second);
+  const char* outcome_name = "completed";
   switch (state) {
     case RequestState::kCompleted:
       ++counters.completed;
@@ -231,12 +244,14 @@ void WorkloadManager::FinishTerminal(Request* request, RequestState state,
       break;
     case RequestState::kKilled:
       ++counters.killed;
+      outcome_name = "killed";
       LogEvent(WlmEventType::kKilled, *request);
       monitor_->RecordCompletion(request->workload, request->ResponseTime(),
                                  velocity, OutcomeKind::kKilled);
       break;
     case RequestState::kAborted:
       ++counters.aborted;
+      outcome_name = "aborted";
       LogEvent(WlmEventType::kAborted, *request, "deadlock victim");
       monitor_->RecordCompletion(request->workload, request->ResponseTime(),
                                  velocity, OutcomeKind::kAbortedDeadlock);
@@ -244,6 +259,9 @@ void WorkloadManager::FinishTerminal(Request* request, RequestState state,
     default:
       assert(false && "not a terminal state");
   }
+  telemetry_->OnTerminal(request->spec.id, request->workload, outcome_name,
+                         request->ResponseTime(), request->QueueWait(),
+                         outcome);
   for (const auto& fn : completion_listeners_) fn(*request);
 }
 
@@ -294,6 +312,7 @@ void WorkloadManager::OnFinish(const QueryOutcome& outcome) {
       ++counters.suspended;
       request->state = RequestState::kSuspended;
       LogEvent(WlmEventType::kSuspended, *request);
+      telemetry_->OnSuspended(outcome.id, request->workload);
       queue_.push_back(outcome.id);
       break;
     }
@@ -305,6 +324,13 @@ void WorkloadManager::OnSample(const SystemIndicators& indicators) {
   for (const auto& ac : admission_) ac->OnSample(indicators, *this);
   if (scheduler_) scheduler_->OnSample(indicators, *this);
   for (const auto& ec : execution_) ec->OnSample(indicators, *this);
+  if (telemetry_->enabled()) {
+    telemetry_->OnMonitorSample(indicators, queue_.size(), running_.size());
+    for (const auto& [name, def] : workloads_) {
+      telemetry_->SetWorkloadOccupancy(name, QueuedInWorkload(name),
+                                       RunningInWorkload(name));
+    }
+  }
   TryDispatch();
 }
 
@@ -375,6 +401,7 @@ Status WorkloadManager::ThrottleRequest(QueryId id, double duty) {
     if (it != requests_.end()) {
       LogEvent(WlmEventType::kThrottled, *it->second,
                "duty=" + std::to_string(duty));
+      telemetry_->OnThrottle(id, it->second->workload, duty);
     }
   }
   return status;
@@ -387,6 +414,7 @@ Status WorkloadManager::PauseRequest(QueryId id, double seconds) {
     if (it != requests_.end()) {
       LogEvent(WlmEventType::kPaused, *it->second,
                std::to_string(seconds) + "s");
+      telemetry_->OnPause(id, it->second->workload, seconds);
     }
   }
   return status;
@@ -408,12 +436,20 @@ Status WorkloadManager::SetRequestPriority(QueryId id,
   it->second->priority = priority;
   LogEvent(WlmEventType::kReprioritized, *it->second,
            BusinessPriorityToString(priority));
+  telemetry_->OnReprioritize(id, it->second->workload,
+                             BusinessPriorityToString(priority));
   return SetRequestShares(id, SharesForPriority(priority));
 }
 
 Status WorkloadManager::SuspendRequest(QueryId id, SuspendStrategy strategy) {
-  if (requests_.count(id) == 0) return Status::NotFound("unknown request");
-  return engine_->Suspend(id, strategy);
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  Status status = engine_->Suspend(id, strategy);
+  if (status.ok()) {
+    telemetry_->OnSuspendStart(id, it->second->workload,
+                               SuspendStrategyToString(strategy));
+  }
+  return status;
 }
 
 void WorkloadManager::SetWorkloadShares(const std::string& workload,

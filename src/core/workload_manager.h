@@ -10,7 +10,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
-#include "core/event_log.h"
+#include "telemetry/event_log.h"
 #include "core/interfaces.h"
 #include "core/request.h"
 #include "core/taxonomy.h"
@@ -18,6 +18,7 @@
 #include "engine/engine.h"
 #include "engine/monitor.h"
 #include "sim/simulation.h"
+#include "telemetry/telemetry.h"
 
 namespace wlm {
 
@@ -29,6 +30,9 @@ struct WlmConfig {
   /// Max automatic resubmissions (deadlock or kill-and-resubmit) before a
   /// request is abandoned.
   int max_resubmits = 3;
+  /// Observability layer (per-query span traces, labeled metrics, SLO
+  /// watchdog). Purely passive; disabling changes no control decision.
+  TelemetryOptions telemetry;
 };
 
 /// The workload-management framework: wires characterization, admission
@@ -103,6 +107,10 @@ class WorkloadManager {
   /// changes, reprioritizations...
   const EventLog& event_log() const { return event_log_; }
 
+  /// Observability facade: span tracer, metrics registry, SLO watchdog.
+  Telemetry& telemetry() { return *telemetry_; }
+  const Telemetry& telemetry() const { return *telemetry_; }
+
   // --- actions (execution controllers act through these) -------------------
   /// Kills a running request; with `resubmit` it re-enters the queue
   /// (kill-and-resubmit [39]) unless the resubmit budget is exhausted.
@@ -151,6 +159,7 @@ class WorkloadManager {
   std::vector<std::function<void(const Request&)>> completion_listeners_;
   mutable std::map<std::string, WorkloadCounters> counters_;
   EventLog event_log_;
+  std::unique_ptr<Telemetry> telemetry_;  // after event_log_: sinks into it
   bool in_try_dispatch_ = false;
 };
 

@@ -78,6 +78,10 @@ class Monitor {
   /// "throughput:<tag>" per tag.
   const TimeSeries* FindSeries(const std::string& name) const;
   TimeSeries& series(const std::string& name);
+  /// Every recorded series, keyed by name (exporters iterate this).
+  const std::map<std::string, TimeSeries>& all_series() const {
+    return series_;
+  }
 
   /// Observer invoked at each sampling instant (controllers subscribe
   /// here). Observers run after the series are updated.

@@ -1,0 +1,102 @@
+#include "telemetry/event_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wlm {
+
+const char* WlmEventTypeToString(WlmEventType type) {
+  switch (type) {
+    case WlmEventType::kSubmitted:
+      return "submitted";
+    case WlmEventType::kRejected:
+      return "rejected";
+    case WlmEventType::kDispatched:
+      return "dispatched";
+    case WlmEventType::kCompleted:
+      return "completed";
+    case WlmEventType::kKilled:
+      return "killed";
+    case WlmEventType::kAborted:
+      return "aborted";
+    case WlmEventType::kResubmitted:
+      return "resubmitted";
+    case WlmEventType::kSuspended:
+      return "suspended";
+    case WlmEventType::kResumed:
+      return "resumed";
+    case WlmEventType::kThrottled:
+      return "throttled";
+    case WlmEventType::kPaused:
+      return "paused";
+    case WlmEventType::kReprioritized:
+      return "reprioritized";
+    case WlmEventType::kSloViolation:
+      return "slo_violation";
+  }
+  return "?";
+}
+
+EventLog::EventLog(size_t max_events) : max_events_(max_events) {}
+
+void EventLog::Append(WlmEvent event) {
+  const int64_t seq = total_++;
+  by_type_[static_cast<size_t>(event.type)].push_back(seq);
+  by_query_[event.query].push_back(seq);
+  events_.push_back(std::move(event));
+  while (events_.size() > max_events_) {
+    const WlmEvent& oldest = events_.front();
+    // The evicted event holds the globally smallest sequence number, so it
+    // must sit at the front of both of its index deques.
+    auto& type_index = by_type_[static_cast<size_t>(oldest.type)];
+    assert(!type_index.empty() && type_index.front() == first_seq_);
+    type_index.pop_front();
+    auto query_it = by_query_.find(oldest.query);
+    assert(query_it != by_query_.end() &&
+           query_it->second.front() == first_seq_);
+    query_it->second.pop_front();
+    if (query_it->second.empty()) by_query_.erase(query_it);
+    events_.pop_front();
+    ++first_seq_;
+  }
+}
+
+void EventLog::Clear() {
+  events_.clear();
+  for (auto& index : by_type_) index.clear();
+  by_query_.clear();
+  first_seq_ = total_;
+}
+
+std::vector<WlmEvent> EventLog::OfType(WlmEventType type) const {
+  const auto& index = by_type_[static_cast<size_t>(type)];
+  std::vector<WlmEvent> out;
+  out.reserve(index.size());
+  for (int64_t seq : index) out.push_back(AtSeq(seq));
+  return out;
+}
+
+std::vector<WlmEvent> EventLog::ForQuery(QueryId id) const {
+  auto it = by_query_.find(id);
+  if (it == by_query_.end()) return {};
+  std::vector<WlmEvent> out;
+  out.reserve(it->second.size());
+  for (int64_t seq : it->second) out.push_back(AtSeq(seq));
+  return out;
+}
+
+std::vector<WlmEvent> EventLog::InWindow(double begin, double end) const {
+  auto lo = std::lower_bound(
+      events_.begin(), events_.end(), begin,
+      [](const WlmEvent& e, double t) { return e.time < t; });
+  auto hi = std::lower_bound(
+      lo, events_.end(), end,
+      [](const WlmEvent& e, double t) { return e.time < t; });
+  return std::vector<WlmEvent>(lo, hi);
+}
+
+int64_t EventLog::CountOf(WlmEventType type) const {
+  return static_cast<int64_t>(by_type_[static_cast<size_t>(type)].size());
+}
+
+}  // namespace wlm

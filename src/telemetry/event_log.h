@@ -1,0 +1,92 @@
+#ifndef WLM_TELEMETRY_EVENT_LOG_H_
+#define WLM_TELEMETRY_EVENT_LOG_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/types.h"
+
+namespace wlm {
+
+/// Control-plane event kinds recorded by the workload manager. This is
+/// the library's analogue of the commercial products' event monitors
+/// (DB2's activity and threshold-violation monitors, SQL Server's
+/// Resource Governor events, Teradata's exception logging).
+enum class WlmEventType {
+  kSubmitted,
+  kRejected,       // admission denied
+  kDispatched,     // sent to the execution engine
+  kCompleted,
+  kKilled,
+  kAborted,        // deadlock victim, not resubmitted
+  kResubmitted,    // requeued after a kill/abort
+  kSuspended,      // suspension finished, request back in queue
+  kResumed,        // dispatched again from a suspended state
+  kThrottled,      // duty-cycle change
+  kPaused,         // interrupt-throttle pause
+  kReprioritized,  // business priority change
+  kSloViolation,   // SLO watchdog: a workload objective went unmet
+};
+
+/// Number of WlmEventType values (keep in sync with the enum).
+inline constexpr size_t kWlmEventTypeCount = 13;
+
+const char* WlmEventTypeToString(WlmEventType type);
+
+/// One control-plane event.
+struct WlmEvent {
+  double time = 0.0;
+  WlmEventType type = WlmEventType::kSubmitted;
+  QueryId query = 0;
+  std::string workload;
+  std::string detail;
+};
+
+/// Bounded, append-only event log. Oldest events are evicted past
+/// `max_events` (the total count keeps counting). Per-type and per-query
+/// secondary indexes keep OfType/ForQuery/CountOf proportional to the
+/// result size instead of the retained window, and InWindow binary
+/// searches the (nondecreasing) event times.
+class EventLog {
+ public:
+  explicit EventLog(size_t max_events = 1 << 16);
+
+  void Append(WlmEvent event);
+  void Clear();
+
+  size_t size() const { return events_.size(); }
+  int64_t total_appended() const { return total_; }
+  const std::deque<WlmEvent>& events() const { return events_; }
+
+  /// Events of one type, oldest first.
+  std::vector<WlmEvent> OfType(WlmEventType type) const;
+  /// Full history of one request, oldest first.
+  std::vector<WlmEvent> ForQuery(QueryId id) const;
+  /// Events with time in [begin, end).
+  std::vector<WlmEvent> InWindow(double begin, double end) const;
+  /// Count of events of `type` (within the retained window). O(1).
+  int64_t CountOf(WlmEventType type) const;
+
+ private:
+  const WlmEvent& AtSeq(int64_t seq) const {
+    return events_[static_cast<size_t>(seq - first_seq_)];
+  }
+
+  size_t max_events_;
+  int64_t total_ = 0;      // sequence number of the next append
+  int64_t first_seq_ = 0;  // sequence number of events_.front()
+  std::deque<WlmEvent> events_;
+  // Secondary indexes hold sequence numbers (append order == time order),
+  // so eviction only ever pops their fronts.
+  std::array<std::deque<int64_t>, kWlmEventTypeCount> by_type_;
+  std::unordered_map<QueryId, std::deque<int64_t>> by_query_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_TELEMETRY_EVENT_LOG_H_

@@ -1,0 +1,176 @@
+#include "telemetry/exporters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace wlm {
+
+namespace {
+
+/// Simulated seconds -> integer trace microseconds.
+long long ToMicros(double seconds) {
+  return std::llround(seconds * 1e6);
+}
+
+void WriteEvent(std::ostream& out, bool& first, const std::string& json) {
+  if (!first) out << ",\n";
+  first = false;
+  out << json;
+}
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteChromeTrace(const Tracer& tracer, std::ostream& out,
+                      const Monitor* monitor) {
+  out << "[\n";
+  bool first = true;
+  WriteEvent(out, first,
+             R"({"name":"process_name","ph":"M","pid":1,"tid":0,)"
+             R"("args":{"name":"wlm"}})");
+
+  for (const QueryTrace* trace : tracer.Traces()) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  R"({"name":"thread_name","ph":"M","pid":1,"tid":%d,)"
+                  R"("args":{"name":"q%llu [%s]"}})",
+                  trace->tid, static_cast<unsigned long long>(trace->id),
+                  JsonEscape(trace->workload).c_str());
+    WriteEvent(out, first, buf);
+
+    for (const Span& span : trace->spans) {
+      const double end = span.open() ? span.start : span.end;
+      std::string json = "{\"name\":\"";
+      json += SpanKindToString(span.kind);
+      json += "\",\"cat\":\"";
+      json += JsonEscape(trace->workload);
+      json += "\",\"ph\":\"X\",\"ts\":";
+      json += std::to_string(ToMicros(span.start));
+      json += ",\"dur\":";
+      json += std::to_string(
+          std::max(0LL, ToMicros(end) - ToMicros(span.start)));
+      json += ",\"pid\":1,\"tid\":";
+      json += std::to_string(trace->tid);
+      json += ",\"args\":{\"query\":";
+      json += std::to_string(trace->id);
+      if (!span.detail.empty()) {
+        json += ",\"detail\":\"";
+        json += JsonEscape(span.detail);
+        json += '"';
+      }
+      json += "}}";
+      WriteEvent(out, first, json);
+    }
+    for (const TraceInstant& instant : trace->instants) {
+      std::string json = "{\"name\":\"";
+      json += JsonEscape(instant.name);
+      json += "\",\"cat\":\"";
+      json += JsonEscape(trace->workload);
+      json += "\",\"ph\":\"X\",\"ts\":";
+      json += std::to_string(ToMicros(instant.time));
+      json += ",\"dur\":0,\"pid\":1,\"tid\":";
+      json += std::to_string(trace->tid);
+      json += ",\"args\":{\"query\":";
+      json += std::to_string(trace->id);
+      if (!instant.detail.empty()) {
+        json += ",\"detail\":\"";
+        json += JsonEscape(instant.detail);
+        json += '"';
+      }
+      json += "}}";
+      WriteEvent(out, first, json);
+    }
+  }
+
+  if (monitor != nullptr) {
+    for (const auto& [name, series] : monitor->all_series()) {
+      for (const TimePoint& point : series.points()) {
+        std::string json = "{\"name\":\"";
+        json += JsonEscape(name);
+        json += "\",\"ph\":\"C\",\"ts\":";
+        json += std::to_string(ToMicros(point.time));
+        json += ",\"pid\":1,\"args\":{\"value\":";
+        json += FormatDouble(point.value);
+        json += "}}";
+        WriteEvent(out, first, json);
+      }
+    }
+  }
+  out << "\n]\n";
+}
+
+void WritePrometheus(const MetricsRegistry& metrics, std::ostream& out) {
+  metrics.WritePrometheus(out);
+}
+
+void WriteSeriesJsonl(const Monitor& monitor, std::ostream& out) {
+  for (const auto& [name, series] : monitor.all_series()) {
+    for (const TimePoint& point : series.points()) {
+      out << "{\"series\":\"" << JsonEscape(name)
+          << "\",\"time\":" << FormatDouble(point.time)
+          << ",\"value\":" << FormatDouble(point.value) << "}\n";
+    }
+  }
+}
+
+void WriteSeriesCsv(const Monitor& monitor, std::ostream& out) {
+  out << "series,time,value\n";
+  for (const auto& [name, series] : monitor.all_series()) {
+    for (const TimePoint& point : series.points()) {
+      out << name << ',' << FormatDouble(point.time) << ','
+          << FormatDouble(point.value) << '\n';
+    }
+  }
+}
+
+void WriteEventLogJsonl(const EventLog& log, std::ostream& out) {
+  for (const WlmEvent& event : log.events()) {
+    out << "{\"time\":" << FormatDouble(event.time) << ",\"type\":\""
+        << WlmEventTypeToString(event.type)
+        << "\",\"query\":" << event.query << ",\"workload\":\""
+        << JsonEscape(event.workload) << "\",\"detail\":\""
+        << JsonEscape(event.detail) << "\"}\n";
+  }
+}
+
+}  // namespace wlm

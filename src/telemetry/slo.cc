@@ -1,0 +1,85 @@
+#include "telemetry/slo.h"
+
+#include <cstdio>
+
+namespace wlm {
+
+ServiceLevelObjective ServiceLevelObjective::AvgResponse(double seconds) {
+  ServiceLevelObjective slo;
+  slo.metric = Metric::kAvgResponseTime;
+  slo.target = seconds;
+  return slo;
+}
+
+ServiceLevelObjective ServiceLevelObjective::PercentileResponse(
+    double percentile, double seconds) {
+  ServiceLevelObjective slo;
+  slo.metric = Metric::kPercentileResponseTime;
+  slo.percentile = percentile;
+  slo.target = seconds;
+  return slo;
+}
+
+ServiceLevelObjective ServiceLevelObjective::MinThroughput(double per_second) {
+  ServiceLevelObjective slo;
+  slo.metric = Metric::kMinThroughput;
+  slo.target = per_second;
+  return slo;
+}
+
+ServiceLevelObjective ServiceLevelObjective::MinVelocity(double velocity) {
+  ServiceLevelObjective slo;
+  slo.metric = Metric::kMinVelocity;
+  slo.target = velocity;
+  return slo;
+}
+
+std::string ServiceLevelObjective::ToString() const {
+  char buf[128];
+  switch (metric) {
+    case Metric::kAvgResponseTime:
+      std::snprintf(buf, sizeof(buf), "avg response <= %.3gs", target);
+      break;
+    case Metric::kPercentileResponseTime:
+      std::snprintf(buf, sizeof(buf), "p%.0f response <= %.3gs", percentile,
+                    target);
+      break;
+    case Metric::kMinThroughput:
+      std::snprintf(buf, sizeof(buf), "throughput >= %.3g/s", target);
+      break;
+    case Metric::kMinVelocity:
+      std::snprintf(buf, sizeof(buf), "velocity >= %.2f", target);
+      break;
+  }
+  return buf;
+}
+
+SloEvaluation EvaluateSlo(const ServiceLevelObjective& slo,
+                          const TagStats& stats) {
+  SloEvaluation eval;
+  switch (slo.metric) {
+    case ServiceLevelObjective::Metric::kAvgResponseTime:
+      eval.actual = stats.response_times.mean();
+      eval.met = stats.response_times.count() > 0 && eval.actual <= slo.target;
+      eval.attainment = eval.actual > 0.0 ? slo.target / eval.actual : 1.0;
+      break;
+    case ServiceLevelObjective::Metric::kPercentileResponseTime:
+      eval.actual = stats.response_times.Percentile(slo.percentile);
+      eval.met = stats.response_times.count() > 0 && eval.actual <= slo.target;
+      eval.attainment = eval.actual > 0.0 ? slo.target / eval.actual : 1.0;
+      break;
+    case ServiceLevelObjective::Metric::kMinThroughput:
+      eval.actual = stats.last_interval_throughput;
+      eval.met = eval.actual >= slo.target;
+      eval.attainment = slo.target > 0.0 ? eval.actual / slo.target : 1.0;
+      break;
+    case ServiceLevelObjective::Metric::kMinVelocity:
+      eval.actual = stats.velocities.mean();
+      eval.met = stats.velocities.count() > 0 && eval.actual >= slo.target;
+      eval.attainment = slo.target > 0.0 ? eval.actual / slo.target : 1.0;
+      break;
+  }
+  return eval;
+}
+
+}  // namespace wlm

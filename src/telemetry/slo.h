@@ -1,0 +1,53 @@
+#ifndef WLM_TELEMETRY_SLO_H_
+#define WLM_TELEMETRY_SLO_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/monitor.h"
+
+namespace wlm {
+
+/// One service-level objective of a workload, in the forms Section 2.1
+/// enumerates: average/percentile response time ("x% of queries complete in
+/// y time units or less"), minimum throughput, and minimum execution
+/// velocity.
+struct ServiceLevelObjective {
+  enum class Metric {
+    kAvgResponseTime,         // mean response <= target seconds
+    kPercentileResponseTime,  // `percentile`% of responses <= target
+    kMinThroughput,           // completions/sec >= target
+    kMinVelocity,             // mean execution velocity >= target
+  };
+
+  Metric metric = Metric::kAvgResponseTime;
+  double target = 1.0;
+  double percentile = 90.0;  // only for kPercentileResponseTime
+
+  static ServiceLevelObjective AvgResponse(double seconds);
+  static ServiceLevelObjective PercentileResponse(double percentile,
+                                                  double seconds);
+  static ServiceLevelObjective MinThroughput(double per_second);
+  static ServiceLevelObjective MinVelocity(double velocity);
+
+  std::string ToString() const;
+};
+
+/// Outcome of checking one SLO against observed statistics.
+struct SloEvaluation {
+  bool met = false;
+  /// The observed value of the SLO's metric.
+  double actual = 0.0;
+  /// attainment in [0, +): actual/target oriented so >= 1.0 means met.
+  double attainment = 0.0;
+};
+
+/// Evaluates `slo` against a workload's accumulated monitor statistics.
+/// `interval_throughput` supplies the current completions/sec for
+/// throughput objectives.
+SloEvaluation EvaluateSlo(const ServiceLevelObjective& slo,
+                          const TagStats& stats);
+
+}  // namespace wlm
+
+#endif  // WLM_TELEMETRY_SLO_H_

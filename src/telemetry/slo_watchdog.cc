@@ -1,0 +1,91 @@
+#include "telemetry/slo_watchdog.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wlm {
+
+namespace {
+constexpr size_t kMaxViolationsKept = 1 << 14;
+}  // namespace
+
+SloWatchdog::SloWatchdog(Monitor* monitor, EventLog* sink,
+                         MetricsRegistry* metrics)
+    : monitor_(monitor), sink_(sink), metrics_(metrics) {}
+
+void SloWatchdog::SetSlos(const std::string& workload,
+                          const std::vector<ServiceLevelObjective>& slos) {
+  watched_.erase(std::remove_if(watched_.begin(), watched_.end(),
+                                [&](const Watched& w) {
+                                  return w.workload == workload;
+                                }),
+                 watched_.end());
+  for (size_t i = 0; i < slos.size(); ++i) {
+    Watched w;
+    w.workload = workload;
+    w.slo = slos[i];
+    w.index = i;
+    watched_.push_back(std::move(w));
+  }
+}
+
+void SloWatchdog::Check(const SystemIndicators& indicators) {
+  for (Watched& w : watched_) {
+    const TagStats& stats = monitor_->tag_stats(w.workload);
+    if (stats.completed == 0) continue;  // no data, no verdict
+    SloEvaluation eval = EvaluateSlo(w.slo, stats);
+
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetGauge("wlm_slo_attainment",
+                     {{"workload", w.workload}, {"slo", w.slo.ToString()}})
+          .Set(eval.attainment);
+    }
+    if (eval.met) {
+      w.in_violation = false;
+      continue;
+    }
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetCounter("wlm_slo_violation_samples_total",
+                       {{"workload", w.workload}})
+          .Increment();
+    }
+    if (w.in_violation) continue;  // edge-triggered: record transitions only
+    w.in_violation = true;
+
+    char detail[256];
+    std::snprintf(detail, sizeof(detail),
+                  "slo=\"%s\" actual=%.4g target=%.4g cpu=%.2f io=%.2f "
+                  "mem=%.2f running=%d blocked=%d",
+                  w.slo.ToString().c_str(), eval.actual, w.slo.target,
+                  indicators.cpu_utilization, indicators.io_utilization,
+                  indicators.memory_utilization, indicators.running_queries,
+                  indicators.blocked_queries);
+    if (sink_ != nullptr) {
+      WlmEvent event;
+      event.time = indicators.time;
+      event.type = WlmEventType::kSloViolation;
+      event.query = 0;
+      event.workload = w.workload;
+      event.detail = detail;
+      sink_->Append(std::move(event));
+    }
+    if (metrics_ != nullptr) {
+      metrics_
+          ->GetCounter("wlm_slo_violations_total", {{"workload", w.workload}})
+          .Increment();
+    }
+    if (violations_.size() < kMaxViolationsKept) {
+      Violation v;
+      v.time = indicators.time;
+      v.workload = w.workload;
+      v.slo = w.slo;
+      v.evaluation = eval;
+      v.indicators = indicators;
+      violations_.push_back(std::move(v));
+    }
+  }
+}
+
+}  // namespace wlm

@@ -1,0 +1,250 @@
+#include "telemetry/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wlm {
+
+Telemetry::Telemetry(Simulation* sim, Monitor* monitor, EventLog* event_log,
+                     TelemetryOptions options)
+    : sim_(sim),
+      monitor_(monitor),
+      enabled_(options.enabled),
+      tracer_(options.max_traces),
+      watchdog_(monitor, event_log, &metrics_) {
+  if (!enabled_) return;
+  metrics_.SetHelp("wlm_requests_submitted_total",
+                   "Requests entering the workload manager");
+  metrics_.SetHelp("wlm_requests_rejected_total",
+                   "Requests refused by an admission gate");
+  metrics_.SetHelp("wlm_requests_completed_total",
+                   "Requests finishing successfully");
+  metrics_.SetHelp("wlm_requests_killed_total",
+                   "Requests killed by execution control");
+  metrics_.SetHelp("wlm_requests_aborted_total",
+                   "Deadlock victims not resubmitted");
+  metrics_.SetHelp("wlm_requests_resubmitted_total",
+                   "Automatic requeues after a kill or deadlock");
+  metrics_.SetHelp("wlm_requests_suspended_total",
+                   "Suspensions completing their state flush");
+  metrics_.SetHelp("wlm_dispatches_total",
+                   "Dispatches into the engine (resumed=true for resumes)");
+  metrics_.SetHelp("wlm_dispatch_gated_total",
+                   "Dispatch attempts held back by an admission gate");
+  metrics_.SetHelp("wlm_throttle_changes_total", "Duty-cycle changes");
+  metrics_.SetHelp("wlm_pauses_total", "Interrupt-throttle pauses");
+  metrics_.SetHelp("wlm_reprioritizations_total",
+                   "Business-priority changes");
+  metrics_.SetHelp("wlm_response_seconds",
+                   "Arrival-to-finish response time");
+  metrics_.SetHelp("wlm_queue_wait_seconds",
+                   "Wait before the first dispatch");
+  metrics_.SetHelp("wlm_lock_wait_seconds",
+                   "Lock acquisition wait per execution segment");
+  metrics_.SetHelp("wlm_queue_depth", "Requests waiting for dispatch");
+  metrics_.SetHelp("wlm_running", "Requests executing in the engine");
+  metrics_.SetHelp("wlm_cpu_utilization", "Engine CPU utilization");
+  metrics_.SetHelp("wlm_io_utilization", "Engine I/O utilization");
+  metrics_.SetHelp("wlm_memory_utilization", "Work-memory utilization");
+  metrics_.SetHelp("wlm_conflict_ratio", "Lock conflict ratio");
+  metrics_.SetHelp("wlm_throughput", "Completions per second");
+  metrics_.SetHelp("wlm_slo_violations_total",
+                   "Transitions of a workload SLO into violation");
+  metrics_.SetHelp("wlm_slo_violation_samples_total",
+                   "Monitor samples observed with the SLO violated");
+  metrics_.SetHelp("wlm_slo_attainment",
+                   "actual/target, >= 1 means the objective is met");
+}
+
+double Telemetry::Now() const { return sim_->Now(); }
+
+void Telemetry::WatchSlos(const std::string& workload,
+                          const std::vector<ServiceLevelObjective>& slos) {
+  if (!enabled_) return;
+  watchdog_.SetSlos(workload, slos);
+}
+
+void Telemetry::OnSubmit(QueryId id, const std::string& workload,
+                         QueryKind kind) {
+  if (!enabled_) return;
+  tracer_.GetOrCreate(id, workload, kind, Now());
+  metrics_.GetCounter("wlm_requests_submitted_total", {{"workload", workload}})
+      .Increment();
+}
+
+void Telemetry::OnAdmitted(QueryId id, const std::string& workload) {
+  if (!enabled_) return;
+  (void)workload;
+  const double now = Now();
+  tracer_.AddClosedSpan(id, SpanKind::kAdmit, now, now, "admitted");
+  tracer_.OpenSpan(id, SpanKind::kQueue, now);
+}
+
+void Telemetry::OnRejected(QueryId id, const std::string& workload,
+                           const std::string& gate,
+                           const std::string& reason) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.AddClosedSpan(id, SpanKind::kAdmit, now, now,
+                        "rejected gate=" + gate + " reason=" + reason);
+  tracer_.FinishTrace(id, now);
+  metrics_
+      .GetCounter("wlm_requests_rejected_total",
+                  {{"workload", workload}, {"gate", gate}})
+      .Increment();
+}
+
+void Telemetry::OnRequeued(QueryId id, const std::string& workload) {
+  if (!enabled_) return;
+  const double now = Now();
+  // A kill/deadlock resubmission interrupts the running segment.
+  tracer_.CloseExecutionSegment(id, now, "outcome=resubmitted");
+  tracer_.OpenSpan(id, SpanKind::kQueue, now, "resubmit");
+  metrics_
+      .GetCounter("wlm_requests_resubmitted_total", {{"workload", workload}})
+      .Increment();
+}
+
+void Telemetry::OnDispatchGated(QueryId id, const std::string& workload,
+                                const std::string& gate) {
+  if (!enabled_) return;
+  (void)id;
+  metrics_
+      .GetCounter("wlm_dispatch_gated_total",
+                  {{"workload", workload}, {"gate", gate}})
+      .Increment();
+}
+
+void Telemetry::OnDispatch(QueryId id, const std::string& workload,
+                           bool resumed) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.CloseSpan(id, resumed ? SpanKind::kSuspendedWait : SpanKind::kQueue,
+                    now);
+  tracer_.OpenSpan(id, SpanKind::kExecute, now, resumed ? "resumed" : "");
+  metrics_
+      .GetCounter("wlm_dispatches_total",
+                  {{"workload", workload},
+                   {"resumed", resumed ? "true" : "false"}})
+      .Increment();
+}
+
+void Telemetry::OnSuspendStart(QueryId id, const std::string& workload,
+                               const char* strategy) {
+  if (!enabled_) return;
+  (void)workload;
+  tracer_.OpenSpan(id, SpanKind::kSuspendFlush, Now(),
+                   std::string("strategy=") + strategy);
+}
+
+void Telemetry::OnSuspended(QueryId id, const std::string& workload) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.CloseSpan(id, SpanKind::kSuspendFlush, now);
+  tracer_.CloseExecutionSegment(id, now, "outcome=suspended");
+  tracer_.OpenSpan(id, SpanKind::kSuspendedWait, now);
+  metrics_
+      .GetCounter("wlm_requests_suspended_total", {{"workload", workload}})
+      .Increment();
+}
+
+void Telemetry::OnTerminal(QueryId id, const std::string& workload,
+                           const char* outcome_name, double response_seconds,
+                           double queue_wait_seconds,
+                           const QueryOutcome& outcome) {
+  if (!enabled_) return;
+  const double now = Now();
+  if (outcome.lock_wait_seconds > 0.0) {
+    tracer_.AddClosedSpan(
+        id, SpanKind::kLockWait, outcome.dispatch_time,
+        std::min(outcome.dispatch_time + outcome.lock_wait_seconds, now));
+    metrics_
+        .GetHistogram("wlm_lock_wait_seconds", {{"workload", workload}})
+        .Observe(outcome.lock_wait_seconds);
+  }
+  char detail[160];
+  std::snprintf(detail, sizeof(detail),
+                "outcome=%s cpu=%.3f io=%.0f spill=%.2f buffer_hit=%.2f",
+                outcome_name, outcome.cpu_used, outcome.io_used,
+                outcome.spill_factor, outcome.buffer_hit_ratio);
+  tracer_.CloseExecutionSegment(id, now, detail);
+  tracer_.FinishTrace(id, now);
+
+  metrics_
+      .GetCounter(std::string("wlm_requests_") + outcome_name + "_total",
+                  {{"workload", workload}})
+      .Increment();
+  metrics_.GetHistogram("wlm_response_seconds", {{"workload", workload}})
+      .Observe(response_seconds);
+  metrics_.GetHistogram("wlm_queue_wait_seconds", {{"workload", workload}})
+      .Observe(queue_wait_seconds);
+}
+
+void Telemetry::OnThrottle(QueryId id, const std::string& workload,
+                           double duty) {
+  if (!enabled_) return;
+  const double now = Now();
+  char detail[48];
+  std::snprintf(detail, sizeof(detail), "duty=%.3f", duty);
+  // A duty change ends any current window; a new sub-1.0 duty opens one.
+  tracer_.CloseSpan(id, SpanKind::kThrottle, now);
+  if (duty < 1.0) {
+    tracer_.OpenSpan(id, SpanKind::kThrottle, now, detail);
+  }
+  tracer_.Instant(id, "throttle", now, detail);
+  metrics_
+      .GetCounter("wlm_throttle_changes_total", {{"workload", workload}})
+      .Increment();
+}
+
+void Telemetry::OnPause(QueryId id, const std::string& workload,
+                        double seconds) {
+  if (!enabled_) return;
+  const double now = Now();
+  char detail[48];
+  std::snprintf(detail, sizeof(detail), "seconds=%.3f", seconds);
+  // Recorded closed up-front; segment close clamps it if the query leaves
+  // the engine before the pause elapses.
+  tracer_.AddClosedSpan(id, SpanKind::kPause, now, now + seconds, detail);
+  metrics_.GetCounter("wlm_pauses_total", {{"workload", workload}})
+      .Increment();
+}
+
+void Telemetry::OnReprioritize(QueryId id, const std::string& workload,
+                               const char* priority) {
+  if (!enabled_) return;
+  tracer_.Instant(id, "reprioritize", Now(),
+                  std::string("priority=") + priority);
+  metrics_
+      .GetCounter("wlm_reprioritizations_total", {{"workload", workload}})
+      .Increment();
+}
+
+void Telemetry::OnMonitorSample(const SystemIndicators& indicators,
+                                size_t queue_depth, size_t running_count) {
+  if (!enabled_) return;
+  metrics_.GetGauge("wlm_cpu_utilization").Set(indicators.cpu_utilization);
+  metrics_.GetGauge("wlm_io_utilization").Set(indicators.io_utilization);
+  metrics_.GetGauge("wlm_memory_utilization")
+      .Set(indicators.memory_utilization);
+  metrics_.GetGauge("wlm_conflict_ratio").Set(indicators.conflict_ratio);
+  metrics_.GetGauge("wlm_throughput").Set(indicators.throughput);
+  metrics_.GetGauge("wlm_queue_depth").Set(static_cast<double>(queue_depth));
+  metrics_.GetGauge("wlm_running").Set(static_cast<double>(running_count));
+  for (const auto& [tag, stats] : monitor_->all_tag_stats()) {
+    metrics_.GetGauge("wlm_throughput", {{"workload", tag}})
+        .Set(stats.last_interval_throughput);
+  }
+  watchdog_.Check(indicators);
+}
+
+void Telemetry::SetWorkloadOccupancy(const std::string& workload, int queued,
+                                     int running) {
+  if (!enabled_) return;
+  metrics_.GetGauge("wlm_queue_depth", {{"workload", workload}})
+      .Set(static_cast<double>(queued));
+  metrics_.GetGauge("wlm_running", {{"workload", workload}})
+      .Set(static_cast<double>(running));
+}
+
+}  // namespace wlm

@@ -1,0 +1,100 @@
+#ifndef WLM_TELEMETRY_TELEMETRY_H_
+#define WLM_TELEMETRY_TELEMETRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/monitor.h"
+#include "engine/types.h"
+#include "sim/simulation.h"
+#include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
+#include "telemetry/slo.h"
+#include "telemetry/slo_watchdog.h"
+#include "telemetry/trace.h"
+
+namespace wlm {
+
+struct TelemetryOptions {
+  /// When false every hook returns immediately (one predictable branch on
+  /// the hot path) and nothing is recorded.
+  bool enabled = true;
+  /// Bound on retained per-query traces; oldest finished evicted first.
+  size_t max_traces = 8192;
+};
+
+/// The observability facade the WorkloadManager drives: per-query span
+/// traces, the labeled metrics registry, and the SLO watchdog, all fed
+/// from the manager's lifecycle hooks and the monitor's sampling loop.
+/// Purely passive — it records simulated time but never schedules events
+/// or perturbs any control decision, so enabling/disabling it cannot
+/// change a run's outcome.
+class Telemetry {
+ public:
+  /// `event_log` is the manager's control-plane log; the SLO watchdog
+  /// appends its violation events there. May be nullptr.
+  Telemetry(Simulation* sim, Monitor* monitor, EventLog* event_log,
+            TelemetryOptions options = TelemetryOptions());
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  SloWatchdog& watchdog() { return watchdog_; }
+  const SloWatchdog& watchdog() const { return watchdog_; }
+
+  /// Replaces the watched SLOs of `workload` (on workload definition).
+  void WatchSlos(const std::string& workload,
+                 const std::vector<ServiceLevelObjective>& slos);
+
+  // --- lifecycle hooks (all no-ops when disabled) --------------------------
+  void OnSubmit(QueryId id, const std::string& workload, QueryKind kind);
+  /// Admission accepted: zero-length admit span + queue span opens.
+  void OnAdmitted(QueryId id, const std::string& workload);
+  /// Admission refused by `gate`; the trace ends here.
+  void OnRejected(QueryId id, const std::string& workload,
+                  const std::string& gate, const std::string& reason);
+  /// Back in the queue after a kill/deadlock resubmission or suspension
+  /// has already been handled (opens a fresh queue span).
+  void OnRequeued(QueryId id, const std::string& workload);
+  /// A dispatch-time admission gate held the request back this round.
+  void OnDispatchGated(QueryId id, const std::string& workload,
+                       const std::string& gate);
+  void OnDispatch(QueryId id, const std::string& workload, bool resumed);
+  void OnSuspendStart(QueryId id, const std::string& workload,
+                      const char* strategy);
+  /// State flush finished; the request waits for resume.
+  void OnSuspended(QueryId id, const std::string& workload);
+  /// Terminal outcome (completed / killed / aborted).
+  void OnTerminal(QueryId id, const std::string& workload,
+                  const char* outcome_name, double response_seconds,
+                  double queue_wait_seconds, const QueryOutcome& outcome);
+  void OnThrottle(QueryId id, const std::string& workload, double duty);
+  void OnPause(QueryId id, const std::string& workload, double seconds);
+  void OnReprioritize(QueryId id, const std::string& workload,
+                      const char* priority);
+  /// Monitor sampling instant: indicator gauges + SLO watchdog sweep.
+  /// `queue_depth` and per-workload occupancy come from the manager.
+  void OnMonitorSample(const SystemIndicators& indicators, size_t queue_depth,
+                       size_t running_count);
+  void SetWorkloadOccupancy(const std::string& workload, int queued,
+                            int running);
+
+ private:
+  double Now() const;
+
+  Simulation* sim_;
+  Monitor* monitor_;
+  bool enabled_;
+  Tracer tracer_;
+  MetricsRegistry metrics_;
+  SloWatchdog watchdog_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_TELEMETRY_TELEMETRY_H_

@@ -1,0 +1,170 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <array>
+
+namespace wlm {
+
+const char* SpanKindToString(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kQueue:
+      return "queue";
+    case SpanKind::kAdmit:
+      return "admit";
+    case SpanKind::kExecute:
+      return "execute";
+    case SpanKind::kThrottle:
+      return "throttle";
+    case SpanKind::kPause:
+      return "pause";
+    case SpanKind::kLockWait:
+      return "lock-wait";
+    case SpanKind::kSuspendFlush:
+      return "suspend-flush";
+    case SpanKind::kSuspendedWait:
+      return "suspended";
+  }
+  return "?";
+}
+
+std::vector<const Span*> QueryTrace::SpansOfKind(SpanKind kind) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans) {
+    if (span.kind == kind) out.push_back(&span);
+  }
+  return out;
+}
+
+size_t QueryTrace::DistinctKinds() const {
+  std::array<bool, kSpanKindCount> seen{};
+  size_t distinct = 0;
+  for (const Span& span : spans) {
+    auto index = static_cast<size_t>(span.kind);
+    if (!seen[index]) {
+      seen[index] = true;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+double QueryTrace::TotalOfKind(SpanKind kind) const {
+  double total = 0.0;
+  for (const Span& span : spans) {
+    if (span.kind == kind && !span.open()) total += span.duration();
+  }
+  return total;
+}
+
+Tracer::Tracer(size_t max_traces) : max_traces_(max_traces) {}
+
+QueryTrace& Tracer::GetOrCreate(QueryId id, const std::string& workload,
+                                QueryKind kind, double now) {
+  auto it = traces_.find(id);
+  if (it != traces_.end()) return it->second;
+  while (traces_.size() >= max_traces_ && !finished_order_.empty()) {
+    traces_.erase(finished_order_.front());
+    finished_order_.pop_front();
+    ++evicted_;
+  }
+  QueryTrace trace;
+  trace.id = id;
+  trace.workload = workload;
+  trace.kind = kind;
+  trace.tid = next_tid_++;
+  trace.start_time = now;
+  return traces_.emplace(id, std::move(trace)).first->second;
+}
+
+const QueryTrace* Tracer::Find(QueryId id) const {
+  auto it = traces_.find(id);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+void Tracer::OpenSpan(QueryId id, SpanKind kind, double now,
+                      std::string detail) {
+  auto it = traces_.find(id);
+  if (it == traces_.end()) return;
+  Span span;
+  span.kind = kind;
+  span.start = now;
+  span.detail = std::move(detail);
+  it->second.spans.push_back(std::move(span));
+}
+
+void Tracer::CloseSpan(QueryId id, SpanKind kind, double now,
+                       const std::string& append_detail) {
+  auto it = traces_.find(id);
+  if (it == traces_.end()) return;
+  auto& spans = it->second.spans;
+  for (auto rit = spans.rbegin(); rit != spans.rend(); ++rit) {
+    if (rit->kind == kind && rit->open()) {
+      rit->end = std::max(now, rit->start);
+      if (!append_detail.empty()) {
+        if (!rit->detail.empty()) rit->detail += ' ';
+        rit->detail += append_detail;
+      }
+      return;
+    }
+  }
+}
+
+void Tracer::AddClosedSpan(QueryId id, SpanKind kind, double start,
+                           double end, std::string detail) {
+  auto it = traces_.find(id);
+  if (it == traces_.end() || end < start) return;
+  Span span;
+  span.kind = kind;
+  span.start = start;
+  span.end = end;
+  span.detail = std::move(detail);
+  it->second.spans.push_back(std::move(span));
+}
+
+void Tracer::Instant(QueryId id, std::string name, double now,
+                     std::string detail) {
+  auto it = traces_.find(id);
+  if (it == traces_.end()) return;
+  TraceInstant instant;
+  instant.time = now;
+  instant.name = std::move(name);
+  instant.detail = std::move(detail);
+  it->second.instants.push_back(std::move(instant));
+}
+
+void Tracer::CloseExecutionSegment(QueryId id, double now,
+                                   const std::string& append_detail) {
+  auto it = traces_.find(id);
+  if (it == traces_.end()) return;
+  for (Span& span : it->second.spans) {
+    if (span.kind != SpanKind::kThrottle && span.kind != SpanKind::kPause &&
+        span.kind != SpanKind::kLockWait) {
+      continue;
+    }
+    if (span.open() || span.end > now) span.end = std::max(span.start, now);
+  }
+  CloseSpan(id, SpanKind::kExecute, now, append_detail);
+}
+
+void Tracer::FinishTrace(QueryId id, double now) {
+  auto it = traces_.find(id);
+  if (it == traces_.end() || it->second.finished) return;
+  for (Span& span : it->second.spans) {
+    if (span.open() || span.end > now) span.end = std::max(span.start, now);
+  }
+  it->second.finished = true;
+  finished_order_.push_back(id);
+}
+
+std::vector<const QueryTrace*> Tracer::Traces() const {
+  std::vector<const QueryTrace*> out;
+  out.reserve(traces_.size());
+  for (const auto& [id, trace] : traces_) out.push_back(&trace);
+  std::sort(out.begin(), out.end(),
+            [](const QueryTrace* a, const QueryTrace* b) {
+              return a->tid < b->tid;
+            });
+  return out;
+}
+
+}  // namespace wlm

@@ -7,7 +7,7 @@
 #include "admission/threshold_admission.h"
 #include "characterization/static_classifier.h"
 #include "core/request.h"
-#include "core/slo.h"
+#include "telemetry/slo.h"
 #include "core/taxonomy.h"
 #include "core/workload_manager.h"
 #include "scheduling/queue_schedulers.h"

@@ -1,0 +1,664 @@
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "characterization/static_classifier.h"
+#include "core/workload_manager.h"
+#include "scheduling/queue_schedulers.h"
+#include "telemetry/event_log.h"
+#include "telemetry/exporters.h"
+#include "telemetry/metrics.h"
+#include "telemetry/slo_watchdog.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+#include "wlm_test_util.h"
+
+namespace wlm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader, enough to validate exporter output structurally.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::Kind::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // validated structurally only
+            *out += '?';
+            break;
+          default: *out += esc;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    if (!Consume('[')) return false;
+    out->kind = JsonValue::Kind::kArray;
+    if (Consume(']')) return true;
+    while (true) {
+      JsonValue element;
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    if (!Consume('{')) return false;
+    out->kind = JsonValue::Kind::kObject;
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      SkipSpace();
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterGaugeHistogramBasics) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("requests_total", {{"workload", "bi"}}).Increment();
+  metrics.GetCounter("requests_total", {{"workload", "bi"}}).Increment(2.0);
+  metrics.GetCounter("requests_total", {{"workload", "oltp"}}).Increment();
+  metrics.GetGauge("queue_depth").Set(7.0);
+  metrics.GetHistogram("latency_seconds").Observe(0.02);
+
+  EXPECT_EQ(metrics.family_count(), 3u);
+  EXPECT_EQ(metrics.series_count(), 4u);
+  const Counter* bi = metrics.FindCounter("requests_total", {{"workload", "bi"}});
+  ASSERT_NE(bi, nullptr);
+  EXPECT_DOUBLE_EQ(bi->value(), 3.0);
+  EXPECT_EQ(metrics.FindCounter("requests_total", {{"workload", "etl"}}),
+            nullptr);
+  EXPECT_DOUBLE_EQ(metrics.FindGauge("queue_depth")->value(), 7.0);
+}
+
+TEST(MetricsRegistry, CounterIgnoresNonPositiveDeltas) {
+  MetricsRegistry metrics;
+  Counter& c = metrics.GetCounter("ticks_total");
+  c.Increment();
+  c.Increment(-5.0);
+  c.Increment(0.0);
+  EXPECT_DOUBLE_EQ(c.value(), 1.0);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotMatter) {
+  MetricsRegistry metrics;
+  metrics.GetCounter("x_total", {{"a", "1"}, {"b", "2"}}).Increment();
+  metrics.GetCounter("x_total", {{"b", "2"}, {"a", "1"}}).Increment();
+  EXPECT_EQ(metrics.series_count(), 1u);
+  EXPECT_DOUBLE_EQ(
+      metrics.FindCounter("x_total", {{"b", "2"}, {"a", "1"}})->value(), 2.0);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulativeInExposition) {
+  MetricsRegistry metrics;
+  std::vector<double> bounds = {1.0, 2.0, 4.0};
+  HistogramMetric& h = metrics.GetHistogram("resp_seconds", {}, &bounds);
+  for (double v : {0.5, 1.5, 1.7, 3.0, 10.0}) h.Observe(v);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.7);
+
+  std::ostringstream out;
+  metrics.WritePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE resp_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("resp_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("resp_seconds_bucket{le=\"2\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("resp_seconds_bucket{le=\"4\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("resp_seconds_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("resp_seconds_count 5"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrometheusExpositionFormat) {
+  MetricsRegistry metrics;
+  metrics.SetHelp("up_total", "help text");
+  metrics.GetCounter("up_total", {{"workload", "b\"i\n"}}).Increment();
+  metrics.GetGauge("depth").Set(3.5);
+
+  std::ostringstream out;
+  metrics.WritePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# HELP up_total help text"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE up_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  // Label values escape double quotes and newlines.
+  EXPECT_NE(text.find("up_total{workload=\"b\\\"i\\n\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("depth 3.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, SpansOpenCloseAndClamp) {
+  Tracer tracer;
+  tracer.GetOrCreate(1, "bi", QueryKind::kBiQuery, 0.0);
+  tracer.OpenSpan(1, SpanKind::kQueue, 0.0);
+  tracer.CloseSpan(1, SpanKind::kQueue, 2.0);
+  tracer.OpenSpan(1, SpanKind::kExecute, 2.0);
+  tracer.OpenSpan(1, SpanKind::kThrottle, 3.0, "duty=0.5");
+  // Pause recorded past the (eventual) end of the segment gets clamped.
+  tracer.AddClosedSpan(1, SpanKind::kPause, 4.0, 99.0);
+  tracer.CloseExecutionSegment(1, 5.0, "outcome=completed");
+  tracer.FinishTrace(1, 5.0);
+
+  const QueryTrace* trace = tracer.Find(1);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->finished);
+  EXPECT_EQ(trace->DistinctKinds(), 4u);
+  ASSERT_EQ(trace->SpansOfKind(SpanKind::kThrottle).size(), 1u);
+  EXPECT_DOUBLE_EQ(trace->SpansOfKind(SpanKind::kThrottle)[0]->end, 5.0);
+  EXPECT_DOUBLE_EQ(trace->SpansOfKind(SpanKind::kPause)[0]->end, 5.0);
+  EXPECT_DOUBLE_EQ(trace->TotalOfKind(SpanKind::kQueue), 2.0);
+  // Spans of each kind stay within the execute segment.
+  const Span* execute = trace->SpansOfKind(SpanKind::kExecute)[0];
+  for (const Span& span : trace->spans) {
+    if (span.kind == SpanKind::kThrottle || span.kind == SpanKind::kPause) {
+      EXPECT_GE(span.start, execute->start);
+      EXPECT_LE(span.end, execute->end);
+    }
+  }
+}
+
+TEST(Tracer, EvictsOldestFinishedTraces) {
+  Tracer tracer(/*max_traces=*/2);
+  for (QueryId id = 1; id <= 4; ++id) {
+    tracer.GetOrCreate(id, "w", QueryKind::kOltpTransaction, 0.0);
+    tracer.FinishTrace(id, 1.0);
+  }
+  EXPECT_EQ(tracer.Traces().size(), 2u);
+  EXPECT_EQ(tracer.Find(1), nullptr);
+  EXPECT_NE(tracer.Find(4), nullptr);
+  EXPECT_EQ(tracer.evicted(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// EventLog index correctness (including eviction past max_events)
+// ---------------------------------------------------------------------------
+
+TEST(EventLog, IndexedLookupsMatchBruteForcePastEviction) {
+  const size_t kMax = 64;
+  EventLog log(kMax);
+  // 5x the retained window, cycling types and queries.
+  for (int i = 0; i < static_cast<int>(kMax) * 5; ++i) {
+    WlmEvent event;
+    event.time = 0.1 * i;
+    event.type = static_cast<WlmEventType>(i % static_cast<int>(kWlmEventTypeCount));
+    event.query = static_cast<QueryId>(i % 7);
+    event.workload = (i % 2) ? "bi" : "oltp";
+    log.Append(event);
+  }
+  EXPECT_EQ(log.size(), kMax);
+  EXPECT_EQ(log.total_appended(), static_cast<int64_t>(kMax) * 5);
+
+  // Brute-force references from the retained window.
+  for (size_t t = 0; t < kWlmEventTypeCount; ++t) {
+    WlmEventType type = static_cast<WlmEventType>(t);
+    std::vector<double> expected;
+    for (const WlmEvent& e : log.events()) {
+      if (e.type == type) expected.push_back(e.time);
+    }
+    std::vector<WlmEvent> got = log.OfType(type);
+    ASSERT_EQ(got.size(), expected.size()) << "type " << t;
+    EXPECT_EQ(log.CountOf(type), static_cast<int64_t>(expected.size()));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_DOUBLE_EQ(got[i].time, expected[i]);
+      EXPECT_EQ(got[i].type, type);
+    }
+  }
+  for (QueryId q = 0; q < 7; ++q) {
+    size_t expected = 0;
+    for (const WlmEvent& e : log.events()) {
+      if (e.query == q) ++expected;
+    }
+    std::vector<WlmEvent> got = log.ForQuery(q);
+    EXPECT_EQ(got.size(), expected);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end(),
+                               [](const WlmEvent& a, const WlmEvent& b) {
+                                 return a.time < b.time;
+                               }));
+  }
+  // Window queries respect [begin, end) on the retained suffix.
+  const double begin = log.events().front().time + 1.0;
+  const double end = begin + 2.0;
+  size_t expected_window = 0;
+  for (const WlmEvent& e : log.events()) {
+    if (e.time >= begin && e.time < end) ++expected_window;
+  }
+  EXPECT_EQ(log.InWindow(begin, end).size(), expected_window);
+}
+
+TEST(EventLog, ClearResetsIndexes) {
+  EventLog log(8);
+  for (int i = 0; i < 20; ++i) {
+    WlmEvent event;
+    event.time = i;
+    event.type = WlmEventType::kSubmitted;
+    event.query = 1;
+    log.Append(event);
+  }
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.CountOf(WlmEventType::kSubmitted), 0);
+  EXPECT_TRUE(log.ForQuery(1).empty());
+  WlmEvent event;
+  event.time = 100.0;
+  event.type = WlmEventType::kKilled;
+  event.query = 2;
+  log.Append(event);
+  EXPECT_EQ(log.CountOf(WlmEventType::kKilled), 1);
+  EXPECT_EQ(log.ForQuery(2).size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor series
+// ---------------------------------------------------------------------------
+
+TEST(MonitorSeries, PerTagThroughputSeriesAndIntervalReset) {
+  Simulation sim;
+  DatabaseEngine engine(&sim, TestEngineConfig());
+  Monitor monitor(&sim, &engine, /*interval=*/1.0);
+  monitor.Start();
+
+  sim.Schedule(0.5, [&] {
+    monitor.RecordCompletion("bi", 0.4, 1.0, OutcomeKind::kCompleted);
+    monitor.RecordCompletion("bi", 0.2, 1.0, OutcomeKind::kCompleted);
+  });
+  sim.RunUntil(1.5);
+
+  // One sample at t=1.0 has happened: 2 completions / 1s interval.
+  EXPECT_DOUBLE_EQ(monitor.tag_stats("bi").last_interval_throughput, 2.0);
+  EXPECT_EQ(monitor.tag_stats("bi").interval_completed, 0)
+      << "interval counter must reset at the sample boundary";
+  const TimeSeries* series = monitor.FindSeries("throughput:bi");
+  ASSERT_NE(series, nullptr) << "per-tag series use throughput:<tag> naming";
+  ASSERT_EQ(series->size(), 1u);
+  EXPECT_DOUBLE_EQ(series->points()[0].value, 2.0);
+
+  // The next interval has no completions: throughput falls back to zero.
+  sim.RunUntil(2.5);
+  EXPECT_DOUBLE_EQ(monitor.tag_stats("bi").last_interval_throughput, 0.0);
+  ASSERT_EQ(monitor.FindSeries("throughput:bi")->size(), 2u);
+  EXPECT_DOUBLE_EQ(monitor.FindSeries("throughput:bi")->points()[1].value,
+                   0.0);
+  // Global series exist alongside the per-tag ones.
+  EXPECT_NE(monitor.FindSeries("throughput"), nullptr);
+  EXPECT_NE(monitor.FindSeries("cpu_util"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SLO watchdog
+// ---------------------------------------------------------------------------
+
+TEST(SloWatchdog, EdgeTriggeredViolationsLandInEventLog) {
+  Simulation sim;
+  DatabaseEngine engine(&sim, TestEngineConfig());
+  Monitor monitor(&sim, &engine, 1.0);
+  EventLog log;
+  MetricsRegistry metrics;
+  SloWatchdog watchdog(&monitor, &log, &metrics);
+  watchdog.SetSlos("bi", {ServiceLevelObjective::AvgResponse(1.0)});
+
+  SystemIndicators indicators;
+  // No completions yet: no verdict either way.
+  watchdog.Check(indicators);
+  EXPECT_TRUE(watchdog.violations().empty());
+
+  monitor.RecordCompletion("bi", 5.0, 1.0, OutcomeKind::kCompleted);
+  watchdog.Check(indicators);
+  watchdog.Check(indicators);  // still violated: no second transition event
+  ASSERT_EQ(watchdog.violations().size(), 1u);
+  EXPECT_EQ(watchdog.violations()[0].workload, "bi");
+  EXPECT_FALSE(watchdog.violations()[0].evaluation.met);
+  EXPECT_EQ(log.CountOf(WlmEventType::kSloViolation), 1);
+  const Counter* samples = metrics.FindCounter(
+      "wlm_slo_violation_samples_total", {{"workload", "bi"}});
+  ASSERT_NE(samples, nullptr);
+  EXPECT_DOUBLE_EQ(samples->value(), 2.0);
+
+  // Recovery re-arms the edge trigger.
+  for (int i = 0; i < 200; ++i) {
+    monitor.RecordCompletion("bi", 0.01, 1.0, OutcomeKind::kCompleted);
+  }
+  watchdog.Check(indicators);
+  ASSERT_EQ(watchdog.violations().size(), 1u);
+  monitor.tag_stats("bi").response_times = Percentiles();
+  monitor.RecordCompletion("bi", 9.0, 1.0, OutcomeKind::kCompleted);
+  watchdog.Check(indicators);
+  EXPECT_EQ(watchdog.violations().size(), 2u);
+  EXPECT_EQ(log.CountOf(WlmEventType::kSloViolation), 2);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: manager-driven run, exporters, determinism
+// ---------------------------------------------------------------------------
+
+struct MixedRun {
+  std::unique_ptr<TestRig> rig;
+
+  explicit MixedRun(bool telemetry_enabled) {
+    WlmConfig config;
+    config.telemetry.enabled = telemetry_enabled;
+    rig = std::make_unique<TestRig>(TestEngineConfig(), /*interval=*/0.25,
+                                    config);
+    WorkloadManager& wlm = rig->wlm;
+
+    WorkloadDefinition bi;
+    bi.name = "bi";
+    bi.priority = BusinessPriority::kLow;
+    bi.slos.push_back(ServiceLevelObjective::AvgResponse(0.5));
+    wlm.DefineWorkload(bi);
+    WorkloadDefinition oltp;
+    oltp.name = "oltp";
+    oltp.priority = BusinessPriority::kHigh;
+    wlm.DefineWorkload(oltp);
+
+    auto classifier = std::make_unique<StaticClassifier>();
+    ClassificationRule bi_rule;
+    bi_rule.workload = "bi";
+    bi_rule.kind = QueryKind::kBiQuery;
+    classifier->AddRule(bi_rule);
+    ClassificationRule oltp_rule;
+    oltp_rule.workload = "oltp";
+    oltp_rule.kind = QueryKind::kOltpTransaction;
+    classifier->AddRule(oltp_rule);
+    wlm.set_classifier(std::move(classifier));
+    wlm.set_scheduler(std::make_unique<PriorityScheduler>(/*mpl=*/2));
+
+    // Two BI queries (the second queues behind MPL 2 + the OLTP stream)
+    // and a burst of OLTP transactions.
+    rig->sim.Schedule(0.0, [&wlm] { wlm.Submit(BiSpec(1, /*cpu=*/2.0)); });
+    rig->sim.Schedule(0.05, [&wlm] { wlm.Submit(BiSpec(2, /*cpu=*/2.0)); });
+    for (int i = 0; i < 10; ++i) {
+      rig->sim.Schedule(0.1 + 0.05 * i, [&wlm, i] {
+        wlm.Submit(OltpSpec(static_cast<QueryId>(100 + i)));
+      });
+    }
+    // Throttle query 1 while it runs; it spans several monitor samples.
+    rig->sim.Schedule(0.5, [&wlm] { wlm.ThrottleRequest(1, 0.5); });
+    rig->sim.RunUntil(40.0);
+  }
+};
+
+TEST(TelemetryEndToEnd, BiQueryCarriesFullSpanLifecycle) {
+  MixedRun run(/*telemetry_enabled=*/true);
+  Telemetry& telemetry = run.rig->wlm.telemetry();
+
+  const QueryTrace* trace = telemetry.tracer().Find(1);
+  ASSERT_NE(trace, nullptr);
+  EXPECT_TRUE(trace->finished);
+  // queue + admit + execute + throttle >= 4 distinct span kinds.
+  EXPECT_GE(trace->DistinctKinds(), 4u);
+  EXPECT_FALSE(trace->SpansOfKind(SpanKind::kQueue).empty());
+  EXPECT_FALSE(trace->SpansOfKind(SpanKind::kAdmit).empty());
+  EXPECT_FALSE(trace->SpansOfKind(SpanKind::kExecute).empty());
+  EXPECT_FALSE(trace->SpansOfKind(SpanKind::kThrottle).empty());
+  for (const Span& span : trace->spans) {
+    EXPECT_FALSE(span.open()) << SpanKindToString(span.kind);
+    EXPECT_LE(span.start, span.end);
+  }
+
+  // Metric families cover the acceptance floor and completions tally.
+  EXPECT_GE(telemetry.metrics().family_count(), 10u);
+  const Counter* completed = telemetry.metrics().FindCounter(
+      "wlm_requests_completed_total", {{"workload", "bi"}});
+  ASSERT_NE(completed, nullptr);
+  EXPECT_DOUBLE_EQ(
+      completed->value(),
+      static_cast<double>(run.rig->monitor.tag_stats("bi").completed));
+  // The ambitious BI SLO must have tripped the watchdog.
+  EXPECT_GE(telemetry.watchdog().violations().size(), 1u);
+  EXPECT_GE(run.rig->wlm.event_log().CountOf(WlmEventType::kSloViolation), 1);
+}
+
+TEST(TelemetryEndToEnd, ChromeTraceExportParsesAndNests) {
+  MixedRun run(/*telemetry_enabled=*/true);
+  std::ostringstream out;
+  WriteChromeTrace(run.rig->wlm.telemetry().tracer(), out, &run.rig->monitor);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(out.str()).Parse(&root)) << "trace must be valid JSON";
+  ASSERT_EQ(root.kind, JsonValue::Kind::kArray);
+  ASSERT_FALSE(root.array.empty());
+
+  size_t span_events = 0;
+  std::map<int, std::vector<std::pair<long long, long long>>> by_tid;
+  for (const JsonValue& event : root.array) {
+    ASSERT_EQ(event.kind, JsonValue::Kind::kObject);
+    const JsonValue* ph = event.Get("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_NE(event.Get("pid"), nullptr);
+    if (ph->string == "M" || ph->string == "C") continue;
+    ASSERT_EQ(ph->string, "X");
+    ASSERT_NE(event.Get("ts"), nullptr);
+    ASSERT_NE(event.Get("dur"), nullptr);
+    ASSERT_NE(event.Get("tid"), nullptr);
+    ++span_events;
+    long long ts = static_cast<long long>(event.Get("ts")->number);
+    long long dur = static_cast<long long>(event.Get("dur")->number);
+    EXPECT_GE(ts, 0);
+    EXPECT_GE(dur, 0);
+    if (dur > 0) {
+      by_tid[static_cast<int>(event.Get("tid")->number)]
+          .emplace_back(ts, ts + dur);
+    }
+  }
+  EXPECT_GE(span_events, 4u);
+
+  // Per thread, spans either nest or are disjoint (never partially overlap)
+  // — the invariant Perfetto's track builder needs.
+  for (auto& [tid, spans] : by_tid) {
+    std::sort(spans.begin(), spans.end());
+    std::vector<std::pair<long long, long long>> stack;
+    for (const auto& span : spans) {
+      while (!stack.empty() && span.first >= stack.back().second) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        EXPECT_LE(span.second, stack.back().second)
+            << "tid " << tid << ": span [" << span.first << ", "
+            << span.second << ") straddles its parent";
+      }
+      stack.push_back(span);
+    }
+  }
+}
+
+TEST(TelemetryEndToEnd, PrometheusExportCoversLabeledFamilies) {
+  MixedRun run(/*telemetry_enabled=*/true);
+  std::ostringstream out;
+  WritePrometheus(run.rig->wlm.telemetry().metrics(), out);
+  const std::string text = out.str();
+
+  size_t families = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# TYPE ", 0) == 0) ++families;
+  }
+  EXPECT_GE(families, 10u);
+  EXPECT_NE(text.find("wlm_requests_submitted_total{workload=\"bi\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("wlm_response_seconds_bucket{"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("wlm_cpu_utilization"), std::string::npos);
+}
+
+TEST(TelemetryEndToEnd, SeriesAndEventLogExportsAreWellFormed) {
+  MixedRun run(/*telemetry_enabled=*/true);
+  std::ostringstream jsonl;
+  WriteSeriesJsonl(run.rig->monitor, jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  size_t rows = 0;
+  while (std::getline(lines, line)) {
+    JsonValue row;
+    ASSERT_TRUE(JsonParser(line).Parse(&row)) << line;
+    ASSERT_NE(row.Get("series"), nullptr);
+    ASSERT_NE(row.Get("time"), nullptr);
+    ASSERT_NE(row.Get("value"), nullptr);
+    ++rows;
+  }
+  EXPECT_GT(rows, 0u);
+
+  std::ostringstream csv;
+  WriteSeriesCsv(run.rig->monitor, csv);
+  EXPECT_EQ(csv.str().rfind("series,time,value\n", 0), 0u);
+
+  std::ostringstream events;
+  WriteEventLogJsonl(run.rig->wlm.event_log(), events);
+  std::istringstream event_lines(events.str());
+  size_t event_rows = 0;
+  while (std::getline(event_lines, line)) {
+    JsonValue row;
+    ASSERT_TRUE(JsonParser(line).Parse(&row)) << line;
+    ASSERT_NE(row.Get("type"), nullptr);
+    ++event_rows;
+  }
+  EXPECT_EQ(event_rows, run.rig->wlm.event_log().size());
+}
+
+TEST(TelemetryEndToEnd, DisabledTelemetryChangesNoOutcome) {
+  MixedRun on(/*telemetry_enabled=*/true);
+  MixedRun off(/*telemetry_enabled=*/false);
+
+  // Identical simulated results either way: telemetry is purely passive.
+  for (const char* tag : {"bi", "oltp"}) {
+    const TagStats& a = on.rig->monitor.tag_stats(tag);
+    const TagStats& b = off.rig->monitor.tag_stats(tag);
+    EXPECT_EQ(a.completed, b.completed) << tag;
+    EXPECT_DOUBLE_EQ(a.response_times.mean(), b.response_times.mean()) << tag;
+  }
+  EXPECT_EQ(on.rig->wlm.event_log().CountOf(WlmEventType::kCompleted),
+            off.rig->wlm.event_log().CountOf(WlmEventType::kCompleted));
+  // And the disabled side recorded nothing.
+  EXPECT_EQ(off.rig->wlm.telemetry().tracer().Traces().size(), 0u);
+  EXPECT_EQ(off.rig->wlm.telemetry().metrics().family_count(), 0u);
+}
+
+}  // namespace
+}  // namespace wlm
