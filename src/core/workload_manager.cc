@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
 
 namespace wlm {
 
@@ -146,6 +148,13 @@ void WorkloadManager::TryDispatch() {
     if (scheduler_) {
       int limit = scheduler_->ConcurrencyLimit(*this);
       if (limit > 0) {
+        // Graceful degradation sheds MPL while a fault window is active:
+        // the shrunken engine thrashes at the healthy concurrency level.
+        if (degraded()) {
+          limit = std::max(
+              1, static_cast<int>(std::floor(
+                     limit * config_.resilience.degraded_mpl_factor)));
+        }
         allowed = limit - static_cast<int>(running_.size());
       }
     }
@@ -208,6 +217,17 @@ void WorkloadManager::DispatchRequest(Request* request) {
   // Dispatch can only fail on duplicate ids, which Submit prevents.
   assert(status.ok());
   (void)status;
+
+  // Degradation extends to requests dispatched mid-fault-window: the MPL
+  // shed already gates how many run; low-priority ones also run slowed.
+  const ResilienceOptions& res = config_.resilience;
+  if (degraded() && res.degraded_throttle_duty < 1.0 &&
+      static_cast<int>(request->priority) <=
+          static_cast<int>(res.degraded_throttle_max_priority)) {
+    if (ThrottleRequest(id, res.degraded_throttle_duty).ok()) {
+      degraded_throttled_.insert(id);
+    }
+  }
 }
 
 void WorkloadManager::LogEvent(WlmEventType type, const Request& request,
@@ -275,6 +295,7 @@ void WorkloadManager::OnFinish(const QueryOutcome& outcome) {
   if (it == requests_.end()) return;  // not ours (engine used directly)
   Request* request = it->second.get();
   running_.erase(outcome.id);
+  degraded_throttled_.erase(outcome.id);
   WorkloadCounters& counters = counters_[request->workload];
 
   switch (outcome.kind) {
@@ -282,8 +303,12 @@ void WorkloadManager::OnFinish(const QueryOutcome& outcome) {
       FinishTerminal(request, RequestState::kCompleted, outcome);
       break;
     case OutcomeKind::kKilled: {
+      bool fault_abort = fault_aborted_.erase(outcome.id) > 0;
       bool resubmit = resubmit_on_kill_.erase(outcome.id) > 0;
-      if (resubmit && request->resubmits < config_.max_resubmits) {
+      if (fault_abort && config_.resilience.enabled &&
+          request->resubmits < config_.resilience.max_retries) {
+        ScheduleFaultRetry(request);
+      } else if (resubmit && request->resubmits < config_.max_resubmits) {
         ++request->resubmits;
         ++counters.resubmitted;
         LogEvent(WlmEventType::kResubmitted, *request, "after kill");
@@ -468,6 +493,106 @@ void WorkloadManager::SetWorkloadShares(const std::string& workload,
     Request* request = requests_.at(id).get();
     if (request->workload == workload) request->shares = shares;
   }
+}
+
+void WorkloadManager::LogFaultEvent(WlmEventType type, const std::string& kind,
+                                    std::string detail) {
+  WlmEvent event;
+  event.time = sim_->Now();
+  event.type = type;
+  event.query = kFaultTraceId;
+  event.workload = "faults";
+  if (detail.empty()) {
+    event.detail = kind;
+  } else {
+    event.detail = kind + " " + std::move(detail);
+  }
+  event_log_.Append(std::move(event));
+}
+
+void WorkloadManager::NotifyFaultBegin(const std::string& kind,
+                                       const std::string& detail) {
+  ++active_faults_;
+  LogFaultEvent(WlmEventType::kFaultInjected, kind, detail);
+  telemetry_->OnFaultBegin(kind, detail);
+  if (config_.resilience.enabled && active_faults_ == 1) EnterDegraded();
+}
+
+void WorkloadManager::NotifyFaultEnd(const std::string& kind,
+                                     double started_at) {
+  if (active_faults_ > 0) --active_faults_;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "window=%.3fs", sim_->Now() - started_at);
+  LogFaultEvent(WlmEventType::kFaultRecovered, kind, buf);
+  telemetry_->OnFaultEnd(kind, started_at);
+  if (config_.resilience.enabled && active_faults_ == 0) ExitDegraded();
+}
+
+Status WorkloadManager::AbortRequestByFault(QueryId id,
+                                            const std::string& reason) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  if (running_.count(id) == 0) {
+    return Status::FailedPrecondition("request not running");
+  }
+  fault_aborted_.insert(id);
+  telemetry_->OnFaultAbort(id, it->second->workload, reason);
+  Status status = engine_->Kill(id);  // OnFinish fires synchronously
+  if (!status.ok()) fault_aborted_.erase(id);
+  return status;
+}
+
+void WorkloadManager::ScheduleFaultRetry(Request* request) {
+  double delay = config_.resilience.retry_backoff_seconds *
+                 std::pow(config_.resilience.retry_backoff_multiplier,
+                          request->resubmits);
+  ++request->resubmits;
+  ++counters_[request->workload].resubmitted;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "fault retry backoff=%.3fs", delay);
+  LogEvent(WlmEventType::kResubmitted, *request, buf);
+  telemetry_->OnFaultRetry(request->spec.id, request->workload, delay);
+  // Backoff limbo: queued state but not yet in the wait queue, so the
+  // scheduler cannot dispatch it before the backoff elapses.
+  request->state = RequestState::kQueued;
+  QueryId id = request->spec.id;
+  sim_->Schedule(delay, [this, id] {
+    auto it = requests_.find(id);
+    if (it == requests_.end()) return;
+    Request* r = it->second.get();
+    if (r->state != RequestState::kQueued) return;
+    if (std::find(queue_.begin(), queue_.end(), id) != queue_.end()) return;
+    Requeue(r);
+    TryDispatch();
+  });
+}
+
+void WorkloadManager::EnterDegraded() {
+  telemetry_->SetDegraded(true);
+  const ResilienceOptions& res = config_.resilience;
+  if (res.degraded_throttle_duty >= 1.0) return;
+  for (const Request* request : Running()) {
+    if (static_cast<int>(request->priority) >
+        static_cast<int>(res.degraded_throttle_max_priority)) {
+      continue;
+    }
+    if (ThrottleRequest(request->spec.id, res.degraded_throttle_duty).ok()) {
+      degraded_throttled_.insert(request->spec.id);
+    }
+  }
+}
+
+void WorkloadManager::ExitDegraded() {
+  telemetry_->SetDegraded(false);
+  std::vector<QueryId> throttled(degraded_throttled_.begin(),
+                                 degraded_throttled_.end());
+  std::sort(throttled.begin(), throttled.end());
+  degraded_throttled_.clear();
+  for (QueryId id : throttled) {
+    if (running_.count(id) > 0) ThrottleRequest(id, 1.0);
+  }
+  // The MPL shed lifted with the last fault window; fill freed slots.
+  TryDispatch();
 }
 
 }  // namespace wlm

@@ -22,6 +22,32 @@
 
 namespace wlm {
 
+/// Resilience policies the manager applies while faults disturb the
+/// engine (driven by `wlm::FaultInjector`, but any caller of
+/// NotifyFaultBegin/End and AbortRequestByFault engages them).
+struct ResilienceOptions {
+  /// Master switch; everything below is inert when false.
+  bool enabled = false;
+
+  // Bounded retry with exponential backoff for fault-aborted requests.
+  /// Max automatic retries per request (counted with other resubmits).
+  int max_retries = 3;
+  /// Delay before the first retry, seconds.
+  double retry_backoff_seconds = 0.25;
+  /// Backoff growth per successive retry of one request.
+  double retry_backoff_multiplier = 2.0;
+
+  // Graceful degradation while at least one fault window is active.
+  /// Scheduler concurrency limits are scaled by this factor (floor 1)
+  /// while degraded — shedding MPL so the shrunken engine is not
+  /// over-admitted.
+  double degraded_mpl_factor = 0.5;
+  /// Duty imposed on running requests at or below
+  /// `degraded_throttle_max_priority` while degraded; 1.0 disables.
+  double degraded_throttle_duty = 1.0;
+  BusinessPriority degraded_throttle_max_priority = BusinessPriority::kLow;
+};
+
 struct WlmConfig {
   /// Workload used when no classifier matches.
   std::string default_workload = "default";
@@ -33,6 +59,8 @@ struct WlmConfig {
   /// Observability layer (per-query span traces, labeled metrics, SLO
   /// watchdog). Purely passive; disabling changes no control decision.
   TelemetryOptions telemetry;
+  /// Fault-window resilience policies (retry/backoff, degradation).
+  ResilienceOptions resilience;
 };
 
 /// The workload-management framework: wires characterization, admission
@@ -129,6 +157,24 @@ class WorkloadManager {
   void SetWorkloadShares(const std::string& workload,
                          const ResourceShares& shares);
 
+  // --- fault plumbing (the FaultInjector drives these) ---------------------
+  /// A fault window opened: logs kFaultInjected, feeds telemetry, and —
+  /// with resilience enabled — engages graceful degradation (MPL shed,
+  /// low-priority throttling) until the matching NotifyFaultEnd.
+  void NotifyFaultBegin(const std::string& kind, const std::string& detail);
+  /// The window that began at `started_at` closed; reverts degradation
+  /// once no windows remain active.
+  void NotifyFaultEnd(const std::string& kind, double started_at);
+  int active_fault_count() const { return active_faults_; }
+  /// True while resilience is enabled and any fault window is active.
+  bool degraded() const {
+    return config_.resilience.enabled && active_faults_ > 0;
+  }
+  /// Spontaneous fault abort of a running request. With resilience
+  /// enabled the victim retries after exponential backoff (bounded by
+  /// `max_retries`); otherwise it terminates as killed.
+  Status AbortRequestByFault(QueryId id, const std::string& reason);
+
  private:
   void OnSample(const SystemIndicators& indicators);
   void OnFinish(const QueryOutcome& outcome);
@@ -138,6 +184,12 @@ class WorkloadManager {
   void Requeue(Request* request);
   void FinishTerminal(Request* request, RequestState state,
                       const QueryOutcome& outcome);
+  void LogFaultEvent(WlmEventType type, const std::string& kind,
+                     std::string detail);
+  /// Schedules the backoff-delayed requeue of a fault-aborted request.
+  void ScheduleFaultRetry(Request* request);
+  void EnterDegraded();
+  void ExitDegraded();
 
   Simulation* sim_;
   DatabaseEngine* engine_;
@@ -156,6 +208,9 @@ class WorkloadManager {
   std::unordered_set<QueryId> running_;
   std::unordered_map<QueryId, SuspendedQuery> resumable_;
   std::unordered_set<QueryId> resubmit_on_kill_;
+  std::unordered_set<QueryId> fault_aborted_;
+  std::unordered_set<QueryId> degraded_throttled_;
+  int active_faults_ = 0;
   std::vector<std::function<void(const Request&)>> completion_listeners_;
   mutable std::map<std::string, WorkloadCounters> counters_;
   EventLog event_log_;

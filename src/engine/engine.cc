@@ -172,8 +172,12 @@ void DatabaseEngine::Tick() {
     }
   }
 
-  double cpu_capacity = static_cast<double>(config_.num_cpus) * dt;
-  double io_capacity = config_.io_ops_per_second * dt;
+  // Injected degradation shrinks delivered capacity; utilization is
+  // reported against the *degraded* capacity so controllers see the
+  // resulting pressure.
+  double cpu_capacity =
+      static_cast<double>(config_.num_cpus - cpus_offline_) * dt;
+  double io_capacity = config_.io_ops_per_second * io_rate_factor_ * dt;
 
   auto two_level = [&](const std::vector<double>& demands,
                        const std::vector<double>& weights,
@@ -408,6 +412,14 @@ void DatabaseEngine::SetGroupShares(const std::string& tag,
 
 void DatabaseEngine::ClearGroupShares(const std::string& tag) {
   group_shares_.erase(tag);
+}
+
+void DatabaseEngine::SetIoRateFactor(double factor) {
+  io_rate_factor_ = std::clamp(factor, 0.0, 1.0);
+}
+
+void DatabaseEngine::SetCpusOffline(int cores) {
+  cpus_offline_ = std::clamp(cores, 0, config_.num_cpus);
 }
 
 const ResourceShares* DatabaseEngine::FindGroupShares(

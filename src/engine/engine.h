@@ -125,6 +125,20 @@ class DatabaseEngine {
   /// Group weights for `tag`, or nullptr if the tag is ungrouped.
   const ResourceShares* FindGroupShares(const std::string& tag) const;
 
+  // --- fault-injection surface ---------------------------------------------
+  // Degradation hooks the fault injector drives. They scale the capacity
+  // the tick distributes; demands, accounting and progress semantics are
+  // untouched, so recovery restores exactly the healthy behaviour.
+
+  /// Scales the disk subsystem's delivered rate: 1.0 = healthy,
+  /// 0.25 = degraded to a quarter, 0.0 = full I/O stall. Clamped to [0, 1].
+  void SetIoRateFactor(double factor);
+  double io_rate_factor() const { return io_rate_factor_; }
+  /// Takes `cores` CPUs offline (clamped to [0, num_cpus]); pass 0 to
+  /// bring every core back.
+  void SetCpusOffline(int cores);
+  int cpus_offline() const { return cpus_offline_; }
+
   // --- introspection -------------------------------------------------------
   bool IsActive(QueryId id) const { return active_.count(id) > 0; }
   size_t running_count() const { return active_.size(); }
@@ -176,6 +190,8 @@ class DatabaseEngine {
   double io_utilization_ = 0.0;
   double smoothed_cpu_ = 0.0;
   double smoothed_io_ = 0.0;
+  double io_rate_factor_ = 1.0;
+  int cpus_offline_ = 0;
 };
 
 }  // namespace wlm

@@ -11,6 +11,10 @@ MemoryGovernor::MemoryGovernor(double total_mb, double spill_penalty)
   assert(spill_penalty_ >= 0.0);
 }
 
+void MemoryGovernor::SetPressureMb(double mb) {
+  pressure_mb_ = std::max(0.0, mb);
+}
+
 void MemoryGovernor::SetGroupQuota(const std::string& group,
                                    MemoryQuota quota) {
   quotas_[group] = quota;
@@ -38,7 +42,8 @@ double MemoryGovernor::AvailableFor(const std::string& group) const {
     if (other == group) continue;
     reserved_elsewhere += std::max(0.0, quota.min_mb - GroupUsed(other));
   }
-  double available = std::max(0.0, free_mb() - reserved_elsewhere);
+  double available =
+      std::max(0.0, free_mb() - pressure_mb_ - reserved_elsewhere);
   auto quota = quotas_.find(group);
   if (quota != quotas_.end()) {
     double headroom =

@@ -48,6 +48,13 @@ class MemoryGovernor {
   void Release(double granted_mb) { Release("", granted_mb); }
   void Release(const std::string& tag, double granted_mb);
 
+  /// Fault-injection hook: reserves `mb` of the pool as unavailable
+  /// (models an external memory-pressure spike). New grants shrink
+  /// accordingly — and spill harder — while the pressure lasts; memory
+  /// already granted is unaffected. Clamped to >= 0; 0 clears.
+  void SetPressureMb(double mb);
+  double pressure_mb() const { return pressure_mb_; }
+
   /// Installs a quota for `group` (replacing any previous one).
   void SetGroupQuota(const std::string& group, MemoryQuota quota);
   /// Routes a tag into a quota group (e.g. several workload groups into
@@ -74,6 +81,7 @@ class MemoryGovernor {
   double total_mb_;
   double spill_penalty_;
   double used_mb_ = 0.0;
+  double pressure_mb_ = 0.0;
   std::unordered_map<std::string, MemoryQuota> quotas_;
   std::unordered_map<std::string, std::string> aliases_;
   std::unordered_map<std::string, double> group_used_;

@@ -1,0 +1,78 @@
+#ifndef WLM_EXECUTION_TIMEOUT_ESCALATION_H_
+#define WLM_EXECUTION_TIMEOUT_ESCALATION_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/interfaces.h"
+#include "engine/execution.h"
+
+namespace wlm {
+
+/// Per-class execution timeouts with a three-rung escalation ladder:
+/// a query that overstays its workload's soft timeout is first throttled,
+/// then suspended, and finally killed — each rung releasing progressively
+/// more resources while giving the query progressively less chance to
+/// finish on its own. This is the resilience building block the chaos
+/// drills lean on: under a fault window long queries degrade gracefully
+/// instead of holding the system hostage until a hard kill.
+class TimeoutEscalationController : public ExecutionController {
+ public:
+  /// One workload class's ladder. Rungs with limit 0 are skipped; a
+  /// query's current-run elapsed time is compared against each enabled
+  /// rung in order (throttle < suspend < kill expected, not enforced).
+  struct Policy {
+    /// Rung 1: past this many seconds the query runs at `throttle_duty`.
+    double throttle_after_seconds = 0.0;
+    double throttle_duty = 0.5;
+    /// Rung 2: past this the query is suspended (state spilled; it
+    /// requeues and the ladder restarts on its next run).
+    double suspend_after_seconds = 0.0;
+    SuspendStrategy suspend_strategy = SuspendStrategy::kDumpState;
+    /// Rung 3: past this the query is killed.
+    double kill_after_seconds = 0.0;
+    /// Resubmit kill victims instead of discarding them.
+    bool resubmit_on_kill = false;
+  };
+
+  struct Config {
+    /// Ladder applied to workloads without an explicit entry; rungs all
+    /// zero = unmanaged.
+    Policy default_policy;
+    std::map<std::string, Policy> per_workload;
+  };
+
+  explicit TimeoutEscalationController(Config config);
+
+  void OnSample(const SystemIndicators& indicators,
+                WorkloadManager& manager) override;
+  TechniqueInfo info() const override;
+
+  int64_t throttles() const { return throttles_; }
+  int64_t suspends() const { return suspends_; }
+  int64_t kills() const { return kills_; }
+
+ private:
+  enum class Stage { kNone, kThrottled, kSuspending, kKilled };
+
+  /// Highest rung applied, pinned to one engine run: `dispatch_time`
+  /// identifies the run, so after a suspend-resume cycle (new dispatch
+  /// time, elapsed reset) the ladder restarts from the bottom rung.
+  struct LadderState {
+    Stage stage = Stage::kNone;
+    double dispatch_time = -1.0;
+  };
+
+  const Policy& PolicyFor(const std::string& workload) const;
+
+  Config config_;
+  std::unordered_map<QueryId, LadderState> stages_;
+  int64_t throttles_ = 0;
+  int64_t suspends_ = 0;
+  int64_t kills_ = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_EXECUTION_TIMEOUT_ESCALATION_H_

@@ -1,0 +1,237 @@
+#include "faults/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/workload_manager.h"
+
+namespace wlm {
+
+FaultInjector::FaultInjector(Simulation* sim, DatabaseEngine* engine,
+                             WorkloadManager* wlm)
+    : sim_(sim), engine_(engine), wlm_(wlm), rng_(1) {}
+
+Status FaultInjector::Arm(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    if (event.duration <= 0.0) {
+      return Status::InvalidArgument("fault window duration must be > 0");
+    }
+    if (event.start < 0.0) {
+      return Status::InvalidArgument("fault window start must be >= 0");
+    }
+    if (event.kind == FaultKind::kQueryAborts && event.period <= 0.0) {
+      return Status::InvalidArgument("abort period must be > 0");
+    }
+  }
+  rng_ = Rng(plan.seed);
+  // Plan order is the deterministic tie-break: the simulation executes
+  // same-time events in scheduling order.
+  for (const FaultEvent& event : plan.events) {
+    int index = next_index_++;
+    sim_->ScheduleAt(event.start,
+                     [this, index, event] { Begin(index, event); });
+    sim_->ScheduleAt(event.end(), [this, index, event] { End(index, event); });
+  }
+  return Status::OK();
+}
+
+void FaultInjector::NotifyBegin(const FaultEvent& event,
+                                const std::string& detail) {
+  if (wlm_ != nullptr) {
+    wlm_->NotifyFaultBegin(FaultKindToString(event.kind), detail);
+  }
+}
+
+void FaultInjector::NotifyEnd(const FaultEvent& event, double started_at) {
+  if (wlm_ != nullptr) {
+    wlm_->NotifyFaultEnd(FaultKindToString(event.kind), started_at);
+  }
+}
+
+void FaultInjector::ApplyEngineState() {
+  double io_factor = 1.0;
+  int cores_offline = 0;
+  double pressure_mb = 0.0;
+  for (const auto& [index, event] : active_) {
+    switch (event.kind) {
+      case FaultKind::kDiskDegrade:
+        io_factor = std::min(io_factor,
+                             std::clamp(event.magnitude, 0.0, 1.0));
+        break;
+      case FaultKind::kIoStall:
+        io_factor = 0.0;
+        break;
+      case FaultKind::kCpuLoss:
+        cores_offline += std::max(
+            1, static_cast<int>(std::llround(event.magnitude)));
+        break;
+      case FaultKind::kMemoryPressure:
+        pressure_mb += std::max(0.0, event.magnitude);
+        break;
+      default:
+        break;
+    }
+  }
+  engine_->SetIoRateFactor(io_factor);
+  engine_->SetCpusOffline(cores_offline);
+  engine_->memory().SetPressureMb(pressure_mb);
+}
+
+void FaultInjector::Begin(int index, const FaultEvent& event) {
+  active_[index] = event;
+  started_at_[index] = sim_->Now();
+  ++stats_.windows_opened;
+
+  char detail[64];
+  detail[0] = '\0';
+  switch (event.kind) {
+    case FaultKind::kDiskDegrade:
+      std::snprintf(detail, sizeof(detail), "io_factor=%.2f",
+                    std::clamp(event.magnitude, 0.0, 1.0));
+      break;
+    case FaultKind::kIoStall:
+      std::snprintf(detail, sizeof(detail), "io_factor=0");
+      break;
+    case FaultKind::kMemoryPressure:
+      std::snprintf(detail, sizeof(detail), "pressure=%.0fMB",
+                    event.magnitude);
+      break;
+    case FaultKind::kCpuLoss:
+      std::snprintf(detail, sizeof(detail), "cores_offline=%d",
+                    std::max(1, static_cast<int>(std::llround(
+                                    event.magnitude))));
+      break;
+    case FaultKind::kLockStorm:
+      std::snprintf(detail, sizeof(detail), "hot_keys=%d", event.hot_keys);
+      break;
+    case FaultKind::kQueryAborts:
+      std::snprintf(detail, sizeof(detail), "period=%.2fs victims=%d",
+                    event.period,
+                    std::max(1, static_cast<int>(event.magnitude)));
+      break;
+    case FaultKind::kArrivalSurge:
+      std::snprintf(detail, sizeof(detail), "surge=%.1fx", event.magnitude);
+      break;
+  }
+  NotifyBegin(event, detail);
+
+  switch (event.kind) {
+    case FaultKind::kDiskDegrade:
+    case FaultKind::kIoStall:
+    case FaultKind::kMemoryPressure:
+    case FaultKind::kCpuLoss:
+      ApplyEngineState();
+      break;
+    case FaultKind::kLockStorm: {
+      // One storm transaction seizes the hottest keys (the Zipf
+      // generators start at key 0) exclusively for the whole window;
+      // conflicting writers queue behind it until End kills it.
+      QuerySpec spec;
+      spec.id = next_storm_id_++;
+      spec.kind = QueryKind::kOltpTransaction;
+      spec.stmt = StatementType::kWrite;
+      // Demand well past the window so it cannot finish early and
+      // release the keys before the scripted recovery.
+      spec.cpu_seconds = 2.0 * event.duration;
+      spec.io_ops = 0.0;
+      spec.memory_mb = 8.0;
+      spec.dop = 1;
+      for (int key = 0; key < event.hot_keys; ++key) {
+        spec.locks.push_back({static_cast<LockKey>(key), true});
+      }
+      ExecutionContext ctx;
+      ctx.tag = "fault-storm";
+      QueryId id = spec.id;
+      ctx.on_finish = [this, id, index](const QueryOutcome&) {
+        live_storm_ids_.erase(id);
+        auto it = storm_ids_.find(index);
+        if (it != storm_ids_.end()) {
+          auto& ids = it->second;
+          ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+        }
+      };
+      if (engine_->Dispatch(spec, std::move(ctx)).ok()) {
+        storm_ids_[index].push_back(id);
+        live_storm_ids_.insert(id);
+        ++stats_.storm_txns;
+      }
+      break;
+    }
+    case FaultKind::kQueryAborts:
+      AbortStrike(index, event);
+      break;
+    case FaultKind::kArrivalSurge:
+      if (surge_handler_) surge_handler_(event.magnitude, true);
+      break;
+  }
+}
+
+void FaultInjector::End(int index, const FaultEvent& event) {
+  auto it = active_.find(index);
+  if (it == active_.end()) return;
+  active_.erase(it);
+  double started_at = started_at_[index];
+  started_at_.erase(index);
+  ++stats_.windows_closed;
+
+  switch (event.kind) {
+    case FaultKind::kDiskDegrade:
+    case FaultKind::kIoStall:
+    case FaultKind::kMemoryPressure:
+    case FaultKind::kCpuLoss:
+      // Recover to the level of the windows still open, not to healthy.
+      ApplyEngineState();
+      break;
+    case FaultKind::kLockStorm: {
+      std::vector<QueryId> leftover = storm_ids_[index];
+      storm_ids_.erase(index);
+      for (QueryId id : leftover) {
+        live_storm_ids_.erase(id);
+        engine_->Kill(id);
+      }
+      break;
+    }
+    case FaultKind::kQueryAborts:
+      break;  // the strike chain observes the closed window and stops
+    case FaultKind::kArrivalSurge:
+      if (surge_handler_) surge_handler_(event.magnitude, false);
+      break;
+  }
+  NotifyEnd(event, started_at);
+}
+
+void FaultInjector::AbortStrike(int index, const FaultEvent& event) {
+  if (active_.count(index) == 0) return;  // window closed under the chain
+
+  // Victims are real workload queries only — never storm transactions —
+  // drawn by the seeded RNG from the id-sorted snapshot so the pick is
+  // independent of hash-map iteration order.
+  std::vector<QueryId> candidates;
+  for (const ExecutionProgress& p : engine_->Snapshot()) {
+    if (p.id >= kFaultStormIdBase) continue;
+    candidates.push_back(p.id);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  int strikes = std::max(1, static_cast<int>(event.magnitude));
+  for (int i = 0; i < strikes && !candidates.empty(); ++i) {
+    size_t pick = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1));
+    QueryId victim = candidates[pick];
+    candidates.erase(candidates.begin() + static_cast<ptrdiff_t>(pick));
+    Status status =
+        wlm_ != nullptr
+            ? wlm_->AbortRequestByFault(victim,
+                                        FaultKindToString(event.kind))
+            : engine_->Kill(victim);
+    if (status.ok()) ++stats_.aborts_fired;
+  }
+
+  double next = sim_->Now() + event.period;
+  double window_end = started_at_[index] + event.duration;
+  if (next < window_end - 1e-12) {
+    sim_->ScheduleAt(next, [this, index, event] { AbortStrike(index, event); });
+  }
+}
+
+}  // namespace wlm

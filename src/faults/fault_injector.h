@@ -1,0 +1,100 @@
+#ifndef WLM_FAULTS_FAULT_INJECTOR_H_
+#define WLM_FAULTS_FAULT_INJECTOR_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/engine.h"
+#include "faults/fault_plan.h"
+#include "sim/simulation.h"
+
+namespace wlm {
+
+class WorkloadManager;
+
+/// Storm transactions occupy a reserved id range so tests, victim
+/// selection and trace readers can tell them from real workload queries.
+inline constexpr QueryId kFaultStormIdBase = 0xF000000000000000ULL;
+
+struct FaultInjectorStats {
+  int windows_opened = 0;
+  int windows_closed = 0;
+  /// Spontaneous query aborts actually fired (victims existed).
+  int aborts_fired = 0;
+  /// Storm transactions dispatched.
+  int storm_txns = 0;
+};
+
+/// Deterministic fault injector: arms a FaultPlan's windows as events on
+/// the discrete-event clock and perturbs the engine (I/O rate, offline
+/// cores, memory pressure, hot-key lock storms, spontaneous aborts) for
+/// exactly the scripted intervals. All randomness flows from the plan's
+/// seed, so a run is bit-reproducible given (workload seed, plan).
+///
+/// With a WorkloadManager attached, window boundaries are reported via
+/// NotifyFaultBegin/End (feeding the event log, metrics and the fault
+/// trace track, and engaging resilience policies) and spontaneous aborts
+/// go through AbortRequestByFault so the retry policy sees them. Without
+/// one, the injector drives the engine alone.
+///
+/// Overlapping windows compose: the effective I/O factor is the minimum
+/// of active windows, offline cores and pressure MB are sums, and each
+/// recovers to the remaining windows' level — not blindly to healthy.
+class FaultInjector {
+ public:
+  FaultInjector(Simulation* sim, DatabaseEngine* engine,
+                WorkloadManager* wlm = nullptr);
+
+  /// Called at kArrivalSurge boundaries: (factor, true) when the surge
+  /// window opens, (factor, false) when it closes. The load generator
+  /// owns scaling its arrival process.
+  void set_surge_handler(std::function<void(double factor, bool active)> fn) {
+    surge_handler_ = std::move(fn);
+  }
+
+  /// Schedules every window of `plan` on the clock. May be called again
+  /// to layer additional plans; the victim RNG is re-seeded from each
+  /// plan's seed at its Arm call.
+  Status Arm(const FaultPlan& plan);
+
+  const FaultInjectorStats& stats() const { return stats_; }
+  /// Windows currently open.
+  int active_windows() const { return static_cast<int>(active_.size()); }
+
+ private:
+  void Begin(int index, const FaultEvent& event);
+  void End(int index, const FaultEvent& event);
+  /// One kQueryAborts strike; reschedules itself every `period` while
+  /// window `index` stays open.
+  void AbortStrike(int index, const FaultEvent& event);
+  /// Re-derives engine I/O factor / offline cores / memory pressure from
+  /// the currently open windows.
+  void ApplyEngineState();
+  void NotifyBegin(const FaultEvent& event, const std::string& detail);
+  void NotifyEnd(const FaultEvent& event, double started_at);
+
+  Simulation* sim_;
+  DatabaseEngine* engine_;
+  WorkloadManager* wlm_;
+  std::function<void(double, bool)> surge_handler_;
+  Rng rng_;
+
+  int next_index_ = 0;
+  /// Open windows: armed-event index -> the event (begin time implied).
+  std::unordered_map<int, FaultEvent> active_;
+  std::unordered_map<int, double> started_at_;
+  /// Live storm transactions per lock-storm window.
+  std::unordered_map<int, std::vector<QueryId>> storm_ids_;
+  std::unordered_set<QueryId> live_storm_ids_;
+  QueryId next_storm_id_ = kFaultStormIdBase;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_FAULTS_FAULT_INJECTOR_H_

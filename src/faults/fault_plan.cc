@@ -1,0 +1,97 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rng.h"
+
+namespace wlm {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDiskDegrade:
+      return "disk_degrade";
+    case FaultKind::kIoStall:
+      return "io_stall";
+    case FaultKind::kMemoryPressure:
+      return "memory_pressure";
+    case FaultKind::kCpuLoss:
+      return "cpu_loss";
+    case FaultKind::kLockStorm:
+      return "lock_storm";
+    case FaultKind::kQueryAborts:
+      return "query_aborts";
+    case FaultKind::kArrivalSurge:
+      return "arrival_surge";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::Add(FaultEvent event) {
+  events.push_back(event);
+  return *this;
+}
+
+double FaultPlan::Horizon() const {
+  double horizon = 0.0;
+  for (const FaultEvent& event : events) {
+    horizon = std::max(horizon, event.end());
+  }
+  return horizon;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = "FaultPlan seed=" + std::to_string(seed) + "\n";
+  for (const FaultEvent& event : events) {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  [%8.3fs .. %8.3fs] %-15s magnitude=%.3f period=%.3f "
+                  "hot_keys=%d\n",
+                  event.start, event.end(), FaultKindToString(event.kind),
+                  event.magnitude, event.period, event.hot_keys);
+    out += line;
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, double horizon, int num_events) {
+  FaultPlan plan;
+  plan.seed = seed;
+  if (horizon <= 0.0 || num_events <= 0) return plan;
+  Rng rng(seed);
+  for (int i = 0; i < num_events; ++i) {
+    FaultEvent event;
+    event.kind = static_cast<FaultKind>(
+        rng.UniformInt(0, kFaultKindCount - 1));
+    event.duration = rng.Uniform(0.05 * horizon, 0.25 * horizon);
+    event.start = rng.Uniform(0.0, horizon - event.duration);
+    switch (event.kind) {
+      case FaultKind::kDiskDegrade:
+        event.magnitude = rng.Uniform(0.1, 0.6);
+        break;
+      case FaultKind::kIoStall:
+        event.magnitude = 0.0;
+        break;
+      case FaultKind::kMemoryPressure:
+        event.magnitude = rng.Uniform(64.0, 512.0);
+        break;
+      case FaultKind::kCpuLoss:
+        event.magnitude = static_cast<double>(rng.UniformInt(1, 2));
+        break;
+      case FaultKind::kLockStorm:
+        event.hot_keys = static_cast<int>(rng.UniformInt(2, 8));
+        break;
+      case FaultKind::kQueryAborts:
+        event.magnitude = static_cast<double>(rng.UniformInt(1, 2));
+        event.period = rng.Uniform(0.1, 0.5);
+        break;
+      case FaultKind::kArrivalSurge:
+        event.magnitude = rng.Uniform(1.5, 4.0);
+        break;
+    }
+    plan.Add(event);
+  }
+  return plan;
+}
+
+}  // namespace wlm

@@ -48,10 +48,15 @@ void Simulation::RunUntil(SimTime when) {
 }
 
 bool Simulation::RunAll(uint64_t max_events) {
+  // Only *live* executions count against the budget: stale heap nodes left
+  // behind by Cancel() (periodic tasks stopping and restarting, drivers
+  // re-arming) are skipped for free. Otherwise a run that cancels many
+  // events could exhaust the budget without making progress and starve the
+  // events still pending behind the tombstones.
   uint64_t executed = 0;
   while (!heap_.empty()) {
-    if (executed++ >= max_events) return false;
-    ExecuteTop();
+    if (executed >= max_events) return false;
+    if (ExecuteTop()) ++executed;
   }
   return true;
 }

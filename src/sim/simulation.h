@@ -45,7 +45,9 @@ class Simulation {
   void RunFor(SimTime duration) { RunUntil(now_ + duration); }
   /// Drains every pending event (use with care: periodic tasks must be
   /// stopped first or this never returns). `max_events` bounds runaway
-  /// loops; returns false if the bound was hit.
+  /// loops; returns false if the bound was hit. Only live executions
+  /// count against the bound — cancelled events are skipped for free, so
+  /// heavy Cancel() traffic cannot starve the remaining work.
   bool RunAll(uint64_t max_events = 100'000'000);
 
   uint64_t events_executed() const { return events_executed_; }

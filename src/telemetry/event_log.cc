@@ -33,6 +33,10 @@ const char* WlmEventTypeToString(WlmEventType type) {
       return "reprioritized";
     case WlmEventType::kSloViolation:
       return "slo_violation";
+    case WlmEventType::kFaultInjected:
+      return "fault_injected";
+    case WlmEventType::kFaultRecovered:
+      return "fault_recovered";
   }
   return "?";
 }

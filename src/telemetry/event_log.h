@@ -31,10 +31,12 @@ enum class WlmEventType {
   kPaused,         // interrupt-throttle pause
   kReprioritized,  // business priority change
   kSloViolation,   // SLO watchdog: a workload objective went unmet
+  kFaultInjected,  // fault injector activated a fault window
+  kFaultRecovered, // fault window ended; injected degradation reverted
 };
 
 /// Number of WlmEventType values (keep in sync with the enum).
-inline constexpr size_t kWlmEventTypeCount = 13;
+inline constexpr size_t kWlmEventTypeCount = 15;
 
 const char* WlmEventTypeToString(WlmEventType type);
 

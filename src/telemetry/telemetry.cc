@@ -54,6 +54,17 @@ Telemetry::Telemetry(Simulation* sim, Monitor* monitor, EventLog* event_log,
                    "Monitor samples observed with the SLO violated");
   metrics_.SetHelp("wlm_slo_attainment",
                    "actual/target, >= 1 means the objective is met");
+  metrics_.SetHelp("wlm_faults_injected_total",
+                   "Fault windows activated, by fault kind");
+  metrics_.SetHelp("wlm_faults_recovered_total",
+                   "Fault windows ended with degradation reverted");
+  metrics_.SetHelp("wlm_faults_active", "Fault windows currently open");
+  metrics_.SetHelp("wlm_faults_aborts_total",
+                   "Running requests spontaneously aborted by a fault");
+  metrics_.SetHelp("wlm_faults_retries_total",
+                   "Fault-abort retries scheduled with backoff");
+  metrics_.SetHelp("wlm_faults_degraded",
+                   "1 while graceful degradation is in force");
 }
 
 double Telemetry::Now() const { return sim_->Now(); }
@@ -218,6 +229,54 @@ void Telemetry::OnReprioritize(QueryId id, const std::string& workload,
   metrics_
       .GetCounter("wlm_reprioritizations_total", {{"workload", workload}})
       .Increment();
+}
+
+void Telemetry::OnFaultBegin(const std::string& kind,
+                             const std::string& detail) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.GetOrCreate(kFaultTraceId, "faults", QueryKind::kUtility, now);
+  tracer_.Instant(kFaultTraceId, "fault_begin", now, kind + " " + detail);
+  metrics_.GetCounter("wlm_faults_injected_total", {{"kind", kind}})
+      .Increment();
+  metrics_.GetGauge("wlm_faults_active").Add(1.0);
+}
+
+void Telemetry::OnFaultEnd(const std::string& kind, double started_at) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.GetOrCreate(kFaultTraceId, "faults", QueryKind::kUtility, now);
+  tracer_.AddClosedSpan(kFaultTraceId, SpanKind::kFault, started_at, now,
+                        kind);
+  tracer_.Instant(kFaultTraceId, "fault_end", now, kind);
+  metrics_.GetCounter("wlm_faults_recovered_total", {{"kind", kind}})
+      .Increment();
+  metrics_.GetGauge("wlm_faults_active").Add(-1.0);
+}
+
+void Telemetry::OnFaultAbort(QueryId id, const std::string& workload,
+                             const std::string& reason) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.Instant(id, "fault_abort", now, reason);
+  tracer_.CloseExecutionSegment(id, now, "outcome=fault_abort");
+  metrics_.GetCounter("wlm_faults_aborts_total", {{"workload", workload}})
+      .Increment();
+}
+
+void Telemetry::OnFaultRetry(QueryId id, const std::string& workload,
+                             double delay_seconds) {
+  if (!enabled_) return;
+  char detail[48];
+  std::snprintf(detail, sizeof(detail), "backoff=%.3fs", delay_seconds);
+  tracer_.Instant(id, "fault_retry", Now(), detail);
+  metrics_.GetCounter("wlm_faults_retries_total", {{"workload", workload}})
+      .Increment();
+}
+
+void Telemetry::SetDegraded(bool degraded) {
+  if (!enabled_) return;
+  metrics_.GetGauge("wlm_faults_degraded").Set(degraded ? 1.0 : 0.0);
 }
 
 void Telemetry::OnMonitorSample(const SystemIndicators& indicators,

@@ -16,6 +16,11 @@
 
 namespace wlm {
 
+/// Reserved tracer id for the synthetic fault track: fault windows render
+/// as spans of one pseudo-query (`q0 [faults]` in the Chrome trace), so an
+/// exported trace shows outages inline with the queries they disturbed.
+inline constexpr QueryId kFaultTraceId = 0;
+
 struct TelemetryOptions {
   /// When false every hook returns immediately (one predictable branch on
   /// the hot path) and nothing is recorded.
@@ -77,6 +82,21 @@ class Telemetry {
   void OnPause(QueryId id, const std::string& workload, double seconds);
   void OnReprioritize(QueryId id, const std::string& workload,
                       const char* priority);
+  // --- fault & resilience hooks --------------------------------------------
+  /// A fault window opened (`kind` is the FaultKind name).
+  void OnFaultBegin(const std::string& kind, const std::string& detail);
+  /// The window that began at `started_at` closed; records the whole
+  /// window as one kFault span on the fault track.
+  void OnFaultEnd(const std::string& kind, double started_at);
+  /// The injector spontaneously aborted a running request.
+  void OnFaultAbort(QueryId id, const std::string& workload,
+                    const std::string& reason);
+  /// The resilience policy scheduled a retry after `delay_seconds`.
+  void OnFaultRetry(QueryId id, const std::string& workload,
+                    double delay_seconds);
+  /// Graceful-degradation state flipped (MPL shed / low-priority throttle).
+  void SetDegraded(bool degraded);
+
   /// Monitor sampling instant: indicator gauges + SLO watchdog sweep.
   /// `queue_depth` and per-workload occupancy come from the manager.
   void OnMonitorSample(const SystemIndicators& indicators, size_t queue_depth,

@@ -23,6 +23,8 @@ const char* SpanKindToString(SpanKind kind) {
       return "suspend-flush";
     case SpanKind::kSuspendedWait:
       return "suspended";
+    case SpanKind::kFault:
+      return "fault";
   }
   return "?";
 }

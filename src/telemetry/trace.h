@@ -24,10 +24,11 @@ enum class SpanKind {
   kLockWait,       // lock acquisition wait at the start of a segment
   kSuspendFlush,   // suspend requested -> state flush finished
   kSuspendedWait,  // suspended, waiting in the queue for resume
+  kFault,          // fault window on the synthetic fault track (query 0)
 };
 
 /// Number of SpanKind values (keep in sync with the enum).
-inline constexpr size_t kSpanKindCount = 8;
+inline constexpr size_t kSpanKindCount = 9;
 
 const char* SpanKindToString(SpanKind kind);
 

@@ -1,0 +1,166 @@
+/// Chaos suite: full runs (generated workload + scripted fault timeline)
+/// asserting the two headline properties of the fault subsystem —
+/// bit-reproducibility of a (workload seed, FaultPlan) pair, and a strict
+/// resilience benefit when the policies are switched on against the
+/// identical disturbance.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "execution/timeout_escalation.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "scheduling/queue_schedulers.h"
+#include "tests/wlm_test_util.h"
+#include "workloads/generators.h"
+
+namespace wlm {
+namespace {
+
+constexpr double kHorizon = 20.0;
+
+struct ChaosRunResult {
+  std::string event_log;
+  int64_t completed = 0;
+  int64_t killed = 0;
+  int64_t resubmitted = 0;
+  size_t slo_violations = 0;
+};
+
+std::string SerializeEventLog(const EventLog& log) {
+  std::string out;
+  for (const WlmEvent& event : log.events()) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%.9f|%s|%llu|%s|%s\n", event.time,
+                  WlmEventTypeToString(event.type),
+                  static_cast<unsigned long long>(event.query),
+                  event.workload.c_str(), event.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+/// One full chaos drill: Poisson-ish OLTP + BI arrivals for `kHorizon`
+/// seconds under `plan`, with everything seeded. Identical inputs must
+/// yield identical runs.
+ChaosRunResult RunChaosScenario(uint64_t workload_seed, const FaultPlan& plan,
+                                bool resilience) {
+  WlmConfig config;
+  config.resilience.enabled = resilience;
+  config.resilience.max_retries = 4;
+  config.resilience.retry_backoff_seconds = 0.2;
+  TestRig rig(TestEngineConfig(), /*monitor_interval=*/0.25, config);
+  rig.wlm.set_scheduler(std::make_unique<FifoScheduler>(/*mpl=*/8));
+
+  FaultInjector injector(&rig.sim, &rig.engine, &rig.wlm);
+  EXPECT_TRUE(injector.Arm(plan).ok());
+
+  // Pre-scheduled arrivals: a 4:1 OLTP/BI mix with seeded exponential
+  // inter-arrival gaps.
+  WorkloadGenerator gen(workload_seed);
+  Rng arrivals(workload_seed ^ 0x9e3779b9ULL);
+  OltpWorkloadConfig oltp;
+  BiWorkloadConfig bi;
+  bi.cpu_mu = 0.0;  // median ~1 cpu-second keeps the run moving
+  double t = 0.0;
+  int n = 0;
+  while (true) {
+    t += arrivals.Exponential(0.25);
+    if (t >= kHorizon) break;
+    QuerySpec spec =
+        (++n % 5 == 0) ? gen.NextBi(bi) : gen.NextOltp(oltp);
+    rig.sim.ScheduleAt(t, [&rig, spec] { rig.wlm.Submit(spec); });
+  }
+  rig.sim.RunUntil(kHorizon + 40.0);  // generous drain window
+
+  ChaosRunResult result;
+  result.event_log = SerializeEventLog(rig.wlm.event_log());
+  for (const auto& [name, def] : rig.wlm.workloads()) {
+    const WorkloadCounters& counters = rig.wlm.counters(name);
+    result.completed += counters.completed;
+    result.killed += counters.killed;
+    result.resubmitted += counters.resubmitted;
+  }
+  result.slo_violations =
+      rig.wlm.telemetry().watchdog().violations().size();
+  return result;
+}
+
+FaultPlan AbortHeavyPlan() {
+  FaultPlan plan;
+  plan.seed = 99;
+  FaultEvent aborts;
+  aborts.kind = FaultKind::kQueryAborts;
+  aborts.start = 2.0;
+  aborts.duration = 6.0;
+  aborts.magnitude = 1.0;
+  aborts.period = 0.3;
+  plan.Add(aborts);
+  FaultEvent stall;
+  stall.kind = FaultKind::kDiskDegrade;
+  stall.start = 10.0;
+  stall.duration = 4.0;
+  stall.magnitude = 0.3;
+  plan.Add(stall);
+  return plan;
+}
+
+TEST(ChaosTest, SameSeedAndPlanReproduceTheEventLogBitForBit) {
+  FaultPlan plan = FaultPlan::Random(31, kHorizon, 6);
+  ChaosRunResult a = RunChaosScenario(17, plan, /*resilience=*/true);
+  ChaosRunResult b = RunChaosScenario(17, plan, /*resilience=*/true);
+  ASSERT_FALSE(a.event_log.empty());
+  EXPECT_EQ(a.event_log, b.event_log);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.killed, b.killed);
+  EXPECT_EQ(a.resubmitted, b.resubmitted);
+  EXPECT_EQ(a.slo_violations, b.slo_violations);
+}
+
+TEST(ChaosTest, DifferentFaultPlanSeedProducesADifferentRun) {
+  ChaosRunResult a = RunChaosScenario(
+      17, FaultPlan::Random(31, kHorizon, 6), /*resilience=*/true);
+  ChaosRunResult b = RunChaosScenario(
+      17, FaultPlan::Random(32, kHorizon, 6), /*resilience=*/true);
+  EXPECT_NE(a.event_log, b.event_log);
+}
+
+TEST(ChaosTest, ResilienceRecoversAbortVictimsTheBaselineLoses) {
+  FaultPlan plan = AbortHeavyPlan();
+  ChaosRunResult off = RunChaosScenario(23, plan, /*resilience=*/false);
+  ChaosRunResult on = RunChaosScenario(23, plan, /*resilience=*/true);
+
+  // The abort storm must actually have bitten the baseline.
+  ASSERT_GT(off.killed, 0);
+  // Retry-with-backoff converts terminal kills into completions.
+  EXPECT_LT(on.killed, off.killed);
+  EXPECT_GT(on.completed, off.completed);
+  EXPECT_GT(on.resubmitted, off.resubmitted);
+}
+
+TEST(ChaosTest, FaultWindowsAreAccountedConsistently) {
+  FaultPlan plan = FaultPlan::Random(57, kHorizon, 8);
+  ChaosRunResult result = RunChaosScenario(29, plan, /*resilience=*/true);
+  // Every injected window recovered inside the drain horizon, and both
+  // edges appear in the event log.
+  size_t injected = 0;
+  size_t recovered = 0;
+  for (size_t pos = 0; (pos = result.event_log.find("fault_injected", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++injected;
+  }
+  for (size_t pos = 0; (pos = result.event_log.find("fault_recovered", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++recovered;
+  }
+  EXPECT_EQ(injected, plan.events.size());
+  EXPECT_EQ(recovered, plan.events.size());
+}
+
+}  // namespace
+}  // namespace wlm

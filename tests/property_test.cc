@@ -15,6 +15,8 @@
 #include <memory>
 
 #include "control/queueing.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
 #include "scheduling/queue_schedulers.h"
 #include "scheduling/restructuring.h"
 #include "tests/wlm_test_util.h"
@@ -352,6 +354,92 @@ TEST_P(DeterminismSweep, IdenticalSeedsIdenticalOutcomes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep,
                          ::testing::Values(3, 1007, 424242));
+
+// ------------------------------------------------- chaos invariants
+
+// Randomized FaultPlans against a mixed workload with resilience on.
+// Whatever the disturbance, the pipeline must not lose requests, the
+// counters must reconcile, the memory budget must hold, and every fault
+// window must recover.
+class FaultChaosSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FaultChaosSweep, NoRequestLostAndBudgetsHoldUnderRandomFaults) {
+  uint64_t seed = GetParam();
+  WlmConfig config;
+  config.resilience.enabled = true;
+  config.resilience.max_retries = 3;
+  config.resilience.retry_backoff_seconds = 0.2;
+  TestRig rig(TestEngineConfig(), /*monitor_interval=*/0.25, config);
+  rig.wlm.set_scheduler(std::make_unique<FifoScheduler>(/*mpl=*/6));
+
+  FaultInjector injector(&rig.sim, &rig.engine, &rig.wlm);
+  FaultPlan plan = FaultPlan::Random(seed * 7919 + 13, 12.0, 6);
+  ASSERT_TRUE(injector.Arm(plan).ok());
+
+  // Memory-budget invariant, sampled throughout the run: injected
+  // pressure shrinks new grants but must never push usage past the pool.
+  bool memory_ok = true;
+  rig.monitor.AddSampleListener([&](const SystemIndicators&) {
+    if (rig.engine.memory().used_mb() >
+        rig.engine.memory().total_mb() + 1e-9) {
+      memory_ok = false;
+    }
+    if (rig.engine.io_rate_factor() < 0.0 ||
+        rig.engine.io_rate_factor() > 1.0) {
+      memory_ok = false;
+    }
+  });
+
+  WorkloadGenerator gen(seed);
+  Rng arrivals(seed ^ 0xabcdefULL);
+  OltpWorkloadConfig oltp;
+  BiWorkloadConfig bi;
+  bi.cpu_mu = 0.0;
+  double t = 0.0;
+  int n = 0;
+  while (true) {
+    t += arrivals.Exponential(0.3);
+    if (t >= 12.0) break;
+    QuerySpec spec = (++n % 4 == 0) ? gen.NextBi(bi) : gen.NextOltp(oltp);
+    rig.sim.ScheduleAt(t, [&rig, spec] { rig.wlm.Submit(spec); });
+  }
+  rig.sim.RunUntil(120.0);  // drain long past the fault horizon
+
+  EXPECT_TRUE(memory_ok);
+
+  // No query lost: every submitted request reached a terminal state.
+  int64_t terminal = 0;
+  for (const Request* request : rig.wlm.AllRequests()) {
+    EXPECT_TRUE(request->state == RequestState::kCompleted ||
+                request->state == RequestState::kKilled ||
+                request->state == RequestState::kAborted ||
+                request->state == RequestState::kRejected)
+        << "query " << request->spec.id << " stranded in state "
+        << static_cast<int>(request->state);
+    ++terminal;
+  }
+  EXPECT_GT(terminal, 0);
+
+  // Counters reconcile and never go negative.
+  for (const auto& [name, def] : rig.wlm.workloads()) {
+    const WorkloadCounters& counters = rig.wlm.counters(name);
+    EXPECT_GE(counters.submitted, 0);
+    EXPECT_GE(counters.resubmitted, 0);
+    EXPECT_GE(counters.suspended, 0);
+    EXPECT_EQ(counters.submitted, counters.completed + counters.killed +
+                                      counters.aborted + counters.rejected);
+  }
+
+  // Every fault window recovered and the engine is healthy again.
+  EXPECT_EQ(injector.active_windows(), 0);
+  EXPECT_EQ(injector.stats().windows_opened, injector.stats().windows_closed);
+  EXPECT_DOUBLE_EQ(rig.engine.io_rate_factor(), 1.0);
+  EXPECT_EQ(rig.engine.cpus_offline(), 0);
+  EXPECT_DOUBLE_EQ(rig.engine.memory().pressure_mb(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
 
 }  // namespace
 }  // namespace wlm

@@ -172,6 +172,38 @@ TEST(PeriodicTaskTest, StartIsIdempotent) {
   EXPECT_EQ(fires, 1);
 }
 
+TEST(SimulationTest, CancelledEventsDoNotStarveRunAllBudget) {
+  Simulation sim;
+  int fired = 0;
+  std::vector<Simulation::EventId> doomed;
+  for (int i = 0; i < 150; ++i) {
+    doomed.push_back(sim.Schedule(1.0, [&] { ++fired; }));
+  }
+  for (Simulation::EventId id : doomed) sim.Cancel(id);
+  for (int i = 0; i < 50; ++i) {
+    sim.Schedule(2.0, [&] { ++fired; });
+  }
+  // 150 tombstones sit ahead of the live events in the heap; they must
+  // not consume the 60-event budget and strand the real work.
+  EXPECT_TRUE(sim.RunAll(60));
+  EXPECT_EQ(fired, 50);
+}
+
+TEST(PeriodicTaskTest, CancelledTickDoesNotFire) {
+  Simulation sim;
+  int ticks = 0;
+  PeriodicTask task(&sim, 1.0, [&] { ++ticks; });
+  task.Start();
+  sim.RunUntil(2.5);  // fired at 1, 2; the tick for t=3 is in the heap
+  ASSERT_EQ(ticks, 2);
+  task.Stop();
+  // The pending tick is a tombstone: draining the heap neither fires it
+  // nor counts it against the budget.
+  EXPECT_TRUE(sim.RunAll(1));
+  EXPECT_EQ(ticks, 2);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.5);
+}
+
 TEST(PeriodicTaskTest, PeriodChangeTakesEffectNextCycle) {
   Simulation sim;
   std::vector<double> times;
