@@ -113,7 +113,7 @@ AblationRow Run(double sigma) {
           if (true_timerons > 20000.0) monsters.insert(spec.id);
           return spec;
         },
-        [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+        [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
     driver.Start(120.0);
     rig.sim.RunUntil(600.0);
     if (with_kill == 0) {

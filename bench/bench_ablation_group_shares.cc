@@ -74,7 +74,7 @@ double Run(int bi_queries, int mode) {  // mode 0/1/2 = (a)/(b)/(c)
   bi_shape.io_per_cpu = 900.0;
   bi_shape.memory_mb_per_cpu_second = 4.0;
   for (int i = 0; i < bi_queries; ++i) {
-    rig.wlm.Submit(gen.NextBi(bi_shape));
+    (void)rig.wlm.Submit(gen.NextBi(bi_shape));
   }
   OltpWorkloadConfig oltp_shape;
   oltp_shape.locks_per_txn = 0;
@@ -82,7 +82,7 @@ double Run(int bi_queries, int mode) {  // mode 0/1/2 = (a)/(b)/(c)
   Rng arrivals(777);
   OpenLoopDriver driver(
       &rig.sim, &arrivals, 20.0, [&] { return gen.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(60.0);
   rig.sim.RunUntil(70.0);
   return rig.monitor.tag_stats("oltp").response_times.Percentile(95);

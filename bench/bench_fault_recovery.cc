@@ -85,11 +85,11 @@ RunResult Run(bool inject, bool retry, bool degrade) {
   OpenLoopDriver oltp_driver(
       &sim, &oltp_arrivals, /*rate=*/15.0,
       [&] { return gen.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   OpenLoopDriver bi_driver(
       &sim, &bi_arrivals, /*rate=*/0.5,
       [&] { return gen.NextBi(bi_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   oltp_driver.Start(kTrafficSeconds);
   bi_driver.Start(kTrafficSeconds);
   sim.RunUntil(kTrafficSeconds + kDrainSeconds);

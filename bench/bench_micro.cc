@@ -36,7 +36,7 @@ void BM_LockManagerAcquireRelease(benchmark::State& state) {
     LockManager lm;
     for (TxnId txn = 1; txn <= 100; ++txn) {
       for (int k = 0; k < 5; ++k) {
-        lm.Acquire(txn, static_cast<LockKey>(rng.Zipf(1000, 0.8)),
+        (void)lm.Acquire(txn, static_cast<LockKey>(rng.Zipf(1000, 0.8)),
                    rng.Bernoulli(0.5) ? LockMode::kExclusive
                                       : LockMode::kShared);
       }
@@ -52,8 +52,8 @@ void BM_DeadlockDetection(benchmark::State& state) {
   // A contended lock table with long wait chains.
   LockManager lm;
   for (TxnId txn = 1; txn <= 200; ++txn) {
-    lm.Acquire(txn, txn, LockMode::kExclusive);
-    lm.Acquire(txn, (txn % 200) + 1, LockMode::kExclusive);
+    (void)lm.Acquire(txn, txn, LockMode::kExclusive);
+    (void)lm.Acquire(txn, (txn % 200) + 1, LockMode::kExclusive);
   }
   for (auto _ : state) {
     benchmark::DoNotOptimize(lm.FindDeadlockVictims());
@@ -83,7 +83,7 @@ void BM_EngineTickWithQueries(benchmark::State& state) {
   BiWorkloadConfig shape;
   shape.cpu_mu = 6.0;  // long enough to stay running
   for (int i = 0; i < n; ++i) {
-    engine.Dispatch(gen.NextBi(shape), {});
+    (void)engine.Dispatch(gen.NextBi(shape), {});
   }
   for (auto _ : state) {
     sim.RunFor(0.05);  // one tick
@@ -149,7 +149,7 @@ void BM_PipelineSimulatedOltp(benchmark::State& state) {
     Rng arrivals(7);
     OpenLoopDriver driver(
         &rig.sim, &arrivals, 100.0, [&] { return gen.NextOltp(shape); },
-        [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+        [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
     driver.Start(10.0);
     rig.sim.RunUntil(20.0);
     state.counters["sim_txns"] = static_cast<double>(

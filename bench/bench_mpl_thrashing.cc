@@ -61,7 +61,7 @@ double RunAtMpl(int clients, bool feedback_admission, int* final_mpl) {
   ClosedLoopDriver driver(
       &rig.sim, &gen.rng(), clients, /*think=*/0.1,
       [&] { return gen.NextBi(shape); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   rig.wlm.AddCompletionListener(
       [&](const Request& r) { driver.OnRequestFinished(r.spec.id); });
   driver.Start();

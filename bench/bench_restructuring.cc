@@ -45,7 +45,7 @@ Row Run(double chunk_work) {  // <= 0: monolithic
   // Lives until the end of the run so the chunk chain can complete.
   std::unique_ptr<SlicedQuerySubmitter> submitter;
   if (chunk_work <= 0.0) {
-    rig.wlm.Submit(monster);
+    (void)rig.wlm.Submit(monster);
     rig.wlm.AddCompletionListener([&](const Request& r) {
       if (r.spec.id == 1) monster_finish = r.finish_time;
     });
@@ -68,7 +68,7 @@ Row Run(double chunk_work) {  // <= 0: monolithic
   Rng arrivals(5150);
   OpenLoopDriver driver(
       &rig.sim, &arrivals, 1.0, [&] { return gen.NextBi(short_shape); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(60.0);
   rig.sim.RunUntil(600.0);
 

@@ -69,13 +69,13 @@ Row Run(int mode) {  // 0 fifo, 1 priority, 2 rank, 3 utility, 4 feedback
   long_bi.cpu_mu = 2.0;
   OpenLoopDriver oltp_driver(
       &rig.sim, &arrivals, 20.0, [&] { return gen.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   OpenLoopDriver short_driver(
       &rig.sim, &arrivals, 1.5, [&] { return gen.NextBi(short_bi); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   OpenLoopDriver long_driver(
       &rig.sim, &arrivals, 0.3, [&] { return gen.NextBi(long_bi); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   oltp_driver.Start(120.0);
   short_driver.Start(120.0);
   long_driver.Start(120.0);

@@ -44,7 +44,7 @@ Measurement SuspendAt(double target_fraction, SuspendStrategy strategy) {
   bool done = false;
   ExecutionContext ctx;
   ctx.on_finish = [&](const QueryOutcome&) { done = true; };
-  rig.engine.Dispatch(spec, ctx);
+  (void)rig.engine.Dispatch(spec, ctx);
   // Advance until the target progress fraction.
   while (!done) {
     rig.sim.RunFor(0.1);
@@ -55,7 +55,7 @@ Measurement SuspendAt(double target_fraction, SuspendStrategy strategy) {
   auto progress = rig.engine.GetProgress(1);
   if (!progress.ok()) return m;
   m.progress = progress->fraction_done;
-  rig.engine.Suspend(1, strategy);
+  (void)rig.engine.Suspend(1, strategy);
   rig.sim.RunUntil(rig.sim.Now() + 200.0);
   auto bundle = rig.engine.TakeSuspended(1);
   if (!bundle.ok()) return m;
@@ -120,7 +120,7 @@ int main() {
     BenchRig rig(config);
     QuerySpec spec = Victim(1);
     Plan plan = rig.engine.optimizer().BuildPlan(spec);
-    rig.engine.Dispatch(spec, {});
+    (void)rig.engine.Dispatch(spec, {});
     while (true) {
       rig.sim.RunFor(0.1);
       auto progress = rig.engine.GetProgress(1);

@@ -54,7 +54,7 @@ std::string DemoMpl(TablePrinter* table) {
   WorkloadGenerator gen(2);
   BiWorkloadConfig shape;
   for (int i = 0; i < 10; ++i) {
-    rig.wlm.Submit(gen.NextBi(shape));
+    (void)rig.wlm.Submit(gen.NextBi(shape));
   }
   table->AddRow({"MPLs [9][50][72]", "System Parameter",
                  "running == MPL => arrivals wait",
@@ -77,15 +77,15 @@ std::string DemoConflictRatio(TablePrinter* table) {
   // Manufacture data contention: one long holder, blocked writers that
   // each hold another lock.
   LockManager& lm = rig.engine.lock_manager();
-  lm.Acquire(900, 1, LockMode::kExclusive);
+  (void)lm.Acquire(900, 1, LockMode::kExclusive);
   for (TxnId t = 901; t <= 912; ++t) {
-    lm.Acquire(t, t, LockMode::kExclusive);
-    lm.Acquire(t, 1, LockMode::kExclusive);
+    (void)lm.Acquire(t, t, LockMode::kExclusive);
+    (void)lm.Acquire(t, 1, LockMode::kExclusive);
   }
   double ratio = rig.engine.ConflictRatio();
   WorkloadGenerator gen(3);
   OltpWorkloadConfig shape;
-  rig.wlm.Submit(gen.NextOltp(shape));
+  (void)rig.wlm.Submit(gen.NextOltp(shape));
   bool held = rig.wlm.queue_depth() == 1;
   for (TxnId t = 900; t <= 912; ++t) lm.ReleaseAll(t);
   rig.sim.RunUntil(2.0);
@@ -142,14 +142,14 @@ std::string DemoIndicators(TablePrinter* table) {
     hog.cpu_seconds = 120.0;
     hog.io_ops = 10.0;
     hog.kind = QueryKind::kUtility;
-    rig.wlm.Submit(hog);
+    (void)rig.wlm.Submit(hog);
   }
   rig.wlm.SetWorkloadShares("utilities", {8.0, 8.0});
   rig.sim.RunUntil(3.0);  // monitor observes saturation
   BiWorkloadConfig bi_shape;
-  rig.wlm.Submit(gen.NextBi(bi_shape));      // low priority -> gated
+  (void)rig.wlm.Submit(gen.NextBi(bi_shape));      // low priority -> gated
   OltpWorkloadConfig oltp_shape;
-  rig.wlm.Submit(gen.NextOltp(oltp_shape));  // high priority -> passes
+  (void)rig.wlm.Submit(gen.NextOltp(oltp_shape));  // high priority -> passes
   rig.sim.RunUntil(4.0);
   int bi_queued = rig.wlm.QueuedInWorkload("bi");
   int oltp_queued = rig.wlm.QueuedInWorkload("oltp");

@@ -54,14 +54,14 @@ Outcome Run(const std::function<std::string(BenchRig*)>& install) {
   BiWorkloadConfig bi_shape;
   bi_shape.cpu_mu = 2.2;
   bi_shape.io_per_cpu = 900.0;
-  for (int i = 0; i < 3; ++i) rig.wlm.Submit(gen.NextBi(bi_shape));
+  for (int i = 0; i < 3; ++i) (void)rig.wlm.Submit(gen.NextBi(bi_shape));
   OltpWorkloadConfig oltp_shape;
   oltp_shape.locks_per_txn = 2;
   oltp_shape.mean_io_ops = 25.0;  // I/O-sensitive transactions
   Rng arrivals(9);
   OpenLoopDriver driver(
       &rig.sim, &arrivals, 25.0, [&] { return gen.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(60.0);
   rig.sim.RunUntil(400.0);
 

@@ -76,14 +76,14 @@ void DriveTenants(BenchRig* rig) {
   Rng arrivals(777);
   OpenLoopDriver oltp_driver(
       &rig->sim, &arrivals, 25.0, [&] { return gen.NextOltp(oltp_shape); },
-      [rig](QuerySpec spec) { rig->wlm.Submit(std::move(spec)); });
+      [rig](QuerySpec spec) { (void)rig->wlm.Submit(std::move(spec)); });
   OpenLoopDriver bi_driver(
       &rig->sim, &arrivals, 0.6, [&] { return gen.NextBi(bi_shape); },
-      [rig](QuerySpec spec) { rig->wlm.Submit(std::move(spec)); });
+      [rig](QuerySpec spec) { (void)rig->wlm.Submit(std::move(spec)); });
   OpenLoopDriver utility_driver(
       &rig->sim, &arrivals, 0.03,
       [&] { return gen.NextUtility(utility_shape); },
-      [rig](QuerySpec spec) { rig->wlm.Submit(std::move(spec)); });
+      [rig](QuerySpec spec) { (void)rig->wlm.Submit(std::move(spec)); });
   oltp_driver.Start(90.0);
   bi_driver.Start(90.0);
   utility_driver.Start(90.0);

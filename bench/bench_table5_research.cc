@@ -84,13 +84,13 @@ void ParekhRow(TablePrinter* table) {
     UtilityWorkloadConfig utility_shape;
     utility_shape.cpu_seconds = 40.0;
     utility_shape.io_ops = 20000.0;
-    rig.wlm.Submit(gen.NextUtility(utility_shape));
+    (void)rig.wlm.Submit(gen.NextUtility(utility_shape));
     OltpWorkloadConfig oltp_shape;
     oltp_shape.locks_per_txn = 0;
     Rng arrivals(61);
     OpenLoopDriver driver(
         &rig.sim, &arrivals, 15.0, [&] { return gen.NextOltp(oltp_shape); },
-        [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+        [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
     driver.Start(60.0);
     rig.sim.RunUntil(300.0);
     return rig.monitor.tag_stats("oltp").velocities.mean();
@@ -128,13 +128,13 @@ void PowleyRow(TablePrinter* table) {
     WorkloadGenerator gen(62);
     BiWorkloadConfig bi_shape;
     bi_shape.cpu_mu = 3.0;
-    for (int i = 0; i < 2; ++i) rig.wlm.Submit(gen.NextBi(bi_shape));
+    for (int i = 0; i < 2; ++i) (void)rig.wlm.Submit(gen.NextBi(bi_shape));
     OltpWorkloadConfig oltp_shape;
     oltp_shape.locks_per_txn = 0;
     Rng arrivals(62);
     OpenLoopDriver driver(
         &rig.sim, &arrivals, 15.0, [&] { return gen.NextOltp(oltp_shape); },
-        [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+        [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
     driver.Start(60.0);
     rig.sim.RunUntil(300.0);
     return rig.monitor.tag_stats("oltp").response_times.Percentile(90);
@@ -169,13 +169,13 @@ void ChandramouliRow(TablePrinter* table) {
     WorkloadGenerator gen(63);
     BiWorkloadConfig bi_shape;
     bi_shape.cpu_mu = 3.2;
-    for (int i = 0; i < 2; ++i) rig.wlm.Submit(gen.NextBi(bi_shape));
+    for (int i = 0; i < 2; ++i) (void)rig.wlm.Submit(gen.NextBi(bi_shape));
     // A burst of high-priority work arrives at t=10.
     OltpWorkloadConfig oltp_shape;
     oltp_shape.locks_per_txn = 0;
     oltp_shape.mean_cpu_seconds = 0.05;
     rig.sim.Schedule(10.0, [&] {
-      for (int i = 0; i < 20; ++i) rig.wlm.Submit(gen.NextOltp(oltp_shape));
+      for (int i = 0; i < 20; ++i) (void)rig.wlm.Submit(gen.NextOltp(oltp_shape));
     });
     rig.sim.RunUntil(400.0);
     if (suspensions != nullptr && raw != nullptr) {

@@ -71,14 +71,14 @@ RunOutput Run(int mode) {  // 0 none, 1 PI, 2 step, 3 black-box
   Rng arrivals(4242);
   OpenLoopDriver driver(
       &rig.sim, &arrivals, 15.0, [&] { return gen.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(180.0);
   BiWorkloadConfig bi_shape;
   bi_shape.cpu_mu = 4.0;              // ~55s cpu monsters
   bi_shape.io_per_cpu = 1200.0;       // I/O-hungry: contends with OLTP
   bi_shape.memory_mb_per_cpu_second = 2.0;  // no memory/spill coupling
   rig.sim.Schedule(30.0, [&] {
-    for (int i = 0; i < 2; ++i) rig.wlm.Submit(gen.NextBi(bi_shape));
+    for (int i = 0; i < 2; ++i) (void)rig.wlm.Submit(gen.NextBi(bi_shape));
   });
 
   RunOutput output;

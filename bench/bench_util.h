@@ -97,14 +97,14 @@ struct MixedTraffic {
       oltp_driver = std::make_unique<OpenLoopDriver>(
           &rig->sim, &arrivals, oltp_rate,
           [this, oltp_shape] { return generator.NextOltp(oltp_shape); },
-          [manager](QuerySpec spec) { manager->Submit(std::move(spec)); });
+          [manager](QuerySpec spec) { (void)manager->Submit(std::move(spec)); });
       oltp_driver->Start(duration);
     }
     if (bi_rate > 0.0) {
       bi_driver = std::make_unique<OpenLoopDriver>(
           &rig->sim, &arrivals, bi_rate,
           [this, bi_shape] { return generator.NextBi(bi_shape); },
-          [manager](QuerySpec spec) { manager->Submit(std::move(spec)); });
+          [manager](QuerySpec spec) { (void)manager->Submit(std::move(spec)); });
       bi_driver->Start(duration);
     }
   }

@@ -63,7 +63,7 @@ int main() {
   OpenLoopDriver oltp_driver(
       &sim, &arrivals, 25.0,
       [&] { return generator.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   oltp_driver.Start(90.0);
 
   // ...and a BI storm arriving at t=20s.
@@ -72,7 +72,7 @@ int main() {
   storm_shape.io_per_cpu = 1000.0;  // io-hungry: contends with OLTP I/O
   sim.Schedule(20.0, [&] {
     for (int i = 0; i < 6; ++i) {
-      manager.Submit(generator.NextBi(storm_shape));
+      (void)manager.Submit(generator.NextBi(storm_shape));
     }
   });
 

@@ -121,10 +121,10 @@ int main() {
   OpenLoopDriver oltp_driver(
       &sim, &oltp_arrivals, oltp_rate,
       [&] { return gen.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   OpenLoopDriver bi_driver(
       &sim, &bi_arrivals, 0.8, [&] { return gen.NextBi(bi_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   injector.set_surge_handler([&](double factor, bool active) {
     oltp_driver.set_rate(active ? oltp_rate * factor : oltp_rate);
   });

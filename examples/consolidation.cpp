@@ -113,14 +113,14 @@ RunResult RunScenario(bool managed) {
   OpenLoopDriver oltp_driver(
       &sim, &arrivals, 40.0,
       [&] { return generator.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   OpenLoopDriver bi_driver(
       &sim, &arrivals, 0.8, [&] { return generator.NextBi(bi_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   OpenLoopDriver utility_driver(
       &sim, &arrivals, 0.05,
       [&] { return generator.NextUtility(utility_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   oltp_driver.Start(120.0);
   bi_driver.Start(120.0);
   utility_driver.Start(120.0);

@@ -67,11 +67,11 @@ int main() {
   OpenLoopDriver oltp_driver(
       &sim, &arrivals, /*rate=*/30.0,
       [&] { return generator.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   OpenLoopDriver report_driver(
       &sim, &arrivals, /*rate=*/0.5,
       [&] { return generator.NextBi(report_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   oltp_driver.Start(/*until=*/60.0);
   report_driver.Start(/*until=*/60.0);
   sim.RunUntil(300.0);  // let the tail drain

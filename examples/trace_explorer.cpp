@@ -72,7 +72,7 @@ int main() {
   monitor.AddSampleListener([&](const SystemIndicators&) {
     for (const Request* r : manager.Running()) {
       if (r->workload == "bi" && throttled.insert(r->spec.id).second) {
-        manager.ThrottleRequest(r->spec.id, 0.6);
+        (void)manager.ThrottleRequest(r->spec.id, 0.6);
       }
     }
   });
@@ -82,7 +82,7 @@ int main() {
   sim.ScheduleAt(30.0, [&] {
     for (const Request* r : manager.Running()) {
       if (r->workload == "bi") {
-        manager.SuspendRequest(r->spec.id, SuspendStrategy::kDumpState);
+        (void)manager.SuspendRequest(r->spec.id, SuspendStrategy::kDumpState);
         break;
       }
     }
@@ -97,7 +97,7 @@ int main() {
   Rng arrivals(11);
   OpenLoopDriver oltp_driver(
       &sim, &arrivals, /*rate=*/40.0, [&] { return gen.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   OpenLoopDriver bi_driver(
       &sim, &arrivals, /*rate=*/0.5,
       [&] {
@@ -105,7 +105,7 @@ int main() {
         if (spec.cpu_seconds < 2.0) spec.cpu_seconds = 2.0;
         return spec;
       },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   oltp_driver.Start(60.0);
   bi_driver.Start(60.0);
   sim.RunUntil(120.0);

@@ -64,10 +64,10 @@ int main() {
   Rng arrivals(99);
   OpenLoopDriver txn_driver(
       &sim, &arrivals, /*rate=*/60.0, [&] { return txn_gen.Next(); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   OpenLoopDriver olap_driver(
       &sim, &arrivals, /*rate=*/0.25, [&] { return olap_gen.Next(); },
-      [&](QuerySpec spec) { manager.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
   txn_driver.Start(180.0);
   olap_driver.Start(180.0);
   sim.RunUntil(900.0);

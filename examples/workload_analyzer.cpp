@@ -25,10 +25,10 @@ void DriveTraffic(Simulation* sim, WorkloadManager* manager,
   BiWorkloadConfig bi_shape;
   OpenLoopDriver oltp_driver(
       sim, arrivals, 20.0, [=] { return generator->NextOltp(oltp_shape); },
-      [=](QuerySpec spec) { manager->Submit(std::move(spec)); });
+      [=](QuerySpec spec) { (void)manager->Submit(std::move(spec)); });
   OpenLoopDriver bi_driver(
       sim, arrivals, 0.5, [=] { return generator->NextBi(bi_shape); },
-      [=](QuerySpec spec) { manager->Submit(std::move(spec)); });
+      [=](QuerySpec spec) { (void)manager->Submit(std::move(spec)); });
   oltp_driver.Start(sim->Now() + duration);
   bi_driver.Start(sim->Now() + duration);
   sim->RunUntil(sim->Now() + duration + 300.0);

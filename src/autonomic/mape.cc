@@ -97,7 +97,7 @@ void AutonomicController::Escalate(WorkloadManager& manager) {
     if (duty > config_.min_duty + 1e-9) {
       // Cheapest action first: throttle harder.
       duty = std::max(config_.min_duty, duty * config_.throttle_factor);
-      manager.ThrottleRequest(p.id, duty);
+      (void)manager.ThrottleRequest(p.id, duty);
       log_.push_back({now, AutonomicAction::Type::kThrottle, p.id,
                       "duty=" + std::to_string(duty)});
       continue;
@@ -136,7 +136,7 @@ void AutonomicController::Relax(WorkloadManager& manager) {
     }
     if (duty < 1.0) {
       duty = std::min(1.0, duty + config_.relax_step);
-      manager.ThrottleRequest(id, duty);
+      (void)manager.ThrottleRequest(id, duty);
       log_.push_back({now, AutonomicAction::Type::kRelax, id,
                       "duty=" + std::to_string(duty)});
     }

@@ -1,8 +1,8 @@
 #ifndef WLM_AUTONOMIC_MAPE_H_
 #define WLM_AUTONOMIC_MAPE_H_
 
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/interfaces.h"
@@ -79,7 +79,9 @@ class AutonomicController : public ExecutionController {
   void Relax(WorkloadManager& manager);
 
   Config config_;
-  std::unordered_map<QueryId, double> duties_;  // current throttle per victim
+  // Ordered: Relax() iterates this while throttling and appending to the
+  // action log, so iteration order must be id order, not hash order.
+  std::map<QueryId, double> duties_;  // current throttle per victim
   std::vector<AutonomicAction> log_;
 };
 

@@ -35,14 +35,14 @@ class AdmissionController {
   virtual ~AdmissionController() = default;
   /// Arrival-time decision. Return OK to accept into the system,
   /// Status::Rejected(reason) to refuse outright.
-  virtual Status OnArrival(const Request& request,
+  [[nodiscard]] virtual Status OnArrival(const Request& request,
                            const WorkloadManager& manager) {
     (void)request;
     (void)manager;
     return Status::OK();
   }
   /// Dispatch-time gate: false holds the request in the wait queue.
-  virtual bool AllowDispatch(const Request& request,
+  [[nodiscard]] virtual bool AllowDispatch(const Request& request,
                              const WorkloadManager& manager) {
     (void)request;
     (void)manager;

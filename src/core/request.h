@@ -65,7 +65,7 @@ struct Request {
   /// Why admission rejected the request (empty otherwise).
   std::string reject_reason;
 
-  bool terminal() const {
+  [[nodiscard]] bool terminal() const {
     return state == RequestState::kRejected ||
            state == RequestState::kCompleted ||
            state == RequestState::kKilled || state == RequestState::kAborted;

@@ -485,7 +485,9 @@ void WorkloadManager::SetWorkloadShares(const std::string& workload,
     Request* request = requests_.at(id).get();
     if (request->workload == workload) {
       request->shares = shares;
-      engine_->SetShares(id, shares);
+      // Ids in running_ are live in the engine; a failed update would only
+      // mean the query finished this instant, which dispatch re-covers.
+      (void)engine_->SetShares(id, shares);
     }
   }
   // Queued requests pick the new shares up at dispatch.
@@ -589,7 +591,7 @@ void WorkloadManager::ExitDegraded() {
   std::sort(throttled.begin(), throttled.end());
   degraded_throttled_.clear();
   for (QueryId id : throttled) {
-    if (running_.count(id) > 0) ThrottleRequest(id, 1.0);
+    if (running_.count(id) > 0) (void)ThrottleRequest(id, 1.0);
   }
   // The MPL shed lifted with the last fault window; fill freed slots.
   TryDispatch();

@@ -99,10 +99,10 @@ class WorkloadManager {
   /// Runs the full pipeline for one arriving request: classify, admission,
   /// enqueue, and attempt dispatch. Returns Rejected if admission refused
   /// the request (the request is still recorded, state kRejected).
-  Status Submit(QuerySpec spec);
+  [[nodiscard]] Status Submit(QuerySpec spec);
   /// As Submit, but executes the caller-provided plan instead of the
   /// optimizer's (query restructuring dispatches sub-plans this way).
-  Status SubmitWithPlan(QuerySpec spec, Plan plan);
+  [[nodiscard]] Status SubmitWithPlan(QuerySpec spec, Plan plan);
 
   /// Observer fired whenever a request reaches a terminal state
   /// (completed / killed / aborted / rejected).
@@ -142,17 +142,17 @@ class WorkloadManager {
   // --- actions (execution controllers act through these) -------------------
   /// Kills a running request; with `resubmit` it re-enters the queue
   /// (kill-and-resubmit [39]) unless the resubmit budget is exhausted.
-  Status KillRequest(QueryId id, bool resubmit);
+  [[nodiscard]] Status KillRequest(QueryId id, bool resubmit);
   /// Constant throttle (duty in (0, 1]); 1.0 removes the throttle.
-  Status ThrottleRequest(QueryId id, double duty);
+  [[nodiscard]] Status ThrottleRequest(QueryId id, double duty);
   /// Interrupt throttle: one pause of `seconds`.
-  Status PauseRequest(QueryId id, double seconds);
-  Status SetRequestShares(QueryId id, const ResourceShares& shares);
+  [[nodiscard]] Status PauseRequest(QueryId id, double seconds);
+  [[nodiscard]] Status SetRequestShares(QueryId id, const ResourceShares& shares);
   /// Reprioritization: changes business priority and the engine weights.
-  Status SetRequestPriority(QueryId id, BusinessPriority priority);
+  [[nodiscard]] Status SetRequestPriority(QueryId id, BusinessPriority priority);
   /// Suspends a running request; once the engine finishes flushing state
   /// the request re-enters the wait queue and will resume when dispatched.
-  Status SuspendRequest(QueryId id, SuspendStrategy strategy);
+  [[nodiscard]] Status SuspendRequest(QueryId id, SuspendStrategy strategy);
   /// Changes a workload's shares, applying to running and future requests.
   void SetWorkloadShares(const std::string& workload,
                          const ResourceShares& shares);
@@ -167,13 +167,13 @@ class WorkloadManager {
   void NotifyFaultEnd(const std::string& kind, double started_at);
   int active_fault_count() const { return active_faults_; }
   /// True while resilience is enabled and any fault window is active.
-  bool degraded() const {
+  [[nodiscard]] bool degraded() const {
     return config_.resilience.enabled && active_faults_ > 0;
   }
   /// Spontaneous fault abort of a running request. With resilience
   /// enabled the victim retries after exponential backoff (bounded by
   /// `max_retries`); otherwise it terminates as killed.
-  Status AbortRequestByFault(QueryId id, const std::string& reason);
+  [[nodiscard]] Status AbortRequestByFault(QueryId id, const std::string& reason);
 
  private:
   void OnSample(const SystemIndicators& indicators);

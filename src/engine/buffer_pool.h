@@ -24,7 +24,7 @@ class BufferPool {
   /// `capacity_pages` <= 0 disables the pool (hit ratio 0 for everyone).
   explicit BufferPool(int64_t capacity_pages, double max_hit_ratio = 0.9);
 
-  bool enabled() const { return capacity_pages_ > 0; }
+  [[nodiscard]] bool enabled() const { return capacity_pages_ > 0; }
   int64_t capacity_pages() const { return capacity_pages_; }
 
   /// Relative page priority of a group (default 1.0).

@@ -31,8 +31,8 @@ class Catalog {
 
   /// Adds (or replaces) a table; fills in `pages`.
   void AddTable(TableSpec spec);
-  Result<TableSpec> Lookup(const std::string& name) const;
-  bool Has(const std::string& name) const { return tables_.count(name) > 0; }
+  [[nodiscard]] Result<TableSpec> Lookup(const std::string& name) const;
+  [[nodiscard]] bool Has(const std::string& name) const { return tables_.count(name) > 0; }
   size_t table_count() const { return tables_.size(); }
   std::vector<std::string> TableNames() const;
 

@@ -87,32 +87,32 @@ class DatabaseEngine {
 
   /// Starts executing `spec` immediately. Fails if the id is already
   /// active.
-  Status Dispatch(const QuerySpec& spec, ExecutionContext ctx);
+  [[nodiscard]] Status Dispatch(const QuerySpec& spec, ExecutionContext ctx);
   /// As Dispatch, but runs the caller-provided plan (query restructuring
   /// dispatches sub-plans this way).
-  Status DispatchWithPlan(const QuerySpec& spec, Plan plan,
+  [[nodiscard]] Status DispatchWithPlan(const QuerySpec& spec, Plan plan,
                           ExecutionContext ctx);
 
   /// Terminates a running query; resources are released immediately.
-  Status Kill(QueryId id);
+  [[nodiscard]] Status Kill(QueryId id);
   /// Begins suspension; the outcome callback fires with
   /// OutcomeKind::kSuspended once the state flush completes, after which
   /// TakeSuspended() yields the resume bundle.
-  Status Suspend(QueryId id, SuspendStrategy strategy);
+  [[nodiscard]] Status Suspend(QueryId id, SuspendStrategy strategy);
   /// Removes and returns the bundle of a fully suspended query.
-  Result<SuspendedQuery> TakeSuspended(QueryId id);
+  [[nodiscard]] Result<SuspendedQuery> TakeSuspended(QueryId id);
   /// Re-dispatches a suspended query: reloads state (paying the resume
   /// I/O), re-acquires locks and memory, and continues the remaining work.
-  Status Resume(const SuspendedQuery& suspended, ExecutionContext ctx);
+  [[nodiscard]] Status Resume(const SuspendedQuery& suspended, ExecutionContext ctx);
 
   /// Constant throttle: caps the query at `duty` (1.0 = full speed,
   /// 0.25 = quarter speed). Models the evenly distributed self-imposed
   /// sleeps of Powley et al.'s *constant* throttling.
-  Status SetDuty(QueryId id, double duty);
+  [[nodiscard]] Status SetDuty(QueryId id, double duty);
   /// Interrupt throttle: a single contiguous pause of `seconds`.
-  Status Pause(QueryId id, double seconds);
+  [[nodiscard]] Status Pause(QueryId id, double seconds);
   /// Changes the resource-access weights (priority aging / reallocation).
-  Status SetShares(QueryId id, const ResourceShares& shares);
+  [[nodiscard]] Status SetShares(QueryId id, const ResourceShares& shares);
 
   /// Pools every query whose context tag equals `tag` into one fair-share
   /// group with the given weights: capacity is first divided *across
@@ -140,9 +140,9 @@ class DatabaseEngine {
   int cpus_offline() const { return cpus_offline_; }
 
   // --- introspection -------------------------------------------------------
-  bool IsActive(QueryId id) const { return active_.count(id) > 0; }
+  [[nodiscard]] bool IsActive(QueryId id) const { return active_.count(id) > 0; }
   size_t running_count() const { return active_.size(); }
-  Result<ExecutionProgress> GetProgress(QueryId id) const;
+  [[nodiscard]] Result<ExecutionProgress> GetProgress(QueryId id) const;
   /// Progress of every active execution, ordered by query id.
   std::vector<ExecutionProgress> Snapshot() const;
   /// Fraction of CPU / IO capacity granted during the last tick.

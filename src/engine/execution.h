@@ -111,7 +111,7 @@ class QueryExecution {
   /// Index of the next lock to request; == spec().locks.size() when done.
   size_t lock_cursor() const { return lock_cursor_; }
   void AdvanceLockCursor() { ++lock_cursor_; }
-  bool AllLocksAcquired() const { return lock_cursor_ >= spec_.locks.size(); }
+  [[nodiscard]] bool AllLocksAcquired() const { return lock_cursor_ >= spec_.locks.size(); }
   void StartRunning(double now, double spill_factor, double buffer_hit_ratio,
                     double granted_mb);
   double lock_wait_seconds(double now) const;
@@ -123,14 +123,14 @@ class QueryExecution {
   double IoDemand(double dt, double device_rate) const;
   /// Applies granted work; returns true if all operators completed (or the
   /// suspend flush finished when suspending).
-  bool Advance(double cpu_grant, double io_grant);
+  [[nodiscard]] bool Advance(double cpu_grant, double io_grant);
 
   // --- throttling ---------------------------------------------------------
   double duty() const { return duty_; }
   void set_duty(double duty);
   /// Interrupt throttle: no work until `until`.
   void SleepUntil(double until);
-  bool IsSleeping(double now) const;
+  [[nodiscard]] bool IsSleeping(double now) const;
   /// Called by the engine each tick to wake from an elapsed pause.
   void MaybeWake(double now);
 
@@ -142,7 +142,7 @@ class QueryExecution {
   /// Transitions to kSuspending, replacing remaining work with the state
   /// flush; fills `out` with the resume bundle (remaining work snapshot).
   /// `io_ops_per_mb` prices the state write/read.
-  Status BeginSuspend(SuspendStrategy strategy, double now,
+  [[nodiscard]] Status BeginSuspend(SuspendStrategy strategy, double now,
                       double io_ops_per_mb, SuspendedQuery* out);
 
   // --- accounting / introspection -------------------------------------------

@@ -34,14 +34,14 @@ class LockManager {
   /// later). Re-acquiring a held key (same or weaker mode) is a no-op grant;
   /// upgrade shared->exclusive is supported and queues if other holders
   /// exist.
-  bool Acquire(TxnId txn, LockKey key, LockMode mode);
+  [[nodiscard]] bool Acquire(TxnId txn, LockKey key, LockMode mode);
 
   /// Releases everything `txn` holds and cancels its queued requests,
   /// granting any newly compatible waiters.
   void ReleaseAll(TxnId txn);
 
   /// True if `txn` currently waits on some key.
-  bool IsBlocked(TxnId txn) const;
+  [[nodiscard]] bool IsBlocked(TxnId txn) const;
 
   /// Detects wait-for cycles. Returns one victim per cycle, chosen as the
   /// youngest (largest id) transaction in the cycle. The caller aborts the
@@ -69,7 +69,7 @@ class LockManager {
     // Current holders; if exclusive, exactly one entry.
     std::unordered_map<TxnId, LockMode> holders;
     std::deque<Waiter> queue;
-    bool HeldExclusive() const;
+    [[nodiscard]] bool HeldExclusive() const;
   };
 
   // Grants from the head of `key`'s queue while compatible.

@@ -117,9 +117,11 @@ void FuzzyExecutionController::OnSample(const SystemIndicators& indicators,
         int& times = reprioritized_[id];
         if (times >= config_.max_reprioritizations) break;
         int level = static_cast<int>(request->priority);
-        if (level > static_cast<int>(BusinessPriority::kBackground)) {
-          manager.SetRequestPriority(
-              id, static_cast<BusinessPriority>(level - 1));
+        if (level > static_cast<int>(BusinessPriority::kBackground) &&
+            manager
+                .SetRequestPriority(id,
+                                    static_cast<BusinessPriority>(level - 1))
+                .ok()) {
           ++times;
           ++reprioritizations_;
         }

@@ -43,9 +43,11 @@ void PriorityAgingController::OnSample(const SystemIndicators& indicators,
         static_cast<int>(request->priority) - (needed - applied);
     target_level =
         std::max(target_level, static_cast<int>(config_.floor));
-    if (target_level < static_cast<int>(request->priority)) {
-      manager.SetRequestPriority(
-          p.id, static_cast<BusinessPriority>(target_level));
+    if (target_level < static_cast<int>(request->priority) &&
+        manager
+            .SetRequestPriority(p.id,
+                                static_cast<BusinessPriority>(target_level))
+            .ok()) {
       ++demotions_;
     }
     applied = needed;

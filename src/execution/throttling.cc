@@ -30,7 +30,7 @@ void UtilityThrottleController::OnSample(const SystemIndicators& indicators,
   double duty = std::max(0.05, 1.0 - throttle_);
   for (const Request* r : manager.Running()) {
     if (r->workload == config_.utility_workload) {
-      manager.ThrottleRequest(r->spec.id, duty);
+      (void)manager.ThrottleRequest(r->spec.id, duty);
     }
   }
 }
@@ -76,13 +76,13 @@ void QueryThrottleController::OnSample(const SystemIndicators& indicators,
   for (const Request* r : manager.Running()) {
     if (r->workload != config_.victim_workload) continue;
     if (config_.method == Method::kConstant) {
-      manager.ThrottleRequest(r->spec.id, std::max(0.05, 1.0 - throttle_));
+      (void)manager.ThrottleRequest(r->spec.id, std::max(0.05, 1.0 - throttle_));
     } else {
       // Interrupt throttling: one pause per victim, sized by the current
       // throttling amount.
       if (interrupted_.insert(r->spec.id).second && throttle_ > 0.01) {
-        manager.PauseRequest(r->spec.id,
-                             throttle_ * config_.interrupt_horizon_seconds);
+        (void)manager.PauseRequest(
+            r->spec.id, throttle_ * config_.interrupt_horizon_seconds);
       }
     }
   }

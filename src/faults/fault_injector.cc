@@ -188,7 +188,7 @@ void FaultInjector::End(int index, const FaultEvent& event) {
       storm_ids_.erase(index);
       for (QueryId id : leftover) {
         live_storm_ids_.erase(id);
-        engine_->Kill(id);
+        (void)engine_->Kill(id);
       }
       break;
     }

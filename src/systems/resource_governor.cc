@@ -55,7 +55,7 @@ class ResourceGovernorFacade::PoolCapController : public ExecutionController {
         duty = std::min(1.0, duty * 1.25);
       }
       for (QueryId id : queries->second) {
-        manager.ThrottleRequest(id, duty);
+        (void)manager.ThrottleRequest(id, duty);
       }
     }
   }

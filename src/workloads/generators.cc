@@ -34,14 +34,15 @@ QuerySpec WorkloadGenerator::NextOltp(const OltpWorkloadConfig& config) {
     keys.insert(static_cast<LockKey>(
         rng_.Zipf(config.key_space, config.zipf_theta)));
   }
-  for (LockKey key : keys) {
+  // Draw the write/read flags in sorted key order, not hash order: the
+  // Bernoulli draws consume RNG state, so iterating the raw set would let
+  // the hash function decide which key becomes a write.
+  std::vector<LockKey> sorted_keys(keys.begin(), keys.end());
+  std::sort(sorted_keys.begin(), sorted_keys.end());
+  for (LockKey key : sorted_keys) {
     spec.locks.push_back(
         LockRequest{key, rng_.Bernoulli(config.write_fraction)});
   }
-  std::sort(spec.locks.begin(), spec.locks.end(),
-            [](const LockRequest& a, const LockRequest& b) {
-              return a.key < b.key;
-            });
   return spec;
 }
 

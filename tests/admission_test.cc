@@ -133,10 +133,10 @@ TEST(ConflictRatioAdmissionTest, HoldsWhileContended) {
   // Build heavy lock contention directly in the engine: one holder, many
   // blocked transactions each holding another lock.
   LockManager& lm = rig.engine.lock_manager();
-  lm.Acquire(100, 1, LockMode::kExclusive);
+  (void)lm.Acquire(100, 1, LockMode::kExclusive);
   for (TxnId t = 101; t <= 110; ++t) {
-    lm.Acquire(t, t * 10, LockMode::kExclusive);  // held lock
-    lm.Acquire(t, 1, LockMode::kExclusive);       // blocks
+    (void)lm.Acquire(t, t * 10, LockMode::kExclusive);  // held lock
+    (void)lm.Acquire(t, 1, LockMode::kExclusive);       // blocks
   }
   ASSERT_GT(rig.engine.ConflictRatio(), 1.3);
 
@@ -165,7 +165,7 @@ TEST(ThroughputFeedbackTest, MplAdaptsUpUnderRisingThroughput) {
   oltp.locks_per_txn = 0;
   OpenLoopDriver driver(
       &rig.sim, &gen.rng(), 40.0, [&] { return gen.NextOltp(oltp); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(30.0);
   rig.sim.RunUntil(30.0);
   EXPECT_GT(raw->current_mpl(), 2);
@@ -216,7 +216,7 @@ TEST(IndicatorAdmissionTest, GatesLowPriorityDuringCongestion) {
   EXPECT_NE(rig.wlm.Find(2)->state, RequestState::kQueued);  // passed
 
   // Kill the hogs; congestion clears; the low-priority request proceeds.
-  for (QueryId id = 100; id < 104; ++id) rig.wlm.KillRequest(id, false);
+  for (QueryId id = 100; id < 104; ++id) (void)rig.wlm.KillRequest(id, false);
   rig.sim.RunUntil(6.0);
   EXPECT_NE(rig.wlm.Find(1)->state, RequestState::kQueued);
 }

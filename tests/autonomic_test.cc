@@ -81,7 +81,7 @@ TEST(AutonomicControllerTest, EscalatesAgainstBatchWhenOltpMisses) {
   oltp.locks_per_txn = 0;
   OpenLoopDriver driver(
       &rig.sim, &gen.rng(), 20.0, [&] { return gen.NextOltp(oltp); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(30.0);
   rig.sim.RunUntil(30.0);
 
@@ -149,7 +149,7 @@ TEST(AutonomicControllerTest, EscalationLadderReachesSuspend) {
   oltp_shape.locks_per_txn = 0;
   OpenLoopDriver driver(
       &rig.sim, &gen.rng(), 20.0, [&] { return gen.NextOltp(oltp_shape); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(30.0);
   rig.sim.RunUntil(30.0);
   bool suspended = false;

@@ -72,7 +72,7 @@ ChaosRunResult RunChaosScenario(uint64_t workload_seed, const FaultPlan& plan,
     if (t >= kHorizon) break;
     QuerySpec spec =
         (++n % 5 == 0) ? gen.NextBi(bi) : gen.NextOltp(oltp);
-    rig.sim.ScheduleAt(t, [&rig, spec] { rig.wlm.Submit(spec); });
+    rig.sim.ScheduleAt(t, [&rig, spec] { (void)rig.wlm.Submit(spec); });
   }
   rig.sim.RunUntil(kHorizon + 40.0);  // generous drain window
 

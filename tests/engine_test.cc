@@ -149,9 +149,9 @@ TEST(LockManagerTest, ReleaseGrantsFifo) {
   LockManager lm;
   std::vector<TxnId> granted;
   lm.set_grant_callback([&](TxnId t, LockKey) { granted.push_back(t); });
-  lm.Acquire(1, 100, LockMode::kExclusive);
-  lm.Acquire(2, 100, LockMode::kExclusive);
-  lm.Acquire(3, 100, LockMode::kExclusive);
+  (void)lm.Acquire(1, 100, LockMode::kExclusive);
+  (void)lm.Acquire(2, 100, LockMode::kExclusive);
+  (void)lm.Acquire(3, 100, LockMode::kExclusive);
   lm.ReleaseAll(1);
   EXPECT_EQ(granted, (std::vector<TxnId>{2}));
   lm.ReleaseAll(2);
@@ -162,9 +162,9 @@ TEST(LockManagerTest, SharedWaitersGrantTogether) {
   LockManager lm;
   std::vector<TxnId> granted;
   lm.set_grant_callback([&](TxnId t, LockKey) { granted.push_back(t); });
-  lm.Acquire(1, 5, LockMode::kExclusive);
-  lm.Acquire(2, 5, LockMode::kShared);
-  lm.Acquire(3, 5, LockMode::kShared);
+  (void)lm.Acquire(1, 5, LockMode::kExclusive);
+  (void)lm.Acquire(2, 5, LockMode::kShared);
+  (void)lm.Acquire(3, 5, LockMode::kShared);
   lm.ReleaseAll(1);
   EXPECT_EQ(granted.size(), 2u);
   EXPECT_EQ(lm.blocked_txn_count(), 0u);
@@ -172,7 +172,7 @@ TEST(LockManagerTest, SharedWaitersGrantTogether) {
 
 TEST(LockManagerTest, WriterNotStarvedBehindReaders) {
   LockManager lm;
-  lm.Acquire(1, 5, LockMode::kShared);
+  (void)lm.Acquire(1, 5, LockMode::kShared);
   EXPECT_FALSE(lm.Acquire(2, 5, LockMode::kExclusive));
   // A later reader queues behind the writer instead of jumping it.
   EXPECT_FALSE(lm.Acquire(3, 5, LockMode::kShared));
@@ -191,8 +191,8 @@ TEST(LockManagerTest, UpgradeWaitsForOtherReaders) {
   LockManager lm;
   std::vector<TxnId> granted;
   lm.set_grant_callback([&](TxnId t, LockKey) { granted.push_back(t); });
-  lm.Acquire(1, 9, LockMode::kShared);
-  lm.Acquire(2, 9, LockMode::kShared);
+  (void)lm.Acquire(1, 9, LockMode::kShared);
+  (void)lm.Acquire(2, 9, LockMode::kShared);
   EXPECT_FALSE(lm.Acquire(1, 9, LockMode::kExclusive));  // upgrade blocks
   lm.ReleaseAll(2);
   EXPECT_EQ(granted, (std::vector<TxnId>{1}));
@@ -200,8 +200,8 @@ TEST(LockManagerTest, UpgradeWaitsForOtherReaders) {
 
 TEST(LockManagerTest, DeadlockDetected) {
   LockManager lm;
-  lm.Acquire(1, 100, LockMode::kExclusive);
-  lm.Acquire(2, 200, LockMode::kExclusive);
+  (void)lm.Acquire(1, 100, LockMode::kExclusive);
+  (void)lm.Acquire(2, 200, LockMode::kExclusive);
   EXPECT_FALSE(lm.Acquire(1, 200, LockMode::kExclusive));
   EXPECT_FALSE(lm.Acquire(2, 100, LockMode::kExclusive));
   std::vector<TxnId> victims = lm.FindDeadlockVictims();
@@ -211,19 +211,19 @@ TEST(LockManagerTest, DeadlockDetected) {
 
 TEST(LockManagerTest, NoFalseDeadlock) {
   LockManager lm;
-  lm.Acquire(1, 100, LockMode::kExclusive);
-  lm.Acquire(2, 100, LockMode::kExclusive);  // simple wait, no cycle
+  (void)lm.Acquire(1, 100, LockMode::kExclusive);
+  (void)lm.Acquire(2, 100, LockMode::kExclusive);  // simple wait, no cycle
   EXPECT_TRUE(lm.FindDeadlockVictims().empty());
 }
 
 TEST(LockManagerTest, ThreeWayDeadlock) {
   LockManager lm;
-  lm.Acquire(1, 10, LockMode::kExclusive);
-  lm.Acquire(2, 20, LockMode::kExclusive);
-  lm.Acquire(3, 30, LockMode::kExclusive);
-  lm.Acquire(1, 20, LockMode::kExclusive);
-  lm.Acquire(2, 30, LockMode::kExclusive);
-  lm.Acquire(3, 10, LockMode::kExclusive);
+  (void)lm.Acquire(1, 10, LockMode::kExclusive);
+  (void)lm.Acquire(2, 20, LockMode::kExclusive);
+  (void)lm.Acquire(3, 30, LockMode::kExclusive);
+  (void)lm.Acquire(1, 20, LockMode::kExclusive);
+  (void)lm.Acquire(2, 30, LockMode::kExclusive);
+  (void)lm.Acquire(3, 10, LockMode::kExclusive);
   std::vector<TxnId> victims = lm.FindDeadlockVictims();
   ASSERT_EQ(victims.size(), 1u);
   EXPECT_EQ(victims[0], 3u);
@@ -235,20 +235,20 @@ TEST(LockManagerTest, ThreeWayDeadlock) {
 TEST(LockManagerTest, ConflictRatioRisesWithBlocking) {
   LockManager lm;
   EXPECT_DOUBLE_EQ(lm.ConflictRatio(), 1.0);
-  lm.Acquire(1, 1, LockMode::kExclusive);
-  lm.Acquire(1, 2, LockMode::kExclusive);
+  (void)lm.Acquire(1, 1, LockMode::kExclusive);
+  (void)lm.Acquire(1, 2, LockMode::kExclusive);
   EXPECT_DOUBLE_EQ(lm.ConflictRatio(), 1.0);
   // txn 2 holds a lock then blocks on key 1: its held lock counts in the
   // numerator but not the denominator.
-  lm.Acquire(2, 3, LockMode::kExclusive);
-  lm.Acquire(2, 1, LockMode::kExclusive);
+  (void)lm.Acquire(2, 3, LockMode::kExclusive);
+  (void)lm.Acquire(2, 1, LockMode::kExclusive);
   EXPECT_DOUBLE_EQ(lm.ConflictRatio(), 3.0 / 2.0);
 }
 
 TEST(LockManagerTest, ReleaseCancelsPendingWait) {
   LockManager lm;
-  lm.Acquire(1, 7, LockMode::kExclusive);
-  lm.Acquire(2, 7, LockMode::kExclusive);
+  (void)lm.Acquire(1, 7, LockMode::kExclusive);
+  (void)lm.Acquire(2, 7, LockMode::kExclusive);
   EXPECT_TRUE(lm.IsBlocked(2));
   lm.ReleaseAll(2);  // abort the waiter
   EXPECT_FALSE(lm.IsBlocked(2));

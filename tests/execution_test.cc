@@ -378,7 +378,7 @@ TEST(UtilityThrottleTest, ThrottlesUtilitiesWhenProductionDegrades) {
   oltp.locks_per_txn = 0;
   OpenLoopDriver driver(
       &rig.sim, &gen.rng(), 20.0, [&] { return gen.NextOltp(oltp); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(40.0);
   rig.sim.RunUntil(40.0);
   EXPECT_GT(raw->throttle_level(), 0.2);  // PI engaged
@@ -410,7 +410,7 @@ TEST(QueryThrottleTest, StepControllerProtectsOltpResponse) {
   oltp.locks_per_txn = 0;
   OpenLoopDriver driver(
       &rig.sim, &gen.rng(), 10.0, [&] { return gen.NextOltp(oltp); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(40.0);
   rig.sim.RunUntil(40.0);
   EXPECT_GT(raw->throttle_level(), 0.1);

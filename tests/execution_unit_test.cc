@@ -81,7 +81,7 @@ TEST(QueryExecutionTest, FractionDoneMonotone) {
   QueryExecution exec = MakeExec(plan);
   double last = 0.0;
   for (int i = 0; i < 40; ++i) {
-    exec.Advance(0.1, 5.0);
+    (void)exec.Advance(0.1, 5.0);
     double f = exec.FractionDone();
     EXPECT_GE(f, last - 1e-12);
     last = f;
@@ -122,12 +122,12 @@ TEST(QueryExecutionTest, CurrentStateGrowsWithOperatorProgress) {
   Plan plan = TwoOpPlan();
   QueryExecution exec = MakeExec(plan);
   // Mid-scan: some of the scan's 10MB state.
-  exec.Advance(0.5, 50.0);
+  (void)exec.Advance(0.5, 50.0);
   double mid_scan = exec.CurrentStateMb();
   EXPECT_GT(mid_scan, 0.0);
   EXPECT_LT(mid_scan, 10.0);
   // Finish scan, advance into the join: join state dwarfs scan state.
-  exec.Advance(1.5, 75.0);
+  (void)exec.Advance(1.5, 75.0);
   double mid_join = exec.CurrentStateMb();
   EXPECT_GT(mid_join, mid_scan);
 }
@@ -135,7 +135,7 @@ TEST(QueryExecutionTest, CurrentStateGrowsWithOperatorProgress) {
 TEST(QueryExecutionTest, SuspendErrorsAfterFinish) {
   Plan plan = TwoOpPlan();
   QueryExecution exec = MakeExec(plan);
-  exec.Advance(10.0, 1000.0);
+  (void)exec.Advance(10.0, 1000.0);
   exec.MarkFinished();
   SuspendedQuery bundle;
   EXPECT_EQ(exec.BeginSuspend(SuspendStrategy::kGoBack, 1.0, 10.0, &bundle)
@@ -146,8 +146,8 @@ TEST(QueryExecutionTest, SuspendErrorsAfterFinish) {
 TEST(QueryExecutionTest, SuspendFromSleepCarriesOperatorState) {
   Plan plan = TwoOpPlan();
   QueryExecution exec = MakeExec(plan);
-  exec.Advance(1.0, 100.0);  // scan done
-  exec.Advance(1.0, 25.0);   // join half done
+  (void)exec.Advance(1.0, 100.0);  // scan done
+  (void)exec.Advance(1.0, 25.0);   // join half done
   exec.SleepUntil(100.0);    // interrupt-throttled
   SuspendedQuery bundle;
   ASSERT_TRUE(exec.BeginSuspend(SuspendStrategy::kDumpState, 1.0, 10.0,
@@ -162,7 +162,7 @@ TEST(QueryExecutionTest, RowsEmittedTracksFraction) {
   Plan plan = TwoOpPlan();
   QueryExecution exec = MakeExec(plan);
   EXPECT_EQ(exec.Snapshot(0.0).rows_emitted, 0);
-  exec.Advance(3.0, 150.0);
+  (void)exec.Advance(3.0, 150.0);
   EXPECT_EQ(exec.Snapshot(1.0).rows_emitted, 100);
 }
 

@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "execution/timeout_escalation.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
 #include "scheduling/queue_schedulers.h"
+#include "telemetry/event_log.h"
 #include "tests/wlm_test_util.h"
 
 namespace wlm {
@@ -184,6 +186,42 @@ TEST(FaultInjectorTest, QueryAbortStrikesKillRunningVictims) {
   rig.sim.RunUntil(5.0);
   EXPECT_GT(injector.stats().aborts_fired, 0);
   EXPECT_EQ(rig.wlm.counters("default").killed, injector.stats().aborts_fired);
+}
+
+// Determinism contract: victim selection must depend only on (plan, seed),
+// never on container hash order. Two identical abort-strike runs must kill
+// the same queries at the same times in the same order.
+TEST(FaultInjectorTest, IdenticalRunsProduceIdenticalVictimSequences) {
+  auto victim_sequence = []() {
+    TestRig rig;
+    FaultInjector injector(&rig.sim, &rig.engine, &rig.wlm);
+    FaultPlan plan;
+    plan.seed = 11;
+    FaultEvent aborts;
+    aborts.kind = FaultKind::kQueryAborts;
+    aborts.start = 0.5;
+    aborts.duration = 2.0;
+    aborts.magnitude = 1.0;
+    aborts.period = 0.4;
+    plan.Add(aborts);
+    EXPECT_TRUE(injector.Arm(plan).ok());
+    for (QueryId id = 1; id <= 6; ++id) {
+      EXPECT_TRUE(rig.wlm.Submit(BiSpec(id, /*cpu=*/20.0)).ok());
+    }
+    rig.sim.RunUntil(5.0);
+    std::vector<std::pair<double, QueryId>> victims;
+    for (const WlmEvent& event : rig.wlm.event_log().events()) {
+      if (event.type == WlmEventType::kKilled) {
+        victims.emplace_back(event.time, event.query);
+      }
+    }
+    return victims;
+  };
+
+  std::vector<std::pair<double, QueryId>> first = victim_sequence();
+  std::vector<std::pair<double, QueryId>> second = victim_sequence();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
 }
 
 TEST(FaultInjectorTest, ArrivalSurgeDrivesTheHandlerAtBothEdges) {

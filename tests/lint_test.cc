@@ -1,0 +1,348 @@
+// Fixture tests for tools/wlm-lint: every rule must both fire on a known-bad
+// snippet and stay quiet on the corresponding clean/suppressed variant. The
+// companion CTest `WlmLintSrcClean` runs the real binary over src/ and
+// expects zero findings — together they demonstrate the contract is both
+// enforceable and currently met.
+
+#include "lint.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace wlm::lint {
+namespace {
+
+std::vector<std::string> RuleIds(const std::vector<Finding>& findings) {
+  std::vector<std::string> ids;
+  for (const Finding& f : findings) ids.push_back(f.rule);
+  return ids;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// D1 — nondeterminism sources.
+// ---------------------------------------------------------------------------
+
+TEST(LintD1Test, FlagsRandCall) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    int Pick() { return std::rand() % 7; }
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D1");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintD1Test, FlagsRandomDeviceAndWallClocks) {
+  auto findings = LintSource("src/scheduling/foo.cc", R"(
+    std::random_device rd;
+    auto t = std::chrono::system_clock::now();
+    auto s = std::chrono::steady_clock::now();
+  )");
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"D1", "D1", "D1"}));
+}
+
+TEST(LintD1Test, FlagsGetenvAndTimeCalls) {
+  auto findings = LintSource("src/core/foo.cc", R"(
+    void Seed() {
+      const char* s = getenv("WLM_SEED");
+      long t = time(nullptr);
+    }
+  )");
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"D1", "D1"}));
+}
+
+TEST(LintD1Test, AllowsCommonDirectory) {
+  auto findings = LintSource("src/common/rng.cc", R"(
+    std::random_device rd;  // the wrapper itself may touch entropy
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintD1Test, IgnoresMemberAccessAndDeclarations) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    double a = event.time;
+    double b = exec->dispatch_time();
+    double time = 0.0;           // declaration, not a call
+    void SetTime(double time);   // parameter name
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintD1Test, SuppressibleWithReason) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    // wlm-lint: allow(D1) hashing wall time into a debug label only
+    long t = time(nullptr);
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// D2 — unordered iteration feeding emission/selection surfaces.
+// ---------------------------------------------------------------------------
+
+TEST(LintD2Test, FlagsRangeForOverUnorderedMapCallingKill) {
+  auto findings = LintSource("src/execution/foo.cc", R"(
+    std::unordered_map<QueryId, double> victims_;
+    void Sweep(Engine* engine) {
+      for (const auto& [id, cost] : victims_) {
+        (void)engine->Kill(id);
+      }
+    }
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D2");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintD2Test, FlagsIteratorLoopAndRngDraws) {
+  auto findings = LintSource("src/workloads/foo.cc", R"(
+    std::unordered_set<LockKey> keys_;
+    void Draw(Rng* rng) {
+      for (auto it = keys_.begin(); it != keys_.end(); ++it) {
+        bool write = rng->Bernoulli(0.5);
+      }
+    }
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D2");
+}
+
+TEST(LintD2Test, OrderInsensitiveBodyIsClean) {
+  auto findings = LintSource("src/faults/foo.cc", R"(
+    std::unordered_map<int, double> active_;
+    double Sum() {
+      double total = 0.0;
+      for (const auto& [id, mag] : active_) total += mag;
+      return total;
+    }
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintD2Test, UsesVarsDeclaredInSelfHeader) {
+  auto findings = LintSource("src/core/foo.cc", R"(
+    void Flush(EventLog* log) {
+      for (QueryId id : running_) {
+        log->Append(MakeEvent(id));
+      }
+    }
+  )",
+                             {"running_"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D2");
+}
+
+TEST(LintD2Test, SuppressibleWithReason) {
+  auto findings = LintSource("src/execution/foo.cc", R"(
+    std::unordered_map<QueryId, double> victims_;
+    void Sweep(Engine* engine) {
+      // wlm-lint: allow(D2) kill set is a singleton by construction
+      for (const auto& [id, cost] : victims_) {
+        (void)engine->Kill(id);
+      }
+    }
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// D3 — sim clock hygiene.
+// ---------------------------------------------------------------------------
+
+TEST(LintD3Test, FlagsFloatAndClockAccumulationInSim) {
+  auto findings = LintSource("src/sim/simulation.cc", R"(
+    float drift = 0.0f;
+    void Step(double dt) { now_ += dt; }
+  )");
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"D3", "D3"}));
+}
+
+TEST(LintD3Test, AbsoluteAssignmentIsClean) {
+  auto findings = LintSource("src/sim/simulation.cc", R"(
+    void Step(const Event& e) { now_ = e.when; }
+    void RunFor(double d) { RunUntil(now_ + d); }
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintD3Test, OutsideSimDirectoryNotInScope) {
+  auto findings = LintSource("src/control/pid.cc", R"(
+    float gain = 0.5f;
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// H1 — [[nodiscard]] on public bool/Status/Result APIs in engine/core.
+// ---------------------------------------------------------------------------
+
+TEST(LintH1Test, FlagsPublicStatusWithoutNodiscard) {
+  auto findings = LintSource("src/engine/foo.h", R"(
+    class Engine {
+     public:
+      Status Kill(QueryId id);
+    };
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "H1");
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+TEST(LintH1Test, NodiscardAndNonPublicAndVoidAreClean) {
+  auto findings = LintSource("src/core/foo.h", R"(
+    class Manager {
+     public:
+      [[nodiscard]] Status Submit(QuerySpec spec);
+      [[nodiscard]] virtual bool AllowDispatch() const;
+      [[nodiscard]] Result<SuspendedQuery> TakeSuspended(QueryId id);
+      void Requeue(QueryId id);
+      int count() const;
+     private:
+      Status Internal();
+      bool helper_flag_;
+    };
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintH1Test, StructMembersArePublicByDefault) {
+  auto findings = LintSource("src/engine/foo.h", R"(
+    struct Probe {
+      bool Armed() const;
+    };
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "H1");
+}
+
+TEST(LintH1Test, OtherDirectoriesAndSourcesNotInScope) {
+  const char* snippet = R"(
+    class Thing {
+     public:
+      bool Ok() const;
+    };
+  )";
+  EXPECT_TRUE(LintSource("src/control/foo.h", snippet).empty());
+  EXPECT_TRUE(LintSource("src/engine/foo.cc", snippet).empty());
+}
+
+TEST(LintH1Test, SuppressibleWithReason) {
+  auto findings = LintSource("src/engine/foo.h", R"(
+    class Engine {
+     public:
+      // wlm-lint: allow(H1) fluent setter, result intentionally optional
+      bool Toggle();
+    };
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// H2 — include hygiene.
+// ---------------------------------------------------------------------------
+
+TEST(LintH2Test, FlagsIostreamInHeader) {
+  auto findings = LintSource("src/telemetry/foo.h",
+                             "#include <iostream>\nclass T {};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "H2");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintH2Test, IostreamInSourceIsFine) {
+  auto findings =
+      LintSource("src/telemetry/foo.cc",
+                 "#include \"telemetry/foo.h\"\n#include <iostream>\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintH2Test, FlagsSelfHeaderNotFirst) {
+  auto findings = LintSource(
+      "src/core/request.cc",
+      "#include <vector>\n#include \"core/request.h\"\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "H2");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintH2Test, SelfHeaderFirstOrAbsentIsClean) {
+  EXPECT_TRUE(LintSource("src/core/request.cc",
+                         "#include \"core/request.h\"\n#include <vector>\n")
+                  .empty());
+  // No self header among the includes: nothing to order against.
+  EXPECT_TRUE(
+      LintSource("src/core/main.cc", "#include <vector>\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression plumbing.
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppressionTest, AllowWithoutReasonIsItselfAFinding) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    // wlm-lint: allow(D1)
+    long t = time(nullptr);
+  )");
+  // The malformed directive does not suppress, so D1 still fires too.
+  EXPECT_TRUE(HasRule(findings, "A0"));
+  EXPECT_TRUE(HasRule(findings, "D1"));
+}
+
+TEST(LintSuppressionTest, AllowOnlyCoversItsOwnRule) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    // wlm-lint: allow(D2) wrong rule id for this construct
+    long t = time(nullptr);
+  )");
+  EXPECT_TRUE(HasRule(findings, "D1"));
+}
+
+TEST(LintSuppressionTest, TrailingCommentCoversSameLine) {
+  auto findings = LintSource(
+      "src/engine/foo.cc",
+      "long t = time(nullptr);  // wlm-lint: allow(D1) debug label only\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Infrastructure.
+// ---------------------------------------------------------------------------
+
+TEST(LintInfraTest, RuleCatalogIsNonEmptyAndSorted) {
+  const auto& rules = Rules();
+  ASSERT_GE(rules.size(), 6u);
+  for (size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_LT(std::string(rules[i - 1].id), std::string(rules[i].id));
+  }
+}
+
+TEST(LintInfraTest, FindingsAreSortedAndFormattable) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    std::random_device rd;
+    long t = time(nullptr);
+  )");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_LE(findings[0].line, findings[1].line);
+  EXPECT_EQ(FormatFinding(findings[0]).substr(0, 20), "src/engine/foo.cc:2:");
+}
+
+TEST(LintInfraTest, LexerSurvivesRawStringsAndContinuations) {
+  // A raw string containing `rand(` must not leak tokens into the rules,
+  // and a continued #define must not swallow the next line.
+  auto findings = LintSource("src/engine/foo.cc",
+                             "const char* kJson = R\"x({\"f\":\"rand()\"})x\";\n"
+                             "#define M(x) \\\n  (x)\n"
+                             "std::random_device rd;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4);
+}
+
+}  // namespace
+}  // namespace wlm::lint

@@ -220,7 +220,7 @@ TEST_P(QueueingCrossValidation, AnalyticResponseMatchesSimulation) {
         spec.result_rows = 1;
         return spec;
       },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(400.0);
   rig.sim.RunUntil(600.0);
 
@@ -330,10 +330,10 @@ TEST_P(DeterminismSweep, IdenticalSeedsIdenticalOutcomes) {
     Rng arrivals(seed ^ 0xabcdef);
     OpenLoopDriver oltp_driver(
         &rig.sim, &arrivals, 20.0, [&] { return gen.NextOltp(oltp); },
-        [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+        [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
     OpenLoopDriver bi_driver(
         &rig.sim, &arrivals, 0.5, [&] { return gen.NextBi(bi); },
-        [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+        [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
     oltp_driver.Start(20.0);
     bi_driver.Start(20.0);
     rig.sim.RunUntil(120.0);
@@ -401,7 +401,7 @@ TEST_P(FaultChaosSweep, NoRequestLostAndBudgetsHoldUnderRandomFaults) {
     t += arrivals.Exponential(0.3);
     if (t >= 12.0) break;
     QuerySpec spec = (++n % 4 == 0) ? gen.NextBi(bi) : gen.NextOltp(oltp);
-    rig.sim.ScheduleAt(t, [&rig, spec] { rig.wlm.Submit(spec); });
+    rig.sim.ScheduleAt(t, [&rig, spec] { (void)rig.wlm.Submit(spec); });
   }
   rig.sim.RunUntil(120.0);  // drain long past the fault horizon
 

@@ -124,7 +124,7 @@ TEST(FeedbackMplTest, ResponseTargetModeShrinksMplUnderSlowness) {
   bi.cpu_mu = -1.6;  // median ~0.2s cpu: sustainable arrival load
   OpenLoopDriver driver(
       &rig.sim, &gen.rng(), 4.0, [&] { return gen.NextBi(bi); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   driver.Start(40.0);
   rig.sim.RunUntil(45.0);
   EXPECT_LT(raw->current_mpl(), 16);  // adapted downwards
@@ -165,10 +165,10 @@ TEST(UtilitySchedulerTest, ReplanShiftsCapacityTowardImportantMissedClass) {
   BiWorkloadConfig bi;
   OpenLoopDriver oltp_driver(
       &rig.sim, &gen.rng(), 30.0, [&] { return gen.NextOltp(oltp); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   OpenLoopDriver bi_driver(
       &rig.sim, &gen.rng(), 1.0, [&] { return gen.NextBi(bi); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   oltp_driver.Start(30.0);
   bi_driver.Start(30.0);
   rig.sim.RunUntil(35.0);
@@ -254,12 +254,12 @@ TEST(BatchSchedulerTest, WsptMinimizesWeightedCompletionInSimulation) {
     }
     // A short head query occupies the single slot so the real batch is
     // fully queued when the ordering decision happens.
-    rig.wlm.Submit(BiSpec(100, 0.2, 5.0, 4.0));
+    (void)rig.wlm.Submit(BiSpec(100, 0.2, 5.0, 4.0));
     // Batch: one long query then several short ones (FIFO order is worst
     // case for total completion time).
-    rig.wlm.Submit(BiSpec(1, 10.0, 10.0, 8.0));
+    (void)rig.wlm.Submit(BiSpec(1, 10.0, 10.0, 8.0));
     for (QueryId id = 2; id <= 6; ++id) {
-      rig.wlm.Submit(BiSpec(id, 0.2, 5.0, 4.0));
+      (void)rig.wlm.Submit(BiSpec(id, 0.2, 5.0, 4.0));
     }
     rig.sim.RunUntil(120.0);
     double weighted_completion = 0.0;

@@ -491,15 +491,15 @@ struct MixedRun {
 
     // Two BI queries (the second queues behind MPL 2 + the OLTP stream)
     // and a burst of OLTP transactions.
-    rig->sim.Schedule(0.0, [&wlm] { wlm.Submit(BiSpec(1, /*cpu=*/2.0)); });
-    rig->sim.Schedule(0.05, [&wlm] { wlm.Submit(BiSpec(2, /*cpu=*/2.0)); });
+    rig->sim.Schedule(0.0, [&wlm] { (void)wlm.Submit(BiSpec(1, /*cpu=*/2.0)); });
+    rig->sim.Schedule(0.05, [&wlm] { (void)wlm.Submit(BiSpec(2, /*cpu=*/2.0)); });
     for (int i = 0; i < 10; ++i) {
       rig->sim.Schedule(0.1 + 0.05 * i, [&wlm, i] {
-        wlm.Submit(OltpSpec(static_cast<QueryId>(100 + i)));
+        (void)wlm.Submit(OltpSpec(static_cast<QueryId>(100 + i)));
       });
     }
     // Throttle query 1 while it runs; it spans several monitor samples.
-    rig->sim.Schedule(0.5, [&wlm] { wlm.ThrottleRequest(1, 0.5); });
+    rig->sim.Schedule(0.5, [&wlm] { (void)wlm.ThrottleRequest(1, 0.5); });
     rig->sim.RunUntil(40.0);
   }
 };
@@ -640,6 +640,41 @@ TEST(TelemetryEndToEnd, SeriesAndEventLogExportsAreWellFormed) {
     ++event_rows;
   }
   EXPECT_EQ(event_rows, run.rig->wlm.event_log().size());
+}
+
+// Determinism contract: every export surface must be byte-stable across two
+// identical runs. Guards against hash-order iteration sneaking into an
+// exporter (see DESIGN.md "Determinism contract").
+TEST(TelemetryEndToEnd, ExportsAreByteStableAcrossIdenticalRuns) {
+  MixedRun first(/*telemetry_enabled=*/true);
+  MixedRun second(/*telemetry_enabled=*/true);
+
+  auto capture = [](const MixedRun& run) {
+    std::map<std::string, std::string> out;
+    std::ostringstream prometheus;
+    WritePrometheus(run.rig->wlm.telemetry().metrics(), prometheus);
+    out["prometheus"] = prometheus.str();
+    std::ostringstream trace;
+    WriteChromeTrace(run.rig->wlm.telemetry().tracer(), trace);
+    out["chrome_trace"] = trace.str();
+    std::ostringstream jsonl;
+    WriteSeriesJsonl(run.rig->monitor, jsonl);
+    out["series_jsonl"] = jsonl.str();
+    std::ostringstream csv;
+    WriteSeriesCsv(run.rig->monitor, csv);
+    out["series_csv"] = csv.str();
+    std::ostringstream events;
+    WriteEventLogJsonl(run.rig->wlm.event_log(), events);
+    out["event_log_jsonl"] = events.str();
+    return out;
+  };
+
+  std::map<std::string, std::string> a = capture(first);
+  std::map<std::string, std::string> b = capture(second);
+  for (const auto& [name, text] : a) {
+    EXPECT_FALSE(text.empty()) << name;
+    EXPECT_EQ(text, b[name]) << name << " output differs between runs";
+  }
 }
 
 TEST(TelemetryEndToEnd, DisabledTelemetryChangesNoOutcome) {

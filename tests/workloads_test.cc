@@ -121,7 +121,7 @@ TEST(ClosedLoopDriverTest, MaintainsPopulation) {
   ClosedLoopDriver driver(
       &rig.sim, &gen.rng(), 4, 0.05,
       [&] { return gen.NextOltp(config); },
-      [&](QuerySpec spec) { rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)rig.wlm.Submit(std::move(spec)); });
   rig.wlm.AddCompletionListener(
       [&](const Request& r) { driver.OnRequestFinished(r.spec.id); });
   driver.Start();
@@ -144,11 +144,11 @@ TEST(ClosedLoopDriverTest, ThinkTimeThrottlesSubmissionRate) {
   ClosedLoopDriver fast(
       &fast_rig.sim, &gen_fast.rng(), 2, 0.01,
       [&] { return gen_fast.NextOltp(config); },
-      [&](QuerySpec spec) { fast_rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)fast_rig.wlm.Submit(std::move(spec)); });
   ClosedLoopDriver slow(
       &slow_rig.sim, &gen_slow.rng(), 2, 1.0,
       [&] { return gen_slow.NextOltp(config); },
-      [&](QuerySpec spec) { slow_rig.wlm.Submit(std::move(spec)); });
+      [&](QuerySpec spec) { (void)slow_rig.wlm.Submit(std::move(spec)); });
   fast_rig.wlm.AddCompletionListener(
       [&](const Request& r) { fast.OnRequestFinished(r.spec.id); });
   slow_rig.wlm.AddCompletionListener(

@@ -1,0 +1,53 @@
+#ifndef WLM_TOOLS_WLM_LINT_LEXER_H_
+#define WLM_TOOLS_WLM_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace wlm::lint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals
+  kString,  // string literals (text not preserved)
+  kChar,    // character literals
+  kPunct,   // operators and punctuation; multi-char for ::, ->, +=, -=, [[, ]]
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+/// A comment with the line span it covers. `text` excludes the delimiters.
+struct Comment {
+  int line = 0;      // first line
+  int end_line = 0;  // last line (== line for // comments)
+  std::string text;
+};
+
+/// One `#include` directive, in file order.
+struct IncludeDirective {
+  int line = 0;
+  std::string path;    // the include path without quotes/brackets
+  bool angled = false; // <...> vs "..."
+};
+
+/// Token stream plus the side tables the rules need. Comments and
+/// preprocessor lines are not tokens: rules see pure code, suppression
+/// directives are read from `comments`, include hygiene from `includes`.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+/// Tokenizes C++ source. Handles //, /* */, string/char literals with
+/// escapes, raw strings R"delim(...)delim", digit separators, and
+/// line-continued preprocessor directives.
+LexedFile Lex(const std::string& content);
+
+}  // namespace wlm::lint
+
+#endif  // WLM_TOOLS_WLM_LINT_LEXER_H_

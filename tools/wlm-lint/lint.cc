@@ -1,0 +1,645 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace wlm::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Path helpers. Rules are scoped by directory component so the linter works
+// whether it is handed "src", "/abs/path/src", or a single file.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Components(const std::string& path) {
+  std::vector<std::string> out;
+  std::string part;
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!part.empty()) out.push_back(part);
+      part.clear();
+    } else {
+      part += c;
+    }
+  }
+  if (!part.empty()) out.push_back(part);
+  return out;
+}
+
+bool HasComponent(const std::string& path, const std::string& name) {
+  for (const std::string& c : Components(path)) {
+    if (c == name) return true;
+  }
+  return false;
+}
+
+std::string Basename(const std::string& path) {
+  std::vector<std::string> parts = Components(path);
+  return parts.empty() ? std::string() : parts.back();
+}
+
+bool IsHeader(const std::string& path) { return path.ends_with(".h"); }
+bool IsSource(const std::string& path) { return path.ends_with(".cc"); }
+
+std::string Stem(const std::string& path) {
+  std::string base = Basename(path);
+  size_t dot = base.rfind('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// wlm-lint: allow(RULE-ID) reason`. The directive covers
+// the comment's own line span plus the next line, so both trailing comments
+// and a comment line above the construct work. A directive without a reason
+// is itself a finding (A0) — suppressions must be justified.
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  std::map<int, std::set<std::string>> allowed;  // line -> rule ids
+  std::vector<Finding> malformed;
+
+  bool Allows(int line, const std::string& rule) const {
+    auto it = allowed.find(line);
+    return it != allowed.end() && it->second.count(rule) > 0;
+  }
+};
+
+Suppressions ParseSuppressions(const std::string& path,
+                               const std::vector<Comment>& comments) {
+  Suppressions out;
+  for (const Comment& comment : comments) {
+    size_t pos = comment.text.find("wlm-lint:");
+    while (pos != std::string::npos) {
+      size_t open = comment.text.find("allow(", pos);
+      if (open == std::string::npos) break;
+      size_t close = comment.text.find(')', open);
+      if (close == std::string::npos) break;
+      std::string rule = comment.text.substr(open + 6, close - open - 6);
+      // Reason = non-whitespace text after the closing paren.
+      size_t reason = comment.text.find_first_not_of(" \t", close + 1);
+      if (rule.empty() || reason == std::string::npos) {
+        out.malformed.push_back(
+            {path, comment.line, "A0",
+             "suppression without a rule id or reason: write "
+             "`// wlm-lint: allow(RULE-ID) reason`"});
+      } else {
+        for (int line = comment.line; line <= comment.end_line + 1; ++line) {
+          out.allowed[line].insert(rule);
+        }
+      }
+      pos = comment.text.find("wlm-lint:", close);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers.
+// ---------------------------------------------------------------------------
+
+bool TextIs(const std::vector<Token>& toks, size_t i, const char* text) {
+  return i < toks.size() && toks[i].text == text;
+}
+
+/// Index just past the `>` matching the `<` at `open` (which must be "<").
+size_t SkipTemplateArgs(const std::vector<Token>& toks, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "<") ++depth;
+    if (toks[i].text == ">" && --depth == 0) return i + 1;
+    if (toks[i].text == ";") break;  // malformed; bail
+  }
+  return toks.size();
+}
+
+/// Index of the `)`/`}` matching the opener at `open`.
+size_t MatchDelim(const std::vector<Token>& toks, size_t open,
+                  const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == open_text) ++depth;
+    if (toks[i].text == close_text && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// ---------------------------------------------------------------------------
+// D1 — nondeterminism sources.
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& BannedAnyUse() {
+  static const std::set<std::string> kSet = {
+      "random_device", "system_clock",          "steady_clock",
+      "high_resolution_clock", "mt19937",       "mt19937_64",
+      "minstd_rand",   "default_random_engine", "knuth_b",
+  };
+  return kSet;
+}
+
+const std::set<std::string>& BannedCalls() {
+  static const std::set<std::string> kSet = {
+      "rand",      "srand",        "time",   "clock",
+      "getenv",    "gettimeofday", "localtime", "gmtime",
+      "timespec_get",
+  };
+  return kSet;
+}
+
+void RunD1(const std::string& path, const LexedFile& file,
+           const Suppressions& allow, std::vector<Finding>* findings) {
+  // src/common hosts the seeded Rng wrapper — the one place allowed to
+  // name entropy primitives (it doesn't today, but the wrapper is where
+  // a platform-entropy escape hatch would live).
+  if (HasComponent(path, "common")) return;
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& text = toks[i].text;
+    bool any_use = BannedAnyUse().count(text) > 0;
+    bool call = BannedCalls().count(text) > 0;
+    if (!any_use && !call) continue;
+    // Member access (`event.time`, `obj->clock`) is project data, not the
+    // C library.
+    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      continue;
+    }
+    // Qualified by a namespace other than std/std::chrono: not the
+    // banned entity.
+    if (i > 1 && toks[i - 1].text == "::") {
+      const std::string& ns = toks[i - 2].text;
+      if (ns != "std" && ns != "chrono") continue;
+    }
+    if (call) {
+      // Must look like a call, and not a declaration (`double time(` — a
+      // preceding type identifier means this *names* something new).
+      if (!TextIs(toks, i + 1, "(")) continue;
+      if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
+          toks[i - 1].text != "return") {
+        continue;
+      }
+    }
+    if (allow.Allows(toks[i].line, "D1")) continue;
+    findings->push_back(
+        {path, toks[i].line, "D1",
+         "nondeterminism source '" + text +
+             "': all randomness/time must flow through the seeded wlm::Rng "
+             "and the simulation clock (src/common/rng.h, src/sim/)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D2 — unordered-container iteration feeding an emission/selection surface.
+// ---------------------------------------------------------------------------
+
+bool IsUnorderedTypeName(const std::string& text) {
+  return text == "unordered_map" || text == "unordered_set" ||
+         text == "unordered_multimap" || text == "unordered_multiset";
+}
+
+/// Call surfaces whose *order* is observable: event/metric/trace emission,
+/// query selection/actions, and seeded-RNG draws (consuming draws in hash
+/// order silently reshuffles every downstream random decision).
+const std::set<std::string>& OrderSensitiveSurfaces() {
+  static const std::set<std::string> kSet = {
+      // emission
+      "Append", "LogEvent", "LogFaultEvent", "Emit", "RecordEvent",
+      "AddInstant", "BeginSpan", "EndSpan", "OnEvent", "Observe",
+      "Increment", "WritePrometheus", "WriteEvent", "Export",
+      // selection / actions on queries
+      "Kill", "KillRequest", "Suspend", "SuspendRequest", "Resume",
+      "ResumeRequest", "Abort", "AbortRequestByFault", "ThrottleRequest",
+      "PauseRequest", "Dispatch", "DispatchWithPlan", "Submit",
+      "SubmitWithPlan",
+      // seeded RNG draws
+      "Uniform", "Uniform01", "UniformInt", "Bernoulli", "Exponential",
+      "Normal", "LogNormal", "Poisson", "Zipf", "BoundedPareto",
+      "WeightedIndex", "Fork",
+  };
+  return kSet;
+}
+
+void RunD2(const std::string& path, const LexedFile& file,
+           const std::set<std::string>& unordered_vars,
+           const Suppressions& allow, std::vector<Finding>* findings) {
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "for") continue;
+    if (!TextIs(toks, i + 1, "(")) continue;
+    size_t close = MatchDelim(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+
+    // Is the loop over an unordered container?
+    std::string over;
+    // Range-for: `:` at paren depth 1 (`::` lexes as its own token).
+    size_t colon = toks.size();
+    {
+      int depth = 0;
+      for (size_t j = i + 1; j < close; ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") --depth;
+        if (depth == 1 && toks[j].text == ":") {
+          colon = j;
+          break;
+        }
+      }
+    }
+    if (colon < close) {
+      for (size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind != TokKind::kIdent) continue;
+        if (unordered_vars.count(toks[j].text) > 0 ||
+            IsUnorderedTypeName(toks[j].text)) {
+          over = toks[j].text;
+          break;
+        }
+      }
+    } else {
+      // Classic loop: `var.begin()` / `var.cbegin()` over an unordered var.
+      for (size_t j = i + 2; j + 2 < close; ++j) {
+        if (toks[j].kind == TokKind::kIdent &&
+            unordered_vars.count(toks[j].text) > 0 &&
+            (toks[j + 1].text == "." || toks[j + 1].text == "->") &&
+            (toks[j + 2].text == "begin" || toks[j + 2].text == "cbegin")) {
+          over = toks[j].text;
+          break;
+        }
+      }
+    }
+    if (over.empty()) continue;
+
+    // Loop body: a braced block or a single statement.
+    size_t body_begin = close + 1;
+    size_t body_end;
+    if (TextIs(toks, body_begin, "{")) {
+      body_end = MatchDelim(toks, body_begin, "{", "}");
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && toks[body_end].text != ";") ++body_end;
+    }
+
+    for (size_t j = body_begin; j < body_end && j < toks.size(); ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      if (OrderSensitiveSurfaces().count(toks[j].text) == 0) continue;
+      if (!TextIs(toks, j + 1, "(")) continue;
+      if (allow.Allows(toks[i].line, "D2")) break;
+      findings->push_back(
+          {path, toks[i].line, "D2",
+           "loop over unordered container '" + over + "' calls '" +
+               toks[j].text +
+               "' — hash iteration order is implementation-defined; take an "
+               "id-sorted snapshot first (pattern: fault_injector.cc)"});
+      break;  // one finding per loop
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// D3 — sim clock arithmetic hygiene.
+// ---------------------------------------------------------------------------
+
+void RunD3(const std::string& path, const LexedFile& file,
+           const Suppressions& allow, std::vector<Finding>* findings) {
+  if (!HasComponent(path, "sim")) return;
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (toks[i].text == "float") {
+      if (!allow.Allows(toks[i].line, "D3")) {
+        findings->push_back(
+            {path, toks[i].line, "D3",
+             "float in the simulation clock path: use double (SimTime) — "
+             "32-bit accumulation drifts across replays"});
+      }
+      continue;
+    }
+    if (toks[i].text != "now_") continue;
+    bool bad = TextIs(toks, i + 1, "+=") || TextIs(toks, i + 1, "-=") ||
+               (TextIs(toks, i + 1, "=") && TextIs(toks, i + 2, "now_"));
+    if (bad && !allow.Allows(toks[i].line, "D3")) {
+      findings->push_back(
+          {path, toks[i].line, "D3",
+           "sim clock advanced by accumulation: assign absolute event "
+           "timestamps (`now_ = event.when`), never `now_ += dt` — repeated "
+           "rounding breaks bit-exact replay"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H1 — [[nodiscard]] on bool/Status/Result-returning public APIs in
+// src/engine and src/core headers.
+// ---------------------------------------------------------------------------
+
+bool IsDeclModifier(const std::string& text) {
+  return text == "virtual" || text == "static" || text == "inline" ||
+         text == "constexpr" || text == "explicit";
+}
+
+void RunH1(const std::string& path, const LexedFile& file,
+           const Suppressions& allow, std::vector<Finding>* findings) {
+  if (!IsHeader(path)) return;
+  if (!HasComponent(path, "engine") && !HasComponent(path, "core")) return;
+  const std::vector<Token>& toks = file.tokens;
+
+  struct ClassCtx {
+    int body_depth;
+    std::string access;
+  };
+  std::vector<ClassCtx> stack;
+  int depth = 0;
+  bool pending_class = false;
+  std::string pending_access;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.text == "{") {
+      ++depth;
+      if (pending_class) {
+        stack.push_back({depth, pending_access});
+        pending_class = false;
+      }
+      continue;
+    }
+    if (t.text == "}") {
+      if (!stack.empty() && stack.back().body_depth == depth) stack.pop_back();
+      --depth;
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+
+    if ((t.text == "class" || t.text == "struct") &&
+        !(i > 0 && toks[i - 1].text == "enum")) {
+      // Definition (reaches `{`) vs forward declaration / template
+      // parameter (reaches `;` or `>` first).
+      for (size_t j = i + 1; j < toks.size(); ++j) {
+        if (toks[j].text == "{") {
+          pending_class = true;
+          pending_access = t.text == "class" ? "private" : "public";
+          break;
+        }
+        if (toks[j].text == ";" || toks[j].text == ">") break;
+      }
+      continue;
+    }
+
+    bool in_class = !stack.empty() && stack.back().body_depth == depth;
+    if (in_class &&
+        (t.text == "public" || t.text == "private" || t.text == "protected") &&
+        TextIs(toks, i + 1, ":")) {
+      stack.back().access = t.text;
+      continue;
+    }
+
+    if (!in_class || stack.back().access != "public") continue;
+    if (t.text != "bool" && t.text != "Status" && t.text != "Result") continue;
+
+    // Function name directly after the return type (Result skips its
+    // template arguments).
+    size_t name = i + 1;
+    if (t.text == "Result") {
+      if (!TextIs(toks, i + 1, "<")) continue;
+      name = SkipTemplateArgs(toks, i + 1);
+    }
+    if (name >= toks.size() || toks[name].kind != TokKind::kIdent) continue;
+    if (toks[name].text == "operator") continue;
+    if (!TextIs(toks, name + 1, "(")) continue;
+
+    // Walk back over modifiers and attributes to confirm this is the
+    // start of a member declaration and whether [[nodiscard]] is present.
+    bool has_nodiscard = false;
+    bool is_friend = false;
+    size_t k = i;
+    while (k > 0) {
+      const std::string& prev = toks[k - 1].text;
+      if (IsDeclModifier(prev)) {
+        --k;
+        continue;
+      }
+      if (prev == "friend") {
+        is_friend = true;
+        --k;
+        continue;
+      }
+      if (prev == "]]") {
+        size_t open = k - 1;
+        while (open > 0 && toks[open - 1].text != "[[") --open;
+        for (size_t a = open; a < k - 1; ++a) {
+          if (toks[a].text == "nodiscard") has_nodiscard = true;
+        }
+        k = open > 0 ? open - 1 : 0;
+        continue;
+      }
+      break;
+    }
+    bool decl_start = k == 0 || toks[k - 1].text == ";" ||
+                      toks[k - 1].text == "{" || toks[k - 1].text == "}" ||
+                      toks[k - 1].text == ":";
+    if (!decl_start || is_friend || has_nodiscard) continue;
+    if (allow.Allows(t.line, "H1")) continue;
+    findings->push_back(
+        {path, t.line, "H1",
+         "public " + t.text + "-returning API '" + toks[name].text +
+             "' lacks [[nodiscard]]: silently dropped Status/bool results "
+             "hide admission/kill/suspend failures"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// H2 — include hygiene.
+// ---------------------------------------------------------------------------
+
+void RunH2(const std::string& path, const LexedFile& file,
+           const Suppressions& allow, std::vector<Finding>* findings) {
+  if (IsHeader(path)) {
+    for (const IncludeDirective& inc : file.includes) {
+      if (inc.angled && inc.path == "iostream" &&
+          !allow.Allows(inc.line, "H2")) {
+        findings->push_back(
+            {path, inc.line, "H2",
+             "<iostream> in a header injects the static ios initializer "
+             "into every TU: include <ostream>/<istream> in the header and "
+             "<iostream> only in .cc files"});
+      }
+    }
+    return;
+  }
+  if (!IsSource(path) || file.includes.empty()) return;
+  std::string expected = Stem(path) + ".h";
+  bool has_self = false;
+  for (const IncludeDirective& inc : file.includes) {
+    if (!inc.angled && Basename(inc.path) == expected) has_self = true;
+  }
+  const IncludeDirective& first = file.includes.front();
+  if (has_self && (first.angled || Basename(first.path) != expected) &&
+      !allow.Allows(first.line, "H2")) {
+    findings->push_back(
+        {path, first.line, "H2",
+         "self header must be the first include (proves '" + expected +
+             "' is self-contained)"});
+  }
+}
+
+void SortFindings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"A0", "`wlm-lint: allow(ID)` suppressions must name a rule and a "
+             "reason"},
+      {"D1", "randomness and time must flow through the seeded wlm::Rng and "
+             "the simulation clock, never OS entropy or wall clock"},
+      {"D2", "iterating an unordered container must not feed event emission, "
+             "victim selection, or RNG draws — sort an id snapshot first"},
+      {"D3", "the sim clock is a double assigned absolute event timestamps; "
+             "no float, no incremental accumulation"},
+      {"H1", "bool/Status/Result-returning public engine/core APIs carry "
+             "[[nodiscard]]"},
+      {"H2", "no <iostream> in headers; a .cc includes its own header "
+             "first"},
+  };
+  return kRules;
+}
+
+std::set<std::string> CollectUnorderedVars(const LexedFile& file) {
+  std::set<std::string> out;
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        !IsUnorderedTypeName(toks[i].text)) {
+      continue;
+    }
+    if (!TextIs(toks, i + 1, "<")) continue;
+    size_t j = SkipTemplateArgs(toks, i + 1);
+    // Skip cv/ref/pointer decorations between type and declarator.
+    while (j < toks.size() &&
+           (toks[j].text == "const" || toks[j].text == "&" ||
+            toks[j].text == "*")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    // `unordered_map<K,V> Foo(` declares a function returning the map,
+    // not a variable.
+    if (TextIs(toks, j + 1, "(")) continue;
+    out.insert(toks[j].text);
+  }
+  return out;
+}
+
+std::vector<Finding> LintSource(
+    const std::string& path, const std::string& content,
+    const std::set<std::string>& extra_unordered_vars) {
+  LexedFile file = Lex(content);
+  Suppressions allow = ParseSuppressions(path, file.comments);
+
+  std::set<std::string> vars = CollectUnorderedVars(file);
+  vars.insert(extra_unordered_vars.begin(), extra_unordered_vars.end());
+
+  std::vector<Finding> findings = allow.malformed;
+  RunD1(path, file, allow, &findings);
+  RunD2(path, file, vars, allow, &findings);
+  RunD3(path, file, allow, &findings);
+  RunH1(path, file, allow, &findings);
+  RunH2(path, file, allow, &findings);
+  SortFindings(&findings);
+  return findings;
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths) {
+  std::vector<Finding> findings;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        const fs::path& p = it->path();
+        std::string name = p.filename().string();
+        if (it->is_directory() && (name == "build" || name.starts_with("."))) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (!it->is_regular_file()) continue;
+        std::string s = p.string();
+        if (s.ends_with(".h") || s.ends_with(".cc")) files.push_back(s);
+      }
+    } else if (fs::exists(path, ec)) {
+      files.push_back(path);
+    } else {
+      findings.push_back({path, 0, "IO", "cannot read path"});
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  auto read = [](const std::string& file, std::string* content) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *content = ss.str();
+    return true;
+  };
+
+  // First pass: lex headers so each .cc can import its own header's
+  // unordered members (the D2 loops usually live in the .cc, the
+  // declarations in the .h).
+  std::map<std::string, std::set<std::string>> header_vars;
+  for (const std::string& file : files) {
+    if (!IsHeader(file)) continue;
+    std::string content;
+    if (read(file, &content)) {
+      header_vars[file] = CollectUnorderedVars(Lex(content));
+    }
+  }
+
+  for (const std::string& file : files) {
+    std::string content;
+    if (!read(file, &content)) {
+      findings.push_back({file, 0, "IO", "cannot read file"});
+      continue;
+    }
+    std::set<std::string> extra;
+    if (IsSource(file)) {
+      std::string self = Stem(file) + ".h";
+      for (const auto& [header, vars] : header_vars) {
+        if (Basename(header) == self) {
+          extra.insert(vars.begin(), vars.end());
+        }
+      }
+      if (extra.empty()) {
+        // Lone-file invocation: try the sibling header on disk.
+        fs::path sibling = fs::path(file).parent_path() / self;
+        std::string header_content;
+        if (read(sibling.string(), &header_content)) {
+          std::set<std::string> vars =
+              CollectUnorderedVars(Lex(header_content));
+          extra.insert(vars.begin(), vars.end());
+        }
+      }
+    }
+    std::vector<Finding> file_findings = LintSource(file, content, extra);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  SortFindings(&findings);
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  return finding.path + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace wlm::lint

@@ -1,0 +1,54 @@
+#ifndef WLM_TOOLS_WLM_LINT_LINT_H_
+#define WLM_TOOLS_WLM_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace wlm::lint {
+
+/// One rule violation. `rule` is the short id ("D1", "H2", ...).
+struct Finding {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  bool operator==(const Finding&) const = default;
+};
+
+/// Rule catalog entry, for --list-rules and documentation.
+struct RuleInfo {
+  const char* id;
+  const char* rationale;
+};
+
+/// All rules the linter knows, in id order.
+const std::vector<RuleInfo>& Rules();
+
+/// Names of variables/members in `file` declared with an unordered
+/// container type (`std::unordered_map<...> foo_;`). Exposed so the tree
+/// driver can feed a .cc file the members declared in its own header.
+std::set<std::string> CollectUnorderedVars(const LexedFile& file);
+
+/// Lints one translation unit. `path` is the repo-relative path (rules
+/// D1/D3/H1 are scoped by directory). `extra_unordered_vars` are names
+/// known to be unordered containers from elsewhere (the self header).
+std::vector<Finding> LintSource(
+    const std::string& path, const std::string& content,
+    const std::set<std::string>& extra_unordered_vars = {});
+
+/// Lints every .h/.cc under `paths` (files or directories, recursed),
+/// resolving self headers for cross-file member types. Paths are
+/// processed in sorted order so output is deterministic. Unreadable
+/// paths produce a finding under rule "IO".
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths);
+
+/// Formats a finding as "path:line: [RULE] message".
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace wlm::lint
+
+#endif  // WLM_TOOLS_WLM_LINT_LINT_H_

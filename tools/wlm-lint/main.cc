@@ -1,0 +1,44 @@
+// wlm-lint: enforces the repo's determinism + hygiene contract over C++
+// sources. See DESIGN.md "Determinism contract" and `wlm-lint --list-rules`.
+//
+// Usage: wlm-lint [--list-rules] [path...]   (default path: src)
+// Exit status: 0 when clean, 1 on findings, 2 on usage error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const wlm::lint::RuleInfo& rule : wlm::lint::Rules()) {
+        std::printf("%-4s %s\n", rule.id, rule.rationale);
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: wlm-lint [--list-rules] [path...]\n");
+      return 0;
+    }
+    if (arg.starts_with("-")) {
+      std::fprintf(stderr, "wlm-lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) paths.push_back("src");
+
+  std::vector<wlm::lint::Finding> findings = wlm::lint::LintPaths(paths);
+  for (const wlm::lint::Finding& finding : findings) {
+    std::printf("%s\n", wlm::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "wlm-lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}
