@@ -1,0 +1,141 @@
+// Overload-shedding ablation: an open-loop OLTP stream is swept across
+// offered loads from well under engine capacity to several times past
+// it, with the overload controls (bounded queue + CoDel + deadline
+// shedding + brownout/breaker) switched off and on. Reported per point:
+// goodput (completions inside the deadline, per second), P99 response,
+// and shed counts. Undefended, goodput collapses past saturation — every
+// completion is a stale queue victim; defended, the system sheds the
+// excess and keeps serving near its capacity ceiling. Also writes the
+// sweep as JSON (first CLI arg, default overload_shedding.json) for CI
+// and plotting.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "scheduling/queue_schedulers.h"
+
+namespace {
+
+using namespace wlm;
+
+constexpr double kTrafficSeconds = 30.0;
+constexpr double kDrainSeconds = 30.0;
+constexpr double kDeadlineSeconds = 1.5;
+constexpr uint64_t kSeed = 23;
+
+struct SweepPoint {
+  double offered_rate = 0.0;
+  bool defended = false;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  double goodput = 0.0;  // in-deadline completions per traffic second
+  double p99_response = 0.0;
+};
+
+SweepPoint Run(double rate, bool defended) {
+  Simulation sim;
+  DatabaseEngine engine(&sim, wlm_bench::DefaultEngine());
+  Monitor monitor(&sim, &engine, /*interval=*/0.5);
+  monitor.Start();
+
+  WlmConfig config;
+  if (defended) {
+    config.overload.enabled = true;
+    config.overload.codel.queue_capacity = 64;
+    config.overload.codel.target_seconds = 0.3;
+    config.overload.codel.interval_seconds = 0.5;
+  }
+  WorkloadManager manager(&sim, &engine, &monitor, config);
+  manager.set_scheduler(std::make_unique<FifoScheduler>(/*mpl=*/10));
+
+  int64_t good = 0;
+  Percentiles responses;
+  manager.AddCompletionListener([&](const Request& request) {
+    if (request.state != RequestState::kCompleted) return;
+    responses.Add(request.ResponseTime());
+    if (request.ResponseTime() <= kDeadlineSeconds) ++good;
+  });
+
+  WorkloadGenerator gen(kSeed);
+  Rng arrivals(kSeed * 7 + 3);
+  OltpWorkloadConfig shape;
+  OpenLoopDriver driver(
+      &sim, &arrivals, rate, [&] { return gen.NextOltp(shape); },
+      [&](QuerySpec spec) {
+        spec.deadline_seconds = kDeadlineSeconds;
+        (void)manager.Submit(std::move(spec));
+      });
+  driver.Start(kTrafficSeconds);
+  sim.RunUntil(kTrafficSeconds + kDrainSeconds);
+
+  SweepPoint point;
+  point.offered_rate = rate;
+  point.defended = defended;
+  for (const auto& [name, def] : manager.workloads()) {
+    const WorkloadCounters& counters = manager.counters(name);
+    point.submitted += counters.submitted;
+    point.completed += counters.completed;
+    point.shed += counters.shed;
+  }
+  point.goodput = static_cast<double>(good) / kTrafficSeconds;
+  point.p99_response = responses.Percentile(99);
+  return point;
+}
+
+void WriteJson(const std::vector<SweepPoint>& points,
+               const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"overload_shedding\",\n"
+      << "  \"deadline_seconds\": " << kDeadlineSeconds << ",\n"
+      << "  \"traffic_seconds\": " << kTrafficSeconds << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    out << "    {\"offered_rate\": " << p.offered_rate
+        << ", \"defended\": " << (p.defended ? "true" : "false")
+        << ", \"submitted\": " << p.submitted
+        << ", \"completed\": " << p.completed << ", \"shed\": " << p.shed
+        << ", \"goodput\": " << p.goodput
+        << ", \"p99_response\": " << p.p99_response << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      argc > 1 ? argv[1] : "overload_shedding.json";
+  const double rates[] = {30.0, 60.0, 100.0, 140.0, 200.0, 300.0};
+
+  std::cout << "Overload shedding sweep: open-loop OLTP, deadline "
+            << kDeadlineSeconds << "s, engine capacity ~125 q/s.\n\n";
+  TablePrinter table({"offered q/s", "policy", "completed", "shed",
+                      "goodput q/s", "p99 resp s"});
+  std::vector<SweepPoint> points;
+  for (double rate : rates) {
+    for (bool defended : {false, true}) {
+      SweepPoint p = Run(rate, defended);
+      points.push_back(p);
+      table.AddRow({TablePrinter::Num(rate, 0),
+                    defended ? "defended" : "undefended",
+                    TablePrinter::Int(p.completed), TablePrinter::Int(p.shed),
+                    TablePrinter::Num(p.goodput, 2),
+                    TablePrinter::Num(p.p99_response, 3)});
+    }
+  }
+  table.Print(std::cout);
+  WriteJson(points, json_path);
+  std::cout << "\nPast saturation the undefended queue turns every arrival "
+               "into a deadline miss; shedding keeps goodput pinned near "
+               "capacity by refusing work it cannot serve in time.\nJSON "
+               "written to "
+            << json_path << "\n";
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Overload drill: a metastable-failure storm — a 10x arrival surge
+// overlapped with spontaneous query aborts — is thrown at the same
+// system twice, first undefended and then with the overload-protection
+// stack switched on (bounded queue + CoDel sojourn shedding, deadline
+// shedding, token-bucket retry budgets, a per-class circuit breaker and
+// brownout). The drill prints the goodput timeline of both runs side by
+// side: the undefended run stays collapsed after the storm passes, the
+// defended run snaps back. Writes overload_drill_trace.json (breaker and
+// brownout episodes appear as spans on the synthetic `q0 [overload]`
+// track in Perfetto) and overload_drill_metrics.prom from the defended
+// run.
+//
+// Build & run:  ./build/examples/overload_drill
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/workload_manager.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "scheduling/queue_schedulers.h"
+#include "telemetry/exporters.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace wlm;
+
+constexpr double kDeadline = 1.5;    // every query's completion SLO
+constexpr double kBaseRate = 30.0;   // arrivals/s, ~25% of capacity
+constexpr double kSurgeStart = 6.0;
+constexpr double kSurgeSeconds = 5.0;
+constexpr double kTrafficEnd = 26.0;
+constexpr double kHorizon = 45.0;
+
+struct DrillRun {
+  std::vector<double> goodput_per_second;  // in-deadline completions
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t retries_denied = 0;
+  int64_t breaker_trips = 0;
+  std::string trace_json;
+  std::string metrics_prom;
+};
+
+DrillRun Run(bool defended) {
+  Simulation sim;
+  EngineConfig engine_config;
+  engine_config.num_cpus = 2;
+  engine_config.io_ops_per_second = 1000.0;
+  engine_config.memory_mb = 1024.0;
+  engine_config.optimizer.error_sigma = 0.0;
+  engine_config.optimizer.rows_error_sigma = 0.0;
+  DatabaseEngine engine(&sim, engine_config);
+  Monitor monitor(&sim, &engine, /*interval=*/0.25);
+  monitor.Start();
+
+  WlmConfig config;
+  config.resilience.enabled = true;
+  config.resilience.max_retries = 6;
+  config.resilience.retry_backoff_seconds = 0.05;
+  config.resilience.retry_backoff_multiplier = 1.5;
+  config.resilience.deadline_aware_retries = defended;
+  if (defended) {
+    config.overload.enabled = true;
+    config.overload.codel.queue_capacity = 64;
+    config.overload.codel.target_seconds = 0.3;
+    config.overload.codel.interval_seconds = 0.5;
+    config.overload.retry_budget.capacity = 4.0;
+    config.overload.retry_budget.refill_per_second = 0.5;
+  }
+  WorkloadManager manager(&sim, &engine, &monitor, config);
+  manager.set_scheduler(std::make_unique<FifoScheduler>(/*mpl=*/8));
+
+  DrillRun run;
+  run.goodput_per_second.assign(static_cast<size_t>(kHorizon), 0.0);
+  manager.AddCompletionListener([&run](const Request& request) {
+    if (request.state != RequestState::kCompleted) return;
+    if (request.ResponseTime() > kDeadline) return;
+    auto second = static_cast<size_t>(request.finish_time);
+    if (second < run.goodput_per_second.size()) {
+      run.goodput_per_second[second] += 1.0;
+    }
+  });
+
+  FaultInjector injector(&sim, &engine, &manager);
+  WorkloadGenerator gen(7);
+  Rng arrivals(7 ^ 0x5bf03635ULL);
+  OltpWorkloadConfig shape;
+  OpenLoopDriver driver(
+      &sim, &arrivals, kBaseRate, [&] { return gen.NextOltp(shape); },
+      [&](QuerySpec spec) {
+        spec.deadline_seconds = kDeadline;
+        (void)manager.Submit(std::move(spec));
+      });
+  injector.set_surge_handler([&driver](double factor, bool active) {
+    driver.set_rate(active ? kBaseRate * factor : kBaseRate);
+  });
+  FaultPlan plan = FaultPlan::MetastableStorm(
+      /*seed=*/7, kSurgeStart, kSurgeSeconds, /*surge_factor=*/10.0,
+      /*abort_magnitude=*/6.0, /*abort_period=*/0.25);
+  if (!injector.Arm(plan).ok()) {
+    std::cerr << "failed to arm fault plan\n";
+    return run;
+  }
+
+  driver.Start(/*until=*/kTrafficEnd);
+  sim.RunUntil(kHorizon);
+
+  for (const auto& [name, def] : manager.workloads()) {
+    const WorkloadCounters& counters = manager.counters(name);
+    run.completed += counters.completed;
+    run.shed += counters.shed;
+    run.retries_denied += counters.retries_denied;
+  }
+  for (const WlmEvent& event : manager.event_log().events()) {
+    if (event.type == WlmEventType::kBreakerTripped) ++run.breaker_trips;
+  }
+  {
+    std::ostringstream trace;
+    WriteChromeTrace(manager.telemetry().tracer(), trace, &monitor);
+    run.trace_json = trace.str();
+    std::ostringstream prom;
+    WritePrometheus(manager.telemetry().metrics(), prom);
+    run.metrics_prom = prom.str();
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlm;
+
+  std::cout << "Overload drill: 10x surge + abort storm over ["
+            << kSurgeStart << "s, " << kSurgeStart + kSurgeSeconds
+            << "s), deadline " << kDeadline << "s, base load " << kBaseRate
+            << " q/s.\n\n";
+
+  DrillRun undefended = Run(/*defended=*/false);
+  DrillRun defended = Run(/*defended=*/true);
+
+  std::cout << "goodput (in-deadline completions per second):\n";
+  std::printf("  %4s  %10s  %10s\n", "t", "undefended", "defended");
+  for (size_t second = 0; second < static_cast<size_t>(kTrafficEnd);
+       ++second) {
+    const char* marker = "";
+    if (second >= kSurgeStart && second < kSurgeStart + kSurgeSeconds) {
+      marker = "  <- storm";
+    }
+    std::printf("  %4zu  %10.0f  %10.0f%s\n", second,
+                undefended.goodput_per_second[second],
+                defended.goodput_per_second[second], marker);
+  }
+
+  std::printf("\n%-22s %12s %12s\n", "", "undefended", "defended");
+  std::printf("%-22s %12lld %12lld\n", "completed",
+              static_cast<long long>(undefended.completed),
+              static_cast<long long>(defended.completed));
+  std::printf("%-22s %12lld %12lld\n", "shed",
+              static_cast<long long>(undefended.shed),
+              static_cast<long long>(defended.shed));
+  std::printf("%-22s %12lld %12lld\n", "retries denied",
+              static_cast<long long>(undefended.retries_denied),
+              static_cast<long long>(defended.retries_denied));
+  std::printf("%-22s %12lld %12lld\n", "breaker trips",
+              static_cast<long long>(undefended.breaker_trips),
+              static_cast<long long>(defended.breaker_trips));
+
+  std::cout << "\nThe storm ends at t=" << kSurgeStart + kSurgeSeconds
+            << "s. Undefended, the backlog and retry storm keep goodput "
+               "collapsed long after that — the metastable failure. "
+               "Defended, shedding + budgets drop the unservable work and "
+               "goodput snaps back within a second or two.\n";
+
+  {
+    std::ofstream out("overload_drill_trace.json");
+    out << defended.trace_json;
+  }
+  {
+    std::ofstream out("overload_drill_metrics.prom");
+    out << defended.metrics_prom;
+  }
+  std::cout << "\nwrote overload_drill_trace.json and "
+               "overload_drill_metrics.prom (defended run)\n";
+  return 0;
+}

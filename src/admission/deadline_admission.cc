@@ -1,0 +1,39 @@
+#include "admission/deadline_admission.h"
+
+#include "core/workload_manager.h"
+
+namespace wlm {
+
+DeadlineFeasibilityAdmission::DeadlineFeasibilityAdmission()
+    : DeadlineFeasibilityAdmission(Config()) {}
+
+DeadlineFeasibilityAdmission::DeadlineFeasibilityAdmission(Config config)
+    : config_(config) {}
+
+Status DeadlineFeasibilityAdmission::OnArrival(const Request& request,
+                                               const WorkloadManager& manager) {
+  if (!request.HasDeadline()) return Status::OK();
+  double needed =
+      request.plan.est_elapsed_seconds * config_.estimate_inflation +
+      config_.min_slack_seconds;
+  if (manager.sim()->Now() + needed > request.deadline) {
+    ++rejected_;
+    return Status::Rejected("deadline unreachable at arrival");
+  }
+  return Status::OK();
+}
+
+TechniqueInfo DeadlineFeasibilityAdmission::info() const {
+  TechniqueInfo info;
+  info.name = "Deadline feasibility";
+  info.technique_class = TechniqueClass::kAdmissionControl;
+  info.subclass = TechniqueSubclass::kThresholdBasedAdmission;
+  info.description =
+      "Rejects arriving requests whose completion deadline is already "
+      "unreachable given the optimizer's elapsed-time estimate, so work "
+      "guaranteed to miss its SLA never occupies a queue slot.";
+  info.source = "SLA-aware admission (WiSeDB [46], Jain et al.)";
+  return info;
+}
+
+}  // namespace wlm

@@ -1,0 +1,44 @@
+#ifndef WLM_ADMISSION_DEADLINE_ADMISSION_H_
+#define WLM_ADMISSION_DEADLINE_ADMISSION_H_
+
+#include <cstdint>
+
+#include "core/interfaces.h"
+
+namespace wlm {
+
+/// Deadline-feasibility admission: rejects an arriving request whose
+/// deadline is already unreachable — the optimizer's standalone elapsed
+/// estimate does not fit between now and Request::deadline. This is the
+/// admission-control face of deadline propagation: with WiSeDB-style
+/// SLA-aware placement in mind, work that cannot meet its SLA is cheapest
+/// to refuse before it consumes a queue slot. Requests without a deadline
+/// always pass.
+class DeadlineFeasibilityAdmission : public AdmissionController {
+ public:
+  struct Config {
+    /// Safety margin: the estimate must fit with this many extra seconds
+    /// to spare (guards against optimistic optimizer estimates).
+    double min_slack_seconds = 0.0;
+    /// Pessimism multiplier applied to the elapsed estimate (>1 rejects
+    /// earlier under load-prone estimates; 1 trusts the optimizer).
+    double estimate_inflation = 1.0;
+  };
+
+  DeadlineFeasibilityAdmission();
+  explicit DeadlineFeasibilityAdmission(Config config);
+
+  Status OnArrival(const Request& request,
+                   const WorkloadManager& manager) override;
+  TechniqueInfo info() const override;
+
+  int64_t rejected_count() const { return rejected_; }
+
+ private:
+  Config config_;
+  int64_t rejected_ = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_ADMISSION_DEADLINE_ADMISSION_H_

@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kRejected:
       return "Rejected";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kInternal:

@@ -20,6 +20,11 @@ enum class StatusCode {
   /// A workload-management control explicitly rejected the request
   /// (e.g., admission denied by a cost threshold).
   kRejected,
+  /// The overload-protection layer shed the request (queue full, CoDel
+  /// sojourn discipline, circuit breaker, or brownout). Distinct from
+  /// kRejected so shed work is never accounted as an admission policy
+  /// rejection or a fault abort.
+  kOverloaded,
   kUnimplemented,
   kInternal,
 };
@@ -54,6 +59,9 @@ class Status {
   static Status Rejected(std::string msg) {
     return Status(StatusCode::kRejected, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
@@ -66,6 +74,7 @@ class Status {
   const std::string& message() const { return message_; }
 
   bool IsRejected() const { return code_ == StatusCode::kRejected; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;

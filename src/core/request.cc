@@ -54,6 +54,8 @@ const char* RequestStateToString(RequestState s) {
       return "aborted";
     case RequestState::kSuspended:
       return "suspended";
+    case RequestState::kShed:
+      return "shed";
   }
   return "?";
 }

@@ -1,6 +1,7 @@
 #ifndef WLM_CORE_REQUEST_H_
 #define WLM_CORE_REQUEST_H_
 
+#include <limits>
 #include <string>
 
 #include "engine/execution.h"
@@ -37,6 +38,7 @@ enum class RequestState {
   kKilled,
   kAborted,    // deadlock victim, not resubmitted
   kSuspended,  // suspended and back in the queue awaiting resume
+  kShed,       // dropped by overload protection (Status::Overloaded)
 };
 
 const char* RequestStateToString(RequestState s);
@@ -60,6 +62,13 @@ struct Request {
   OutcomeKind outcome = OutcomeKind::kCompleted;
   double dispatch_time = -1.0;
   double finish_time = -1.0;
+  /// Absolute sim-clock deadline by which the request must finish to
+  /// meet its SLO. +inf = no deadline. Set at submit time from
+  /// QuerySpec::deadline_seconds or derived from the workload's
+  /// response-time SLO (overload protection only).
+  double deadline = std::numeric_limits<double>::infinity();
+  /// When the request last entered the wait queue (for sojourn time).
+  double enqueued_time = 0.0;
   int resubmits = 0;
   int suspend_count = 0;
   /// Why admission rejected the request (empty otherwise).
@@ -68,8 +77,16 @@ struct Request {
   [[nodiscard]] bool terminal() const {
     return state == RequestState::kRejected ||
            state == RequestState::kCompleted ||
-           state == RequestState::kKilled || state == RequestState::kAborted;
+           state == RequestState::kKilled ||
+           state == RequestState::kAborted || state == RequestState::kShed;
   }
+
+  [[nodiscard]] bool HasDeadline() const {
+    return deadline != std::numeric_limits<double>::infinity();
+  }
+  /// Sim-seconds left before the deadline (negative = already missed;
+  /// +inf when no deadline is set).
+  double RemainingBudget(double now) const { return deadline - now; }
 
   /// Arrival-to-finish time (the user-visible response time). Only valid
   /// in terminal states with finish_time set.

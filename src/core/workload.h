@@ -38,6 +38,11 @@ struct WorkloadCounters {
   int64_t aborted = 0;
   int64_t resubmitted = 0;
   int64_t suspended = 0;
+  /// Dropped by overload protection — tracked apart from rejected (an
+  /// admission policy decision) and killed/aborted (fault outcomes).
+  int64_t shed = 0;
+  /// Retries denied by the retry budget or deadline-aware retry check.
+  int64_t retries_denied = 0;
   Percentiles queue_waits;
 };
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
+#include <limits>
 
 namespace wlm {
 
@@ -12,6 +14,15 @@ WorkloadManager::WorkloadManager(Simulation* sim, DatabaseEngine* engine,
     : sim_(sim), engine_(engine), monitor_(monitor), config_(config) {
   telemetry_ = std::make_unique<Telemetry>(sim_, monitor_, &event_log_,
                                            config_.telemetry);
+  if (config_.overload.enabled) {
+    overload_ = std::make_unique<OverloadController>(config_.overload);
+    overload_->set_transition_listener(
+        [this](OverloadController::TransitionKind kind,
+               const std::string& workload, int level,
+               const std::string& detail) {
+          OnOverloadTransition(kind, workload, level, detail);
+        });
+  }
   WorkloadDefinition fallback;
   fallback.name = config_.default_workload;
   DefineWorkload(std::move(fallback));
@@ -92,6 +103,7 @@ Status WorkloadManager::SubmitWithPlan(QuerySpec spec, Plan plan) {
   const WorkloadDefinition& def = workloads_.at(workload_name);
   request->priority = def.priority;
   request->shares = def.EffectiveShares();
+  request->deadline = DeriveDeadline(*request);
 
   WorkloadCounters& counters = counters_[workload_name];
   ++counters.submitted;
@@ -118,17 +130,105 @@ Status WorkloadManager::SubmitWithPlan(QuerySpec spec, Plan plan) {
     }
   }
 
+  // 2b. Overload protection: queue capacity, brownout shed level, and
+  // the workload's circuit breaker all gate the arrival before it may
+  // consume a queue slot.
+  if (overload_) {
+    std::string shed_reason = overload_->EvaluateArrival(
+        raw->workload, static_cast<int>(raw->priority), sim_->Now(),
+        static_cast<int>(queue_.size()));
+    if (!shed_reason.empty()) {
+      ShedRequest(raw, shed_reason);
+      return Status::Overloaded(shed_reason);
+    }
+  }
+
   // 3. Enter the wait queue; scheduling decides when it runs.
   raw->state = RequestState::kQueued;
+  raw->enqueued_time = sim_->Now();
   queue_.push_back(raw->spec.id);
   telemetry_->OnAdmitted(raw->spec.id, raw->workload);
   TryDispatch();
   return Status::OK();
 }
 
+double WorkloadManager::DeriveDeadline(const Request& request) const {
+  if (request.spec.deadline_seconds > 0.0) {
+    return request.arrival_time + request.spec.deadline_seconds;
+  }
+  if (!overload_ || config_.overload.deadline_slack <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const WorkloadDefinition* def = workload(request.workload);
+  if (def != nullptr) {
+    for (const ServiceLevelObjective& slo : def->slos) {
+      if (slo.metric == ServiceLevelObjective::Metric::kAvgResponseTime ||
+          slo.metric ==
+              ServiceLevelObjective::Metric::kPercentileResponseTime) {
+        return request.arrival_time +
+               slo.target * config_.overload.deadline_slack;
+      }
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+void WorkloadManager::ShedRequest(Request* request,
+                                  const std::string& reason) {
+  resumable_.erase(request->spec.id);
+  request->state = RequestState::kShed;
+  request->finish_time = sim_->Now();
+  request->reject_reason = reason;
+  ++counters_[request->workload].shed;
+  if (overload_) overload_->CountShed();
+  LogEvent(WlmEventType::kShed, *request, reason);
+  telemetry_->OnShed(request->spec.id, request->workload, reason);
+  for (const auto& fn : completion_listeners_) fn(*request);
+}
+
+void WorkloadManager::RunQueueShedding() {
+  if (!overload_) return;
+  const double now = sim_->Now();
+  // Deadline-unreachable shedding: a queued request whose estimated
+  // execution no longer fits before its deadline is dead weight — shed
+  // it now instead of burning engine capacity on a guaranteed miss.
+  if (config_.overload.deadline_shedding) {
+    for (size_t i = 0; i < queue_.size();) {
+      Request* request = requests_.at(queue_[i]).get();
+      if (request->HasDeadline() &&
+          now + request->plan.est_elapsed_seconds > request->deadline) {
+        queue_.erase(queue_.begin() +
+                     static_cast<std::ptrdiff_t>(i));
+        ShedRequest(request, "deadline");
+        continue;
+      }
+      ++i;
+    }
+  }
+  // CoDel sojourn discipline on the head-of-line (oldest) request.
+  if (config_.overload.shedding) {
+    bool lifo = queue_lifo_;
+    while (!queue_.empty()) {
+      Request* head = requests_.at(queue_.front()).get();
+      CodelQueuePolicy::Decision decision = overload_->ObserveQueue(
+          now, now - head->enqueued_time, static_cast<int>(queue_.size()));
+      lifo = decision.lifo;
+      if (!decision.shed) break;
+      queue_.erase(queue_.begin());
+      ShedRequest(head, "codel");
+    }
+    if (queue_.empty()) lifo = overload_->lifo();
+    if (lifo != queue_lifo_) {
+      queue_lifo_ = lifo;
+      telemetry_->OnQueueDiscipline(lifo);
+    }
+  }
+}
+
 void WorkloadManager::TryDispatch() {
   if (in_try_dispatch_) return;  // re-entrancy guard (finish callbacks)
   in_try_dispatch_ = true;
+  RunQueueShedding();
   while (true) {
     if (queue_.empty()) break;
 
@@ -137,7 +237,20 @@ void WorkloadManager::TryDispatch() {
     for (QueryId id : queue_) queued.push_back(requests_.at(id).get());
 
     std::vector<QueryId> order;
-    if (scheduler_) {
+    if (queue_lifo_) {
+      // Sustained-overload discipline: serve newest first — the freshest
+      // request is the only one whose deadline is still reachable, while
+      // a stale FIFO backlog would miss every SLO it drains into.
+      order = queue_;
+      std::sort(order.begin(), order.end(), [this](QueryId a, QueryId b) {
+        const Request* ra = requests_.at(a).get();
+        const Request* rb = requests_.at(b).get();
+        if (ra->enqueued_time != rb->enqueued_time) {
+          return ra->enqueued_time > rb->enqueued_time;
+        }
+        return a > b;
+      });
+    } else if (scheduler_) {
       order = scheduler_->Order(queued, *this);
     } else {
       order.reserve(queue_.size());
@@ -243,6 +356,7 @@ void WorkloadManager::LogEvent(WlmEventType type, const Request& request,
 
 void WorkloadManager::Requeue(Request* request) {
   request->state = RequestState::kQueued;
+  request->enqueued_time = sim_->Now();
   queue_.push_back(request->spec.id);
   telemetry_->OnRequeued(request->spec.id, request->workload);
 }
@@ -282,6 +396,15 @@ void WorkloadManager::FinishTerminal(Request* request, RequestState state,
   telemetry_->OnTerminal(request->spec.id, request->workload, outcome_name,
                          request->ResponseTime(), request->QueueWait(),
                          outcome);
+  if (overload_) {
+    // Feed the workload's breaker and the brownout window. Shed requests
+    // never reach here: counting our own sheds as violations would latch
+    // the breaker open (a self-inflicted metastable loop).
+    bool violated =
+        state != RequestState::kCompleted ||
+        (request->HasDeadline() && request->finish_time > request->deadline);
+    overload_->RecordOutcome(request->workload, sim_->Now(), violated);
+  }
   for (const auto& fn : completion_listeners_) fn(*request);
 }
 
@@ -307,7 +430,17 @@ void WorkloadManager::OnFinish(const QueryOutcome& outcome) {
       bool resubmit = resubmit_on_kill_.erase(outcome.id) > 0;
       if (fault_abort && config_.resilience.enabled &&
           request->resubmits < config_.resilience.max_retries) {
-        ScheduleFaultRetry(request);
+        double delay = RetryBackoffDelay(*request);
+        std::string deny_reason;
+        if (FaultRetryAllowed(*request, delay, &deny_reason)) {
+          ScheduleFaultRetry(request, delay);
+        } else {
+          ++counters.retries_denied;
+          LogEvent(WlmEventType::kRetryDenied, *request, deny_reason);
+          telemetry_->OnRetryDenied(outcome.id, request->workload,
+                                    deny_reason);
+          FinishTerminal(request, RequestState::kKilled, outcome);
+        }
       } else if (resubmit && request->resubmits < config_.max_resubmits) {
         ++request->resubmits;
         ++counters.resubmitted;
@@ -346,6 +479,9 @@ void WorkloadManager::OnFinish(const QueryOutcome& outcome) {
 }
 
 void WorkloadManager::OnSample(const SystemIndicators& indicators) {
+  if (overload_) {
+    overload_->OnSample(sim_->Now(), static_cast<int>(queue_.size()));
+  }
   for (const auto& ac : admission_) ac->OnSample(indicators, *this);
   if (scheduler_) scheduler_->OnSample(indicators, *this);
   for (const auto& ec : execution_) ec->OnSample(indicators, *this);
@@ -544,10 +680,31 @@ Status WorkloadManager::AbortRequestByFault(QueryId id,
   return status;
 }
 
-void WorkloadManager::ScheduleFaultRetry(Request* request) {
-  double delay = config_.resilience.retry_backoff_seconds *
-                 std::pow(config_.resilience.retry_backoff_multiplier,
-                          request->resubmits);
+double WorkloadManager::RetryBackoffDelay(const Request& request) const {
+  return config_.resilience.retry_backoff_seconds *
+         std::pow(config_.resilience.retry_backoff_multiplier,
+                  request.resubmits);
+}
+
+bool WorkloadManager::FaultRetryAllowed(const Request& request, double delay,
+                                        std::string* reason) {
+  // Deadline-aware retry: if even an immediate-best-case rerun (backoff
+  // plus the optimizer's elapsed estimate) lands past the deadline, the
+  // retry can only burn capacity on a guaranteed SLO miss.
+  if (config_.resilience.deadline_aware_retries && request.HasDeadline() &&
+      sim_->Now() + delay + request.plan.est_elapsed_seconds >
+          request.deadline) {
+    *reason = "deadline";
+    return false;
+  }
+  if (overload_ && !overload_->AllowRetry(request.workload, sim_->Now())) {
+    *reason = "budget";
+    return false;
+  }
+  return true;
+}
+
+void WorkloadManager::ScheduleFaultRetry(Request* request, double delay) {
   ++request->resubmits;
   ++counters_[request->workload].resubmitted;
   char buf[64];
@@ -580,6 +737,62 @@ void WorkloadManager::EnterDegraded() {
     }
     if (ThrottleRequest(request->spec.id, res.degraded_throttle_duty).ok()) {
       degraded_throttled_.insert(request->spec.id);
+    }
+  }
+}
+
+void WorkloadManager::OnOverloadTransition(
+    OverloadController::TransitionKind kind, const std::string& workload,
+    int level, const std::string& detail) {
+  const double now = sim_->Now();
+  WlmEvent event;
+  event.time = now;
+  event.query = kOverloadTraceId;
+  event.workload = workload.empty() ? "overload" : workload;
+  switch (kind) {
+    case OverloadController::TransitionKind::kBreakerTripped: {
+      event.type = WlmEventType::kBreakerTripped;
+      event.detail = detail;
+      event_log_.Append(std::move(event));
+      breaker_opened_at_[workload] = now;
+      telemetry_->OnBreakerTransition(workload, level, "open", -1.0, detail);
+      break;
+    }
+    case OverloadController::TransitionKind::kBreakerHalfOpen: {
+      event.type = WlmEventType::kBreakerHalfOpen;
+      event.detail = detail;
+      event_log_.Append(std::move(event));
+      double opened_at = -1.0;
+      auto it = breaker_opened_at_.find(workload);
+      if (it != breaker_opened_at_.end()) {
+        opened_at = it->second;
+        breaker_opened_at_.erase(it);
+      }
+      telemetry_->OnBreakerTransition(workload, level, "half_open", opened_at,
+                                      detail);
+      break;
+    }
+    case OverloadController::TransitionKind::kBreakerClosed: {
+      event.type = WlmEventType::kBreakerClosed;
+      event.detail = detail;
+      event_log_.Append(std::move(event));
+      telemetry_->OnBreakerTransition(workload, level, "closed", -1.0,
+                                      detail);
+      break;
+    }
+    case OverloadController::TransitionKind::kBrownoutStepped: {
+      event.type = WlmEventType::kBrownoutStepped;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "level=%d %s", level, detail.c_str());
+      event.detail = buf;
+      event_log_.Append(std::move(event));
+      if (level > 0 && brownout_entered_at_ < 0.0) {
+        brownout_entered_at_ = now;
+      }
+      double entered_at = level == 0 ? brownout_entered_at_ : -1.0;
+      if (level == 0) brownout_entered_at_ = -1.0;
+      telemetry_->OnBrownoutStep(level, entered_at, detail);
+      break;
     }
   }
 }

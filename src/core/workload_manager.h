@@ -17,6 +17,7 @@
 #include "core/workload.h"
 #include "engine/engine.h"
 #include "engine/monitor.h"
+#include "overload/overload_controller.h"
 #include "sim/simulation.h"
 #include "telemetry/telemetry.h"
 
@@ -36,6 +37,10 @@ struct ResilienceOptions {
   double retry_backoff_seconds = 0.25;
   /// Backoff growth per successive retry of one request.
   double retry_backoff_multiplier = 2.0;
+  /// Deadline-aware retries: never schedule a retry whose earliest
+  /// possible completion (backoff + estimated elapsed) is already past
+  /// the request's deadline — it would only burn capacity.
+  bool deadline_aware_retries = true;
 
   // Graceful degradation while at least one fault window is active.
   /// Scheduler concurrency limits are scaled by this factor (floor 1)
@@ -61,6 +66,9 @@ struct WlmConfig {
   TelemetryOptions telemetry;
   /// Fault-window resilience policies (retry/backoff, degradation).
   ResilienceOptions resilience;
+  /// Overload protection: queue capacities + CoDel shedding, retry
+  /// budgets, circuit breakers, brownout. Off by default.
+  OverloadOptions overload;
 };
 
 /// The workload-management framework: wires characterization, admission
@@ -139,6 +147,12 @@ class WorkloadManager {
   Telemetry& telemetry() { return *telemetry_; }
   const Telemetry& telemetry() const { return *telemetry_; }
 
+  /// Overload-protection facade; nullptr unless config.overload.enabled.
+  OverloadController* overload() { return overload_.get(); }
+  const OverloadController* overload() const { return overload_.get(); }
+  /// True while the wait queue serves newest-first (CoDel overload mode).
+  [[nodiscard]] bool queue_lifo() const { return queue_lifo_; }
+
   // --- actions (execution controllers act through these) -------------------
   /// Kills a running request; with `resubmit` it re-enters the queue
   /// (kill-and-resubmit [39]) unless the resubmit budget is exhausted.
@@ -187,9 +201,27 @@ class WorkloadManager {
   void LogFaultEvent(WlmEventType type, const std::string& kind,
                      std::string detail);
   /// Schedules the backoff-delayed requeue of a fault-aborted request.
-  void ScheduleFaultRetry(Request* request);
+  void ScheduleFaultRetry(Request* request, double delay);
   void EnterDegraded();
   void ExitDegraded();
+  /// Absolute deadline for a new request: spec.deadline_seconds first,
+  /// else (overload protection only) the workload's response-time SLO
+  /// times overload.deadline_slack; +inf when neither applies.
+  double DeriveDeadline(const Request& request) const;
+  /// Backoff delay the resilience policy would use for the next retry.
+  double RetryBackoffDelay(const Request& request) const;
+  /// Deadline + retry-budget gate ahead of ScheduleFaultRetry. On denial
+  /// fills `reason` ("deadline" or "budget").
+  [[nodiscard]] bool FaultRetryAllowed(const Request& request, double delay,
+                                       std::string* reason);
+  /// Marks a request shed (terminal), with counters/log/telemetry.
+  void ShedRequest(Request* request, const std::string& reason);
+  /// Deadline-unreachable + CoDel shedding over the wait queue; flips
+  /// the FIFO/LIFO discipline flag. Runs at the top of TryDispatch.
+  void RunQueueShedding();
+  void OnOverloadTransition(OverloadController::TransitionKind kind,
+                            const std::string& workload, int level,
+                            const std::string& detail);
 
   Simulation* sim_;
   DatabaseEngine* engine_;
@@ -204,7 +236,11 @@ class WorkloadManager {
 
   std::unordered_map<QueryId, std::unique_ptr<Request>> requests_;
   std::vector<QueryId> submission_order_;
-  std::vector<QueryId> queue_;                    // waiting, arrival order
+  // Waiting requests in arrival order. Bounded by
+  // OverloadOptions::codel.queue_capacity when overload protection is
+  // enabled; the seed's unbounded behavior is kept when it is off.
+  // wlm-lint: allow(Q1) capacity enforced by OverloadController when enabled
+  std::vector<QueryId> queue_;
   std::unordered_set<QueryId> running_;
   std::unordered_map<QueryId, SuspendedQuery> resumable_;
   std::unordered_set<QueryId> resubmit_on_kill_;
@@ -215,6 +251,12 @@ class WorkloadManager {
   mutable std::map<std::string, WorkloadCounters> counters_;
   EventLog event_log_;
   std::unique_ptr<Telemetry> telemetry_;  // after event_log_: sinks into it
+  std::unique_ptr<OverloadController> overload_;  // null when disabled
+  bool queue_lifo_ = false;
+  /// Sim time each workload's breaker last opened (for the open-window
+  /// span recorded when it leaves the open state).
+  std::map<std::string, double> breaker_opened_at_;
+  double brownout_entered_at_ = -1.0;
   bool in_try_dispatch_ = false;
 };
 

@@ -77,6 +77,10 @@ struct QuerySpec {
   /// Synthetic statement fingerprint; prediction-based techniques use it as
   /// a categorical feature.
   std::string sql_digest;
+  /// Relative completion deadline (seconds after arrival) the submitter
+  /// attaches to the request; 0 = none. The workload manager turns it
+  /// into an absolute Request::deadline for overload protection.
+  double deadline_seconds = 0.0;
 };
 
 /// How a running query terminated.

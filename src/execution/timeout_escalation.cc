@@ -27,9 +27,11 @@ void TimeoutEscalationController::OnSample(const SystemIndicators& indicators,
     Stage stage;
     const Policy* policy;
     double dispatch_time;
+    bool past_deadline = false;
   };
   std::vector<Action> actions;
   std::unordered_set<QueryId> alive;
+  const double now = manager.sim()->Now();
   for (const ExecutionProgress& p : manager.engine()->Snapshot()) {
     alive.insert(p.id);
     const Request* request = manager.Find(p.id);
@@ -43,9 +45,14 @@ void TimeoutEscalationController::OnSample(const SystemIndicators& indicators,
     }
     if (current >= Stage::kSuspending) continue;  // terminal rungs pending
 
+    // Deadline rung: sits above the elapsed-time rungs because a query
+    // past its deadline cannot recover no matter how long it has run.
+    bool past_deadline = policy.kill_past_deadline && request->HasDeadline() &&
+                         now > request->deadline +
+                                   policy.deadline_grace_seconds;
     Stage target = Stage::kNone;
-    if (policy.kill_after_seconds > 0.0 &&
-        p.elapsed > policy.kill_after_seconds) {
+    if (past_deadline || (policy.kill_after_seconds > 0.0 &&
+                          p.elapsed > policy.kill_after_seconds)) {
       target = Stage::kKilled;
     } else if (policy.suspend_after_seconds > 0.0 &&
                p.elapsed > policy.suspend_after_seconds) {
@@ -55,7 +62,8 @@ void TimeoutEscalationController::OnSample(const SystemIndicators& indicators,
       target = Stage::kThrottled;
     }
     if (target > current) {
-      actions.push_back({p.id, target, &policy, p.dispatch_time});
+      actions.push_back({p.id, target, &policy, p.dispatch_time,
+                         past_deadline});
     }
   }
 
@@ -86,13 +94,18 @@ void TimeoutEscalationController::OnSample(const SystemIndicators& indicators,
           ++suspends_;
         }
         break;
-      case Stage::kKilled:
-        if (manager.KillRequest(action.id, action.policy->resubmit_on_kill)
-                .ok()) {
+      case Stage::kKilled: {
+        // A past-deadline victim is never resubmitted: its rerun would
+        // also finish past the deadline.
+        bool resubmit =
+            action.policy->resubmit_on_kill && !action.past_deadline;
+        if (manager.KillRequest(action.id, resubmit).ok()) {
           ++kills_;
+          if (action.past_deadline) ++deadline_kills_;
           stages_.erase(action.id);
         }
         break;
+      }
       case Stage::kNone:
         break;
     }

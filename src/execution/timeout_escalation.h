@@ -34,6 +34,12 @@ class TimeoutEscalationController : public ExecutionController {
     double kill_after_seconds = 0.0;
     /// Resubmit kill victims instead of discarding them.
     bool resubmit_on_kill = false;
+    /// Deadline rung: kill a running query once the sim clock passes its
+    /// Request::deadline by `deadline_grace_seconds` — it can no longer
+    /// meet its SLO, so every further second it runs is stolen from
+    /// queries that still can. Requests without a deadline are exempt.
+    bool kill_past_deadline = false;
+    double deadline_grace_seconds = 0.0;
   };
 
   struct Config {
@@ -52,6 +58,7 @@ class TimeoutEscalationController : public ExecutionController {
   int64_t throttles() const { return throttles_; }
   int64_t suspends() const { return suspends_; }
   int64_t kills() const { return kills_; }
+  int64_t deadline_kills() const { return deadline_kills_; }
 
  private:
   enum class Stage { kNone, kThrottled, kSuspending, kKilled };
@@ -71,6 +78,7 @@ class TimeoutEscalationController : public ExecutionController {
   int64_t throttles_ = 0;
   int64_t suspends_ = 0;
   int64_t kills_ = 0;
+  int64_t deadline_kills_ = 0;
 };
 
 }  // namespace wlm

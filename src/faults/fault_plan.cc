@@ -94,4 +94,26 @@ FaultPlan FaultPlan::Random(uint64_t seed, double horizon, int num_events) {
   return plan;
 }
 
+FaultPlan FaultPlan::MetastableStorm(uint64_t seed, double start,
+                                     double duration, double surge_factor,
+                                     double abort_magnitude,
+                                     double abort_period) {
+  FaultPlan plan;
+  plan.seed = seed;
+  FaultEvent surge;
+  surge.kind = FaultKind::kArrivalSurge;
+  surge.start = start;
+  surge.duration = duration;
+  surge.magnitude = surge_factor;
+  plan.Add(surge);
+  FaultEvent aborts;
+  aborts.kind = FaultKind::kQueryAborts;
+  aborts.start = start;
+  aborts.duration = duration;
+  aborts.magnitude = abort_magnitude;
+  aborts.period = abort_period;
+  plan.Add(aborts);
+  return plan;
+}
+
 }  // namespace wlm

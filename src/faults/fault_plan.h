@@ -72,6 +72,16 @@ struct FaultPlan {
   /// placements and intensities drawn from `seed`, all ending within
   /// `horizon`. Property tests fuzz resilience invariants with this.
   static FaultPlan Random(uint64_t seed, double horizon, int num_events);
+
+  /// The metastable-failure recipe: an arrival surge of `surge_factor`
+  /// over [start, start+duration) overlapped by periodic query aborts of
+  /// `abort_magnitude` victims every `abort_period` seconds. Without
+  /// retry budgets and shedding, the abort-driven retries plus the surge
+  /// backlog keep goodput collapsed after both windows close.
+  static FaultPlan MetastableStorm(uint64_t seed, double start,
+                                   double duration, double surge_factor,
+                                   double abort_magnitude,
+                                   double abort_period);
 };
 
 }  // namespace wlm

@@ -1,0 +1,27 @@
+#include "overload/brownout.h"
+
+namespace wlm {
+
+BrownoutController::BrownoutController(BrownoutOptions options)
+    : options_(options) {}
+
+int BrownoutController::Update(double now, double violation_rate,
+                               bool overloaded) {
+  if (level_ != 0 || last_change_ != 0.0) {
+    if (now - last_change_ < options_.dwell_seconds) return level_;
+  }
+  if ((violation_rate >= options_.enter_rate || overloaded) &&
+      level_ < options_.max_level) {
+    ++level_;
+    ++steps_;
+    last_change_ = now;
+  } else if (violation_rate <= options_.exit_rate && !overloaded &&
+             level_ > 0) {
+    --level_;
+    ++steps_;
+    last_change_ = now;
+  }
+  return level_;
+}
+
+}  // namespace wlm

@@ -1,0 +1,50 @@
+#ifndef WLM_OVERLOAD_BROWNOUT_H_
+#define WLM_OVERLOAD_BROWNOUT_H_
+
+#include <cstdint>
+
+namespace wlm {
+
+/// Brownout controller: under sustained overload it raises a "shed
+/// level" that rejects the lowest business-priority classes first, and
+/// restores them one step at a time as the system recovers. Dwell-time
+/// hysteresis (a minimum hold between level changes) plus separated
+/// enter/exit thresholds keep the level from flapping.
+struct BrownoutOptions {
+  /// SLO-violation rate at or above which the shed level steps up.
+  double enter_rate = 0.5;
+  /// Violation rate at or below which the shed level steps down.
+  double exit_rate = 0.15;
+  /// Minimum sim-seconds between level changes.
+  double dwell_seconds = 1.0;
+  /// Highest shed level; level L sheds priorities < L (kBackground=0
+  /// sheds first, so max_level=3 spares kHigh and kCritical).
+  int max_level = 3;
+};
+
+class BrownoutController {
+ public:
+  explicit BrownoutController(BrownoutOptions options);
+
+  /// Feeds the current global violation rate; `overloaded` adds queue
+  /// pressure as a second trigger. Returns the (possibly new) level.
+  int Update(double now, double violation_rate, bool overloaded);
+
+  /// True if an arrival with this business priority should be shed.
+  [[nodiscard]] bool ShouldShed(int priority) const {
+    return priority < level_;
+  }
+
+  int level() const { return level_; }
+  int64_t steps() const { return steps_; }
+
+ private:
+  BrownoutOptions options_;
+  int level_ = 0;
+  double last_change_ = 0.0;
+  int64_t steps_ = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_OVERLOAD_BROWNOUT_H_

@@ -1,0 +1,50 @@
+#include "overload/codel_queue.h"
+
+#include <cmath>
+
+namespace wlm {
+
+CodelQueuePolicy::CodelQueuePolicy(CodelOptions options)
+    : options_(options) {}
+
+double CodelQueuePolicy::NextDropDelay() const {
+  // CoDel control law: drop interval shrinks with sqrt of the episode's
+  // drop count, ramping shedding pressure while overload persists.
+  return options_.interval_seconds /
+         std::sqrt(static_cast<double>(episode_drop_count_ + 1));
+}
+
+CodelQueuePolicy::Decision CodelQueuePolicy::Observe(double now,
+                                                     double oldest_sojourn,
+                                                     int depth) {
+  Decision decision;
+  if (depth <= 0 || oldest_sojourn < options_.target_seconds) {
+    // Queue healthy: leave any dropping episode and reset the clock.
+    first_above_time_ = 0.0;
+    dropping_ = false;
+    episode_drop_count_ = 0;
+    return decision;
+  }
+  if (first_above_time_ == 0.0) {
+    first_above_time_ = now + options_.interval_seconds;
+  }
+  if (!dropping_) {
+    if (now >= first_above_time_) {
+      dropping_ = true;
+      episode_drop_count_ = 0;
+      decision.shed = true;
+      ++episode_drop_count_;
+      ++total_sheds_;
+      next_drop_time_ = now + NextDropDelay();
+    }
+  } else if (now >= next_drop_time_) {
+    decision.shed = true;
+    ++episode_drop_count_;
+    ++total_sheds_;
+    next_drop_time_ = now + NextDropDelay();
+  }
+  decision.lifo = dropping_ && episode_drop_count_ >= options_.lifo_after_sheds;
+  return decision;
+}
+
+}  // namespace wlm

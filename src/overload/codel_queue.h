@@ -1,0 +1,61 @@
+#ifndef WLM_OVERLOAD_CODEL_QUEUE_H_
+#define WLM_OVERLOAD_CODEL_QUEUE_H_
+
+#include <cstdint>
+
+namespace wlm {
+
+/// CoDel-style (Controlled Delay) wait-queue discipline adapted for the
+/// admission queue. The policy watches the sojourn time of the oldest
+/// queued request: if it has stayed above `target_seconds` for a full
+/// `interval_seconds`, the queue enters a dropping episode and sheds the
+/// head request, then sheds again at intervals shrinking with the square
+/// root of the shed count (the CoDel control law). Once a dropping
+/// episode has shed `lifo_after_sheds` requests, the policy also reports
+/// that the queue should switch to LIFO order — under sustained overload
+/// serving the newest request (which can still make its deadline) beats
+/// draining a stale FIFO backlog that will miss every SLO.
+struct CodelOptions {
+  /// Hard cap on queue depth; arrivals beyond it are shed immediately.
+  int queue_capacity = 256;
+  /// Acceptable standing sojourn time for the oldest queued request.
+  double target_seconds = 0.5;
+  /// Sojourn must exceed target for this long before the first shed.
+  double interval_seconds = 1.0;
+  /// Sheds within one dropping episode before recommending LIFO order.
+  int lifo_after_sheds = 4;
+};
+
+class CodelQueuePolicy {
+ public:
+  struct Decision {
+    bool shed = false;  ///< shed the oldest queued request now
+    bool lifo = false;  ///< serve the queue newest-first while true
+  };
+
+  explicit CodelQueuePolicy(CodelOptions options);
+
+  /// Feeds one observation of the queue (oldest sojourn time + depth)
+  /// and returns what to do. Call repeatedly after each shed until
+  /// `shed` comes back false.
+  Decision Observe(double now, double oldest_sojourn, int depth);
+
+  /// True while a dropping episode is active.
+  bool dropping() const { return dropping_; }
+  int64_t shed_count() const { return total_sheds_; }
+  const CodelOptions& options() const { return options_; }
+
+ private:
+  double NextDropDelay() const;
+
+  CodelOptions options_;
+  bool dropping_ = false;
+  double first_above_time_ = 0.0;  // 0 = sojourn currently below target
+  double next_drop_time_ = 0.0;
+  int episode_drop_count_ = 0;
+  int64_t total_sheds_ = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_OVERLOAD_CODEL_QUEUE_H_

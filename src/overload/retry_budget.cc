@@ -1,0 +1,52 @@
+#include "overload/retry_budget.h"
+
+#include <algorithm>
+
+namespace wlm {
+
+RetryBudgetPool::RetryBudgetPool(RetryBudgetOptions options)
+    : options_(std::move(options)) {}
+
+RetryBudgetPool::Bucket& RetryBudgetPool::BucketFor(
+    const std::string& workload, double now) {
+  auto it = buckets_.find(workload);
+  if (it == buckets_.end()) {
+    Bucket bucket;
+    auto cap = options_.per_workload_capacity.find(workload);
+    bucket.capacity = cap != options_.per_workload_capacity.end()
+                          ? cap->second
+                          : options_.capacity;
+    bucket.tokens = bucket.capacity;  // buckets start full
+    bucket.last_refill = now;
+    it = buckets_.emplace(workload, bucket).first;
+  }
+  return it->second;
+}
+
+void RetryBudgetPool::Refill(Bucket* bucket, double now) const {
+  if (now <= bucket->last_refill) return;
+  bucket->tokens =
+      std::min(bucket->capacity, bucket->tokens + (now - bucket->last_refill) *
+                                                      options_.refill_per_second);
+  bucket->last_refill = now;
+}
+
+bool RetryBudgetPool::TryAcquire(const std::string& workload, double now) {
+  Bucket& bucket = BucketFor(workload, now);
+  Refill(&bucket, now);
+  if (bucket.tokens < 1.0) {
+    ++denied_;
+    return false;
+  }
+  bucket.tokens -= 1.0;
+  ++granted_;
+  return true;
+}
+
+double RetryBudgetPool::Tokens(const std::string& workload, double now) {
+  Bucket& bucket = BucketFor(workload, now);
+  Refill(&bucket, now);
+  return bucket.tokens;
+}
+
+}  // namespace wlm

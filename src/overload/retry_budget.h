@@ -1,0 +1,58 @@
+#ifndef WLM_OVERLOAD_RETRY_BUDGET_H_
+#define WLM_OVERLOAD_RETRY_BUDGET_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace wlm {
+
+/// Token-bucket retry budgets, one bucket per service class (workload).
+/// Every automatic retry must first withdraw a token; an empty bucket
+/// denies the retry, so aborted work cannot amplify into a retry storm —
+/// the classic metastable-failure fuel. Buckets refill continuously on
+/// the simulation clock (lazy arithmetic, no scheduled events), so the
+/// pool is fully deterministic.
+struct RetryBudgetOptions {
+  /// Bucket capacity (max burst of retries) for workloads without an
+  /// explicit entry.
+  double capacity = 8.0;
+  /// Steady-state sustainable retry rate, tokens per simulated second.
+  double refill_per_second = 1.0;
+  /// Per-workload capacity overrides.
+  std::map<std::string, double> per_workload_capacity;
+};
+
+class RetryBudgetPool {
+ public:
+  explicit RetryBudgetPool(RetryBudgetOptions options);
+
+  /// Withdraws one token from `workload`'s bucket. False = budget
+  /// exhausted; the caller must not retry.
+  [[nodiscard]] bool TryAcquire(const std::string& workload, double now);
+
+  /// Tokens currently available to `workload` (after refill at `now`).
+  double Tokens(const std::string& workload, double now);
+
+  int64_t granted() const { return granted_; }
+  int64_t denied() const { return denied_; }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double last_refill = 0.0;
+    double capacity = 0.0;
+  };
+
+  Bucket& BucketFor(const std::string& workload, double now);
+  void Refill(Bucket* bucket, double now) const;
+
+  RetryBudgetOptions options_;
+  std::map<std::string, Bucket> buckets_;
+  int64_t granted_ = 0;
+  int64_t denied_ = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_OVERLOAD_RETRY_BUDGET_H_

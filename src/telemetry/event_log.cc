@@ -37,6 +37,18 @@ const char* WlmEventTypeToString(WlmEventType type) {
       return "fault_injected";
     case WlmEventType::kFaultRecovered:
       return "fault_recovered";
+    case WlmEventType::kShed:
+      return "shed";
+    case WlmEventType::kRetryDenied:
+      return "retry_denied";
+    case WlmEventType::kBreakerTripped:
+      return "breaker_tripped";
+    case WlmEventType::kBreakerHalfOpen:
+      return "breaker_half_open";
+    case WlmEventType::kBreakerClosed:
+      return "breaker_closed";
+    case WlmEventType::kBrownoutStepped:
+      return "brownout_stepped";
   }
   return "?";
 }

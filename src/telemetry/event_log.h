@@ -33,10 +33,16 @@ enum class WlmEventType {
   kSloViolation,   // SLO watchdog: a workload objective went unmet
   kFaultInjected,  // fault injector activated a fault window
   kFaultRecovered, // fault window ended; injected degradation reverted
+  kShed,           // overload protection dropped the request
+  kRetryDenied,    // resilience retry blocked (budget or deadline)
+  kBreakerTripped, // circuit breaker opened for a workload
+  kBreakerHalfOpen,// breaker admitting probes after cool-down
+  kBreakerClosed,  // breaker closed after healthy probes
+  kBrownoutStepped,// brownout shed level changed
 };
 
 /// Number of WlmEventType values (keep in sync with the enum).
-inline constexpr size_t kWlmEventTypeCount = 15;
+inline constexpr size_t kWlmEventTypeCount = 21;
 
 const char* WlmEventTypeToString(WlmEventType type);
 

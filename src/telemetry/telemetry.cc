@@ -65,6 +65,20 @@ Telemetry::Telemetry(Simulation* sim, Monitor* monitor, EventLog* event_log,
                    "Fault-abort retries scheduled with backoff");
   metrics_.SetHelp("wlm_faults_degraded",
                    "1 while graceful degradation is in force");
+  metrics_.SetHelp("wlm_overload_shed_total",
+                   "Requests dropped by overload protection, by reason");
+  metrics_.SetHelp("wlm_overload_retry_denied_total",
+                   "Resilience retries blocked by budget or deadline");
+  metrics_.SetHelp("wlm_overload_breaker_state",
+                   "Circuit breaker state (0 closed, 1 half-open, 2 open)");
+  metrics_.SetHelp("wlm_overload_breaker_transitions_total",
+                   "Circuit breaker state transitions, by target state");
+  metrics_.SetHelp("wlm_overload_brownout_level",
+                   "Current brownout shed level (0 = all classes served)");
+  metrics_.SetHelp("wlm_overload_brownout_steps_total",
+                   "Brownout shed-level changes");
+  metrics_.SetHelp("wlm_overload_queue_lifo",
+                   "1 while the wait queue serves newest-first");
 }
 
 double Telemetry::Now() const { return sim_->Now(); }
@@ -277,6 +291,76 @@ void Telemetry::OnFaultRetry(QueryId id, const std::string& workload,
 void Telemetry::SetDegraded(bool degraded) {
   if (!enabled_) return;
   metrics_.GetGauge("wlm_faults_degraded").Set(degraded ? 1.0 : 0.0);
+}
+
+void Telemetry::OnShed(QueryId id, const std::string& workload,
+                       const std::string& reason) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.CloseSpan(id, SpanKind::kQueue, now, " shed=" + reason);
+  tracer_.Instant(id, "shed", now, reason);
+  tracer_.FinishTrace(id, now);
+  metrics_
+      .GetCounter("wlm_overload_shed_total",
+                  {{"workload", workload}, {"reason", reason}})
+      .Increment();
+}
+
+void Telemetry::OnRetryDenied(QueryId id, const std::string& workload,
+                              const std::string& reason) {
+  if (!enabled_) return;
+  tracer_.Instant(id, "retry_denied", Now(), reason);
+  metrics_
+      .GetCounter("wlm_overload_retry_denied_total",
+                  {{"workload", workload}, {"reason", reason}})
+      .Increment();
+}
+
+void Telemetry::OnBreakerTransition(const std::string& workload, int state,
+                                    const char* state_name, double opened_at,
+                                    const std::string& detail) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.GetOrCreate(kOverloadTraceId, "overload", QueryKind::kUtility, now);
+  tracer_.Instant(kOverloadTraceId, std::string("breaker_") + state_name, now,
+                  workload + " " + detail);
+  if (opened_at >= 0.0) {
+    // Leaving the open state: record the whole open window as one span.
+    tracer_.AddClosedSpan(kOverloadTraceId, SpanKind::kOverload, opened_at,
+                          now, "breaker_open " + workload);
+  }
+  metrics_.GetGauge("wlm_overload_breaker_state", {{"workload", workload}})
+      .Set(static_cast<double>(state));
+  metrics_
+      .GetCounter("wlm_overload_breaker_transitions_total",
+                  {{"workload", workload}, {"to", state_name}})
+      .Increment();
+}
+
+void Telemetry::OnBrownoutStep(int level, double entered_at,
+                               const std::string& detail) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.GetOrCreate(kOverloadTraceId, "overload", QueryKind::kUtility, now);
+  char name[48];
+  std::snprintf(name, sizeof(name), "brownout_level_%d", level);
+  tracer_.Instant(kOverloadTraceId, name, now, detail);
+  if (level == 0 && entered_at >= 0.0) {
+    // Episode over: record the whole brownout window as one span.
+    tracer_.AddClosedSpan(kOverloadTraceId, SpanKind::kOverload, entered_at,
+                          now, "brownout");
+  }
+  metrics_.GetGauge("wlm_overload_brownout_level")
+      .Set(static_cast<double>(level));
+  metrics_.GetCounter("wlm_overload_brownout_steps_total").Increment();
+}
+
+void Telemetry::OnQueueDiscipline(bool lifo) {
+  if (!enabled_) return;
+  const double now = Now();
+  tracer_.GetOrCreate(kOverloadTraceId, "overload", QueryKind::kUtility, now);
+  tracer_.Instant(kOverloadTraceId, lifo ? "queue_lifo" : "queue_fifo", now);
+  metrics_.GetGauge("wlm_overload_queue_lifo").Set(lifo ? 1.0 : 0.0);
 }
 
 void Telemetry::OnMonitorSample(const SystemIndicators& indicators,

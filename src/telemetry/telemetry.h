@@ -21,6 +21,11 @@ namespace wlm {
 /// exported trace shows outages inline with the queries they disturbed.
 inline constexpr QueryId kFaultTraceId = 0;
 
+/// Reserved tracer id for the synthetic overload track: breaker open
+/// windows and brownout episodes render as spans of one pseudo-query so
+/// overload-control actions line up with the queries they shed.
+inline constexpr QueryId kOverloadTraceId = 0xE000000000000000ULL;
+
 struct TelemetryOptions {
   /// When false every hook returns immediately (one predictable branch on
   /// the hot path) and nothing is recorded.
@@ -96,6 +101,28 @@ class Telemetry {
                     double delay_seconds);
   /// Graceful-degradation state flipped (MPL shed / low-priority throttle).
   void SetDegraded(bool degraded);
+  // --- overload-protection hooks -------------------------------------------
+  /// Overload protection dropped the request (`reason` is the shed cause:
+  /// queue_full / brownout / breaker_open / codel / deadline). Ends the
+  /// trace.
+  void OnShed(QueryId id, const std::string& workload,
+              const std::string& reason);
+  /// A resilience retry was blocked (`reason`: budget / deadline).
+  void OnRetryDenied(QueryId id, const std::string& workload,
+                     const std::string& reason);
+  /// A workload's circuit breaker changed state. `state` is the numeric
+  /// CircuitBreaker::State (0 closed, 1 half-open, 2 open); when the
+  /// breaker leaves the open state, `opened_at >= 0` records the whole
+  /// open window as one kOverload span on the overload track.
+  void OnBreakerTransition(const std::string& workload, int state,
+                           const char* state_name, double opened_at,
+                           const std::string& detail);
+  /// The brownout shed level stepped; `entered_at >= 0` closes the
+  /// episode span when the level returns to zero.
+  void OnBrownoutStep(int level, double entered_at,
+                      const std::string& detail);
+  /// The wait queue flipped FIFO<->LIFO under the CoDel discipline.
+  void OnQueueDiscipline(bool lifo);
 
   /// Monitor sampling instant: indicator gauges + SLO watchdog sweep.
   /// `queue_depth` and per-workload occupancy come from the manager.

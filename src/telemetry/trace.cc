@@ -25,6 +25,8 @@ const char* SpanKindToString(SpanKind kind) {
       return "suspended";
     case SpanKind::kFault:
       return "fault";
+    case SpanKind::kOverload:
+      return "overload";
   }
   return "?";
 }

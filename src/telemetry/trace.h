@@ -25,10 +25,12 @@ enum class SpanKind {
   kSuspendFlush,   // suspend requested -> state flush finished
   kSuspendedWait,  // suspended, waiting in the queue for resume
   kFault,          // fault window on the synthetic fault track (query 0)
+  kOverload,       // overload episode (breaker open window, brownout
+                   // level) on the synthetic overload track
 };
 
 /// Number of SpanKind values (keep in sync with the enum).
-inline constexpr size_t kSpanKindCount = 9;
+inline constexpr size_t kSpanKindCount = 10;
 
 const char* SpanKindToString(SpanKind kind);
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -160,6 +161,141 @@ TEST(ChaosTest, FaultWindowsAreAccountedConsistently) {
   }
   EXPECT_EQ(injected, plan.events.size());
   EXPECT_EQ(recovered, plan.events.size());
+}
+
+// ------------------------------------------------- Metastable failure
+
+// The classic metastable recipe: a 10x arrival surge overlapped with an
+// abort storm. Undefended, the surge builds an unbounded FIFO backlog
+// and every abort spawns backoff retries that re-enter it — so even
+// after both windows close, the system keeps serving stale queries that
+// miss their deadline: goodput stays collapsed although offered load is
+// back to normal. The overload controls (queue capacity, CoDel + LIFO,
+// deadline shedding, retry budgets) are exactly the defense.
+
+constexpr double kMetaDeadline = 1.5;   // SLO every query carries
+constexpr double kMetaBaseRate = 30.0;  // arrivals/s, ~25% of capacity
+constexpr double kMetaArrivalEnd = 22.0;
+
+struct MetastableRun {
+  double pre_goodput = 0.0;   // good completions/s before the surge
+  double post_goodput = 0.0;  // good completions/s after both windows
+  int64_t shed = 0;
+  int64_t retries_denied = 0;
+  std::string event_log;
+};
+
+/// Good completions per second inside [begin, end): completed AND within
+/// the deadline — a late completion is wasted work, not goodput.
+double GoodputIn(const std::vector<double>& finishes, double begin,
+                 double end) {
+  int count = 0;
+  for (double t : finishes) {
+    if (t >= begin && t < end) ++count;
+  }
+  return static_cast<double>(count) / (end - begin);
+}
+
+MetastableRun RunMetastableScenario(uint64_t seed, bool defended) {
+  WlmConfig config;
+  config.resilience.enabled = true;
+  config.resilience.max_retries = 6;
+  config.resilience.retry_backoff_seconds = 0.05;
+  config.resilience.retry_backoff_multiplier = 1.5;
+  config.resilience.deadline_aware_retries = defended;
+  if (defended) {
+    config.overload.enabled = true;
+    config.overload.codel.queue_capacity = 64;
+    config.overload.codel.target_seconds = 0.3;
+    config.overload.codel.interval_seconds = 0.5;
+    config.overload.retry_budget.capacity = 4.0;
+    config.overload.retry_budget.refill_per_second = 0.5;
+  }
+  TestRig rig(TestEngineConfig(), /*monitor_interval=*/0.25, config);
+  rig.wlm.set_scheduler(std::make_unique<FifoScheduler>(/*mpl=*/8));
+
+  FaultInjector injector(&rig.sim, &rig.engine, &rig.wlm);
+  double surge = 1.0;
+  injector.set_surge_handler([&surge](double factor, bool active) {
+    surge = active ? factor : 1.0;
+  });
+  FaultPlan plan = FaultPlan::MetastableStorm(
+      seed, /*start=*/6.0, /*duration=*/5.0, /*surge_factor=*/10.0,
+      /*abort_magnitude=*/6.0, /*abort_period=*/0.25);
+  EXPECT_TRUE(injector.Arm(plan).ok());
+
+  std::vector<double> good_finishes;
+  rig.wlm.AddCompletionListener([&good_finishes](const Request& r) {
+    if (r.state == RequestState::kCompleted &&
+        r.ResponseTime() <= kMetaDeadline) {
+      good_finishes.push_back(r.finish_time);
+    }
+  });
+
+  // Open-loop Poisson OLTP arrivals whose rate tracks the surge factor —
+  // the load does not slow down just because the system is struggling.
+  WorkloadGenerator gen(seed);
+  Rng arrivals(seed ^ 0x5bf03635ULL);
+  OltpWorkloadConfig oltp;
+  std::function<void()> pump = [&] {
+    double gap = arrivals.Exponential(1.0 / (kMetaBaseRate * surge));
+    double t = rig.sim.Now() + gap;
+    if (t >= kMetaArrivalEnd) return;
+    rig.sim.ScheduleAt(t, [&] {
+      QuerySpec spec = gen.NextOltp(oltp);
+      spec.deadline_seconds = kMetaDeadline;
+      (void)rig.wlm.Submit(spec);
+      pump();
+    });
+  };
+  pump();
+  rig.sim.RunUntil(45.0);  // generous drain window
+
+  MetastableRun result;
+  result.pre_goodput = GoodputIn(good_finishes, 1.0, 6.0);
+  result.post_goodput = GoodputIn(good_finishes, 12.0, 20.0);
+  result.shed = rig.wlm.counters("default").shed;
+  result.retries_denied = rig.wlm.counters("default").retries_denied;
+  result.event_log = SerializeEventLog(rig.wlm.event_log());
+  return result;
+}
+
+TEST(MetastableTest, UndefendedRetryStormStaysCollapsedAfterTheSurge) {
+  MetastableRun off = RunMetastableScenario(7, /*defended=*/false);
+  ASSERT_GT(off.pre_goodput, 0.0);
+  // Both fault windows closed at t=11, yet a second after that the
+  // system still cannot deliver half its pre-surge goodput: the backlog
+  // and retry storm outlive their trigger. That persistence IS the
+  // metastable failure.
+  EXPECT_LT(off.post_goodput, 0.5 * off.pre_goodput);
+  EXPECT_EQ(off.shed, 0);  // nothing defends the queue
+}
+
+TEST(MetastableTest, DefendedConfigRecoversGoodputAfterTheSurge) {
+  MetastableRun on = RunMetastableScenario(7, /*defended=*/true);
+  ASSERT_GT(on.pre_goodput, 0.0);
+  // Identical disturbance, but bounded queues + CoDel + deadline
+  // shedding + retry budgets drop the unservable work during the storm,
+  // so the window after it closes runs at (nearly) pre-surge goodput.
+  EXPECT_GE(on.post_goodput, 0.9 * on.pre_goodput);
+  // The defense was actually exercised, not merely configured.
+  EXPECT_GT(on.shed, 0);
+  EXPECT_GT(on.retries_denied, 0);
+}
+
+TEST(MetastableTest, DefendedAndUndefendedRunsAreBitReproducible) {
+  MetastableRun on_a = RunMetastableScenario(7, /*defended=*/true);
+  MetastableRun on_b = RunMetastableScenario(7, /*defended=*/true);
+  ASSERT_FALSE(on_a.event_log.empty());
+  EXPECT_EQ(on_a.event_log, on_b.event_log);
+  EXPECT_DOUBLE_EQ(on_a.pre_goodput, on_b.pre_goodput);
+  EXPECT_DOUBLE_EQ(on_a.post_goodput, on_b.post_goodput);
+  EXPECT_EQ(on_a.shed, on_b.shed);
+  EXPECT_EQ(on_a.retries_denied, on_b.retries_denied);
+
+  MetastableRun off_a = RunMetastableScenario(7, /*defended=*/false);
+  MetastableRun off_b = RunMetastableScenario(7, /*defended=*/false);
+  EXPECT_EQ(off_a.event_log, off_b.event_log);
 }
 
 }  // namespace

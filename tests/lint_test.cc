@@ -312,6 +312,68 @@ TEST(LintSuppressionTest, TrailingCommentCoversSameLine) {
 }
 
 // ---------------------------------------------------------------------------
+// Q1 — wait-queue containers must declare a capacity.
+// ---------------------------------------------------------------------------
+
+TEST(LintQ1Test, FlagsUnboundedQueueMembersInAdmissionScope) {
+  auto findings = LintSource("src/admission/foo.h", R"(
+    class Gate {
+     private:
+      std::deque<QueryId> wait_;
+      std::vector<QueryId> pending_queue_;
+    };
+  )");
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"Q1", "Q1"}));
+}
+
+TEST(LintQ1Test, ACapacityConstantBoundsTheFile) {
+  auto findings = LintSource("src/scheduling/foo.h", R"(
+    class Gate {
+     private:
+      static constexpr int kQueueCapacity = 128;
+      std::deque<QueryId> wait_;
+    };
+  )");
+  EXPECT_FALSE(HasRule(findings, "Q1"));
+}
+
+TEST(LintQ1Test, SuppressibleWithReason) {
+  auto findings = LintSource("src/core/foo.h", R"(
+    class Gate {
+     private:
+      // wlm-lint: allow(Q1) drained synchronously every tick
+      std::deque<QueryId> wait_;
+    };
+  )");
+  EXPECT_FALSE(HasRule(findings, "Q1"));
+}
+
+TEST(LintQ1Test, OutsideWaitQueueLayersNotInScope) {
+  auto findings = LintSource("src/telemetry/foo.h", R"(
+    class Log {
+     private:
+      std::deque<Event> pending_queue_;
+    };
+  )");
+  EXPECT_FALSE(HasRule(findings, "Q1"));
+}
+
+TEST(LintQ1Test, VectorsWithoutQueueLikeNamesAndLocalsAreClean) {
+  auto findings = LintSource("src/admission/foo.cc", R"(
+    #include "admission/foo.h"
+    void Gate::Tick() {
+      std::vector<double> samples_;
+      std::deque<QueryId> scratch;
+      std::vector<QueryId> results_;
+      (void)scratch;
+    }
+  )");
+  // samples_/results_ are vectors without wait-queue names; scratch has
+  // no member suffix. None is a wait queue.
+  EXPECT_FALSE(HasRule(findings, "Q1"));
+}
+
+// ---------------------------------------------------------------------------
 // Infrastructure.
 // ---------------------------------------------------------------------------
 

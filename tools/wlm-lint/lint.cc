@@ -1,6 +1,7 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -484,6 +485,81 @@ void RunH2(const std::string& path, const LexedFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Q1 — wait-queue containers must declare an explicit capacity.
+// ---------------------------------------------------------------------------
+
+std::string Lowered(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool IsQueueContainerType(const std::string& text) {
+  return text == "deque" || text == "queue" || text == "priority_queue" ||
+         text == "list";
+}
+
+/// A vector is only treated as a wait queue when its name says so.
+bool LooksLikeWaitQueueName(const std::string& name) {
+  std::string lower = Lowered(name);
+  return lower.find("queue") != std::string::npos ||
+         lower.find("pending") != std::string::npos ||
+         lower.find("backlog") != std::string::npos ||
+         lower.find("waiting") != std::string::npos;
+}
+
+void RunQ1(const std::string& path, const LexedFile& file,
+           const Suppressions& allow, std::vector<Finding>* findings) {
+  // Scope: the layers that hold requests waiting for dispatch. An
+  // unbounded wait queue is the overload-collapse fuel tank — under a
+  // surge it absorbs arrivals until every queued request is already past
+  // its deadline, and goodput stays at zero long after the surge ends.
+  if (!HasComponent(path, "admission") && !HasComponent(path, "scheduling") &&
+      !HasComponent(path, "core") && !HasComponent(path, "overload")) {
+    return;
+  }
+  const std::vector<Token>& toks = file.tokens;
+  // A declared capacity anywhere in the file (a `*_capacity` constant or
+  // option, or a `max_*capacity*` bound) counts as bounding its queues.
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent &&
+        Lowered(t.text).find("capacity") != std::string::npos) {
+      return;
+    }
+  }
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    bool queue_type = IsQueueContainerType(toks[i].text);
+    bool vector_type = toks[i].text == "vector";
+    if (!queue_type && !vector_type) continue;
+    if (!TextIs(toks, i + 1, "<")) continue;
+    size_t j = SkipTemplateArgs(toks, i + 1);
+    while (j < toks.size() &&
+           (toks[j].text == "const" || toks[j].text == "&" ||
+            toks[j].text == "*")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::kIdent) continue;
+    const std::string& name = toks[j].text;
+    // Members only (trailing underscore); locals and parameters are
+    // transient and bounded by their scope.
+    if (name.size() < 2 || name.back() != '_') continue;
+    if (TextIs(toks, j + 1, "(")) continue;  // function declaration
+    if (vector_type && !LooksLikeWaitQueueName(name)) continue;
+    if (allow.Allows(toks[i].line, "Q1")) continue;
+    findings->push_back(
+        {path, toks[i].line, "Q1",
+         "wait-queue container '" + name +
+             "' declares no capacity: add an explicit *_capacity bound "
+             "(enforced where the queue grows) or annotate the intentional "
+             "unbounded queue with `// wlm-lint: allow(Q1) reason`"});
+  }
+}
+
 void SortFindings(std::vector<Finding>* findings) {
   std::sort(findings->begin(), findings->end(),
             [](const Finding& a, const Finding& b) {
@@ -508,6 +584,9 @@ const std::vector<RuleInfo>& Rules() {
              "[[nodiscard]]"},
       {"H2", "no <iostream> in headers; a .cc includes its own header "
              "first"},
+      {"Q1", "wait-queue containers in admission/scheduling/core/overload "
+             "declare an explicit capacity bound (or justify the unbounded "
+             "queue with an allow annotation)"},
   };
   return kRules;
 }
@@ -552,6 +631,7 @@ std::vector<Finding> LintSource(
   RunD3(path, file, allow, &findings);
   RunH1(path, file, allow, &findings);
   RunH2(path, file, allow, &findings);
+  RunQ1(path, file, allow, &findings);
   SortFindings(&findings);
   return findings;
 }
