@@ -150,6 +150,23 @@ int main() {
                 static_cast<long long>(c.suspended));
   }
 
+  // Per-workload latency decomposition: where each service class's
+  // seconds went, from the manager's per-phase percentile rollups.
+  std::printf("\n%-10s %-14s %9s %9s %9s\n", "workload", "phase", "p50(s)",
+              "p90(s)", "max(s)");
+  for (const auto& [name, def] : manager.workloads()) {
+    const WorkloadCounters& c = manager.counters(name);
+    for (const std::string& phase : WorkloadPhaseNames()) {
+      auto it = c.phase_seconds.find(phase);
+      if (it == c.phase_seconds.end() || it->second.count() == 0) continue;
+      const Percentiles& dist = it->second;
+      if (dist.max() <= 0.0) continue;  // phase never occurred here
+      std::printf("%-10s %-14s %9.3f %9.3f %9.3f\n", name.c_str(),
+                  phase.c_str(), dist.Percentile(50), dist.Percentile(90),
+                  dist.max());
+    }
+  }
+
   std::cout << "\nfault windows (from the control-plane event log):\n";
   for (const WlmEvent& event : manager.event_log().events()) {
     if (event.type != WlmEventType::kFaultInjected &&
@@ -174,6 +191,24 @@ int main() {
     std::ofstream out("chaos_drill_metrics.prom");
     WritePrometheus(manager.telemetry().metrics(), out);
   }
-  std::cout << "\nwrote chaos_drill_trace.json and chaos_drill_metrics.prom\n";
+  // Flight-recorder post-mortems: each fault window (and any breaker trip
+  // or SLO violation) snapshotted the recent profiles + event-log tail.
+  const FlightRecorder& recorder = manager.telemetry().flight_recorder();
+  {
+    std::ofstream out("chaos_drill_postmortem.jsonl");
+    recorder.WriteJsonl(out);
+  }
+  {
+    std::ofstream out("chaos_drill_postmortem.txt");
+    recorder.WriteAscii(out);
+  }
+  std::printf("\nflight recorder: %zu post-mortems (%lld triggers, %lld "
+              "suppressed)\n",
+              recorder.postmortems().size(),
+              static_cast<long long>(recorder.triggers_seen()),
+              static_cast<long long>(recorder.triggers_suppressed()));
+  std::cout << "wrote chaos_drill_trace.json, chaos_drill_metrics.prom,\n"
+               "      chaos_drill_postmortem.jsonl and "
+               "chaos_drill_postmortem.txt\n";
   return 0;
 }

@@ -12,10 +12,12 @@
 //
 // Build & run:  ./build/examples/trace_explorer
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <unordered_set>
+#include <vector>
 
 #include "admission/threshold_admission.h"
 #include "characterization/static_classifier.h"
@@ -138,6 +140,29 @@ int main() {
               static_cast<long long>(monitor.tag_stats("oltp").completed),
               static_cast<long long>(monitor.tag_stats("bi").completed),
               telemetry.watchdog().violations().size());
-  std::printf("open trace.json in https://ui.perfetto.dev to explore\n");
+
+  // Outcome explainer: the latency decomposition's one-line verdict for
+  // the slowest queries (the same line wlm_top and the flight recorder
+  // print).
+  std::vector<const QueryProfile*> slowest;
+  for (const QueryProfile* p : telemetry.profiles().Profiles()) {
+    if (p->terminal()) slowest.push_back(p);
+  }
+  std::sort(slowest.begin(), slowest.end(),
+            [](const QueryProfile* a, const QueryProfile* b) {
+              if (a->WallSeconds() != b->WallSeconds()) {
+                return a->WallSeconds() > b->WallSeconds();
+              }
+              return a->id < b->id;
+            });
+  std::printf("\nslowest queries, explained:\n");
+  for (size_t i = 0; i < slowest.size() && i < 5; ++i) {
+    const QueryProfile& p = *slowest[i];
+    std::printf("  q%-4llu [%s] wall=%6.2fs  %s\n",
+                static_cast<unsigned long long>(p.id), p.workload.c_str(),
+                p.WallSeconds(), ExplainOutcome(p).c_str());
+  }
+  std::printf("\nopen trace.json in https://ui.perfetto.dev to explore "
+              "(phase tiles render under the \"wlm phases\" process)\n");
   return 0;
 }

@@ -1,0 +1,225 @@
+// wlm_top: a `top`-style dashboard over the per-query latency
+// decomposition. Runs a mixed OLTP + BI system through an overloaded,
+// fault-disturbed hour of simulated traffic, then prints:
+//
+//   - per-service-class phase rollups (where each class's seconds went)
+//   - the top queries by wall time with an inline phase bar and the
+//     outcome explainer ("slow: 78% lock_wait", "shed: brownout level 2")
+//   - resource attribution for the heaviest consumers
+//   - the flight recorder's post-mortem summary
+//
+// and writes wlm_top_postmortem.jsonl / wlm_top_postmortem.txt with the
+// black-box dumps captured at each anomaly trigger.
+//
+// Build & run:  ./build/examples/wlm_top
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "characterization/static_classifier.h"
+#include "core/workload_manager.h"
+#include "execution/timeout_escalation.h"
+#include "faults/fault_injector.h"
+#include "faults/fault_plan.h"
+#include "scheduling/queue_schedulers.h"
+#include "workloads/generators.h"
+
+namespace {
+
+using namespace wlm;
+
+/// One character per 4% of the phase sum, so a 25-char bar ~ 100%.
+std::string PhaseBar(const QueryProfile& p) {
+  static const char kGlyphs[kPhaseCount] = {'q', 'Q', 'L', 'c', 'i',
+                                            'm', 't', 'f', 's', 'r'};
+  std::string bar;
+  double sum = p.PhaseSum();
+  if (sum <= 0.0) return bar;
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    int cells = static_cast<int>(p.phase_seconds[i] / sum * 25.0 + 0.5);
+    bar.append(static_cast<size_t>(cells), kGlyphs[i]);
+  }
+  return bar;
+}
+
+}  // namespace
+
+int main() {
+  using namespace wlm;
+
+  Simulation sim;
+  EngineConfig engine_config;
+  engine_config.num_cpus = 4;
+  engine_config.io_ops_per_second = 2000.0;
+  engine_config.memory_mb = 2048.0;
+  DatabaseEngine engine(&sim, engine_config);
+  Monitor monitor(&sim, &engine, /*interval=*/0.5);
+  monitor.Start();
+
+  WlmConfig config;
+  config.resilience.enabled = true;
+  config.resilience.max_retries = 3;
+  config.resilience.retry_backoff_seconds = 0.25;
+  config.overload.enabled = true;
+  config.overload.codel.queue_capacity = 64;
+  config.overload.shedding = true;
+  config.overload.brownout = true;
+  WorkloadManager manager(&sim, &engine, &monitor, config);
+
+  WorkloadDefinition oltp;
+  oltp.name = "oltp";
+  oltp.priority = BusinessPriority::kHigh;
+  oltp.slos.push_back(ServiceLevelObjective::PercentileResponse(95, 0.5));
+  manager.DefineWorkload(oltp);
+  WorkloadDefinition bi;
+  bi.name = "bi";
+  bi.priority = BusinessPriority::kLow;
+  bi.slos.push_back(ServiceLevelObjective::AvgResponse(8.0));
+  manager.DefineWorkload(bi);
+
+  auto classifier = std::make_unique<StaticClassifier>();
+  ClassificationRule oltp_rule;
+  oltp_rule.workload = "oltp";
+  oltp_rule.kind = QueryKind::kOltpTransaction;
+  classifier->AddRule(oltp_rule);
+  ClassificationRule bi_rule;
+  bi_rule.workload = "bi";
+  bi_rule.kind = QueryKind::kBiQuery;
+  classifier->AddRule(bi_rule);
+  manager.set_classifier(std::move(classifier));
+  manager.set_scheduler(std::make_unique<PriorityScheduler>(/*mpl=*/8));
+
+  // BI queries that overstay get throttled, then suspended, then killed.
+  TimeoutEscalationController::Config escalation;
+  escalation.per_workload["bi"].throttle_after_seconds = 6.0;
+  escalation.per_workload["bi"].throttle_duty = 0.5;
+  escalation.per_workload["bi"].suspend_after_seconds = 12.0;
+  escalation.per_workload["bi"].kill_after_seconds = 24.0;
+  escalation.per_workload["bi"].resubmit_on_kill = true;
+  manager.AddExecutionController(
+      std::make_unique<TimeoutEscalationController>(escalation));
+
+  // A fault window and an arrival surge keep the run from being healthy
+  // end to end — the dashboard is for the bad days.
+  FaultInjector injector(&sim, &engine, &manager);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.Add({FaultKind::kDiskDegrade, 15.0, 8.0, /*magnitude=*/0.4});
+  FaultEvent surge;
+  surge.kind = FaultKind::kArrivalSurge;
+  surge.start = 30.0;
+  surge.duration = 8.0;
+  surge.magnitude = 4.0;
+  plan.Add(surge);
+
+  WorkloadGenerator gen(/*seed=*/5);
+  Rng oltp_arrivals(41);
+  Rng bi_arrivals(42);
+  OltpWorkloadConfig oltp_shape;
+  BiWorkloadConfig bi_shape;
+  const double oltp_rate = 25.0;
+  OpenLoopDriver oltp_driver(
+      &sim, &oltp_arrivals, oltp_rate,
+      [&] { return gen.NextOltp(oltp_shape); },
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
+  OpenLoopDriver bi_driver(
+      &sim, &bi_arrivals, 0.6, [&] { return gen.NextBi(bi_shape); },
+      [&](QuerySpec spec) { (void)manager.Submit(std::move(spec)); });
+  injector.set_surge_handler([&](double factor, bool active) {
+    oltp_driver.set_rate(active ? oltp_rate * factor : oltp_rate);
+  });
+  if (!injector.Arm(plan).ok()) {
+    std::cerr << "failed to arm fault plan\n";
+    return 1;
+  }
+  oltp_driver.Start(/*until=*/60.0);
+  bi_driver.Start(/*until=*/60.0);
+  sim.RunUntil(90.0);
+
+  Telemetry& telemetry = manager.telemetry();
+
+  // --- per-class phase rollups ---------------------------------------------
+  std::printf("%-8s %8s", "class", "queries");
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    std::printf(" %14s", PhaseToString(static_cast<Phase>(i)));
+  }
+  std::printf("\n");
+  for (const auto& [name, rollup] : telemetry.profiles().rollups()) {
+    std::printf("%-8s %8lld", name.c_str(),
+                static_cast<long long>(rollup.count));
+    for (size_t i = 0; i < kPhaseCount; ++i) {
+      std::printf(" %13.2fs", rollup.phase_seconds[i]);
+    }
+    std::printf("\n");
+  }
+
+  // --- top queries by wall time --------------------------------------------
+  std::vector<const QueryProfile*> terminal;
+  for (const QueryProfile* p : telemetry.profiles().Profiles()) {
+    if (p->terminal()) terminal.push_back(p);
+  }
+  std::sort(terminal.begin(), terminal.end(),
+            [](const QueryProfile* a, const QueryProfile* b) {
+              if (a->WallSeconds() != b->WallSeconds()) {
+                return a->WallSeconds() > b->WallSeconds();
+              }
+              return a->id < b->id;
+            });
+  std::printf("\ntop queries by wall time "
+              "(q=queue Q=overload L=lock c=cpu i=io m=mem t=thr f=flush "
+              "s=susp r=retry):\n");
+  std::printf("%-6s %-6s %8s %4s %-26s %s\n", "query", "class", "wall(s)",
+              "runs", "phase bar", "explainer");
+  for (size_t i = 0; i < terminal.size() && i < 12; ++i) {
+    const QueryProfile& p = *terminal[i];
+    std::printf("q%-5llu %-6s %8.2f %4d %-26s %s\n",
+                static_cast<unsigned long long>(p.id), p.workload.c_str(),
+                p.WallSeconds(), p.run_segments, PhaseBar(p).c_str(),
+                ExplainOutcome(p).c_str());
+  }
+
+  // --- heaviest resource consumers -----------------------------------------
+  std::sort(terminal.begin(), terminal.end(),
+            [](const QueryProfile* a, const QueryProfile* b) {
+              double ca = a->resources.cpu_seconds + a->resources.io_ops;
+              double cb = b->resources.cpu_seconds + b->resources.io_ops;
+              if (ca != cb) return ca > cb;
+              return a->id < b->id;
+            });
+  std::printf("\nheaviest consumers (resource attribution):\n");
+  std::printf("%-6s %-6s %9s %9s %9s %9s %6s\n", "query", "class", "cpu(s)",
+              "io ops", "peak MB", "lock(s)", "spill");
+  for (size_t i = 0; i < terminal.size() && i < 6; ++i) {
+    const ResourceAttribution& r = terminal[i]->resources;
+    std::printf("q%-5llu %-6s %9.3f %9.1f %9.1f %9.3f %6.2f\n",
+                static_cast<unsigned long long>(terminal[i]->id),
+                terminal[i]->workload.c_str(), r.cpu_seconds, r.io_ops,
+                r.peak_memory_mb, r.lock_hold_seconds, r.spill_factor);
+  }
+
+  // --- flight recorder -----------------------------------------------------
+  const FlightRecorder& recorder = telemetry.flight_recorder();
+  std::printf("\nflight recorder: %zu post-mortems (%lld triggers, %lld "
+              "suppressed)\n",
+              recorder.postmortems().size(),
+              static_cast<long long>(recorder.triggers_seen()),
+              static_cast<long long>(recorder.triggers_suppressed()));
+  for (const PostMortem& dump : recorder.postmortems()) {
+    std::printf("  @%6.2fs  %s\n", dump.time, dump.reason.c_str());
+  }
+  {
+    std::ofstream out("wlm_top_postmortem.jsonl");
+    recorder.WriteJsonl(out);
+  }
+  {
+    std::ofstream out("wlm_top_postmortem.txt");
+    recorder.WriteAscii(out);
+  }
+  std::printf("wrote wlm_top_postmortem.jsonl and wlm_top_postmortem.txt\n");
+  return 0;
+}

@@ -65,6 +65,7 @@ DatabaseEngine::DatabaseEngine(Simulation* sim, EngineConfig config)
                      [this] { CheckDeadlocks(); }) {
   lock_manager_.set_grant_callback(
       [this](TxnId txn, LockKey key) { OnLockGranted(txn, key); });
+  lock_manager_.set_time_source([this] { return sim_->Now(); });
 }
 
 DatabaseEngine::~DatabaseEngine() = default;
@@ -224,8 +225,10 @@ void DatabaseEngine::Tick() {
     double cpu_before = execs[i]->cpu_used();
     double io_before = execs[i]->io_used();
     bool finished = execs[i]->Advance(cpu_grant[i], io_grant[i]);
-    cpu_used_total += execs[i]->cpu_used() - cpu_before;
+    double cpu_delta = execs[i]->cpu_used() - cpu_before;
+    cpu_used_total += cpu_delta;
     io_used_total += execs[i]->io_used() - io_before;
+    execs[i]->SettlePhases(now, cpu_delta);
     if (finished) done.push_back(ids[i]);
   }
   counters_.cpu_used_seconds += cpu_used_total;
@@ -278,6 +281,7 @@ QueryOutcome DatabaseEngine::MakeOutcome(const QueryExecution& exec,
   out.spill_factor = exec.spill_factor();
   out.buffer_hit_ratio = exec.buffer_hit_ratio();
   out.lock_wait_seconds = exec.lock_wait_seconds(sim_->Now());
+  out.phases = exec.phases();
   return out;
 }
 
@@ -287,6 +291,8 @@ void DatabaseEngine::FinishExecution(QueryId id, OutcomeKind kind) {
   std::unique_ptr<QueryExecution> exec = std::move(it->second.exec);
   active_.erase(it);
   pending_suspend_.erase(id);
+  exec->SettlePhases(sim_->Now(), 0.0);
+  double lock_hold = lock_manager_.HeldSeconds(id, sim_->Now());
   exec->MarkFinished();
   lock_manager_.ReleaseAll(id);
   memory_.Release(exec->context().tag, exec->granted_mb());
@@ -305,6 +311,7 @@ void DatabaseEngine::FinishExecution(QueryId id, OutcomeKind kind) {
       break;  // handled by FinalizeSuspend
   }
   QueryOutcome outcome = MakeOutcome(*exec, kind);
+  outcome.lock_hold_seconds = lock_hold;
   if (exec->context().on_finish) exec->context().on_finish(outcome);
   if (observer_) observer_(outcome);
 }
@@ -322,6 +329,8 @@ void DatabaseEngine::FinalizeSuspend(QueryId id) {
   // resumed execution's accounting is continuous.
   bundle.cpu_used_before = exec->cpu_used();
   bundle.io_used_before = exec->io_used();
+  exec->SettlePhases(sim_->Now(), 0.0);
+  double lock_hold = lock_manager_.HeldSeconds(id, sim_->Now());
   exec->MarkFinished();
   lock_manager_.ReleaseAll(id);
   memory_.Release(exec->context().tag, exec->granted_mb());
@@ -329,6 +338,7 @@ void DatabaseEngine::FinalizeSuspend(QueryId id) {
   ++counters_.suspends;
   suspended_[id] = std::move(bundle);
   QueryOutcome outcome = MakeOutcome(*exec, OutcomeKind::kSuspended);
+  outcome.lock_hold_seconds = lock_hold;
   if (exec->context().on_finish) exec->context().on_finish(outcome);
   if (observer_) observer_(outcome);
 }
@@ -383,6 +393,8 @@ Status DatabaseEngine::Resume(const SuspendedQuery& suspended,
 Status DatabaseEngine::SetDuty(QueryId id, double duty) {
   auto it = active_.find(id);
   if (it == active_.end()) return Status::NotFound("query not active");
+  // Close the open interval at the old duty before the change takes hold.
+  it->second.exec->SettlePhases(sim_->Now(), 0.0);
   it->second.exec->set_duty(duty);
   return Status::OK();
 }
@@ -391,6 +403,7 @@ Status DatabaseEngine::Pause(QueryId id, double seconds) {
   auto it = active_.find(id);
   if (it == active_.end()) return Status::NotFound("query not active");
   if (seconds < 0.0) return Status::InvalidArgument("negative pause");
+  it->second.exec->SettlePhases(sim_->Now(), 0.0);
   it->second.exec->SleepUntil(sim_->Now() + seconds);
   return Status::OK();
 }

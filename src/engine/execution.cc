@@ -23,7 +23,8 @@ QueryExecution::QueryExecution(QuerySpec spec, Plan plan, ExecutionContext ctx,
       ctx_(std::move(ctx)),
       dispatch_time_(dispatch_time),
       io_rate_(io_ops_per_second),
-      lock_phase_start_(dispatch_time) {
+      lock_phase_start_(dispatch_time),
+      last_account_time_(dispatch_time) {
   assert(io_rate_ > 0.0);
   ops_.reserve(plan_.operators.size());
   for (const PlanOperator& op : plan_.operators) {
@@ -40,8 +41,10 @@ void QueryExecution::StartRunning(double now, double spill_factor,
                                   double buffer_hit_ratio,
                                   double granted_mb) {
   assert(state_ == State::kAcquiringLocks);
+  SettlePhases(now, 0.0);  // close the lock-wait interval
   lock_wait_total_ = now - lock_phase_start_;
   spill_factor_ = std::max(1.0, spill_factor);
+  spill_io_fraction_ = (spill_factor_ - 1.0) / spill_factor_;
   buffer_hit_ratio_ = std::clamp(buffer_hit_ratio, 0.0, 0.99);
   granted_mb_ = granted_mb;
   // Spilling inflates the device I/O; buffer-pool hits avoid it.
@@ -119,9 +122,72 @@ bool QueryExecution::IsSleeping(double now) const {
 
 void QueryExecution::MaybeWake(double now) {
   if (state_ == State::kSleeping && now >= sleeping_until_) {
+    SettlePhases(now, 0.0);  // close the pause interval before waking
     state_ = State::kRunning;
     sleeping_until_ = -1.0;
   }
+}
+
+void QueryExecution::SettlePhases(double now, double cpu_delta) {
+  double dt = now - last_account_time_;
+  last_account_time_ = now;
+  if (dt <= 0.0) return;
+  switch (state_) {
+    case State::kAcquiringLocks:
+      phases_.lock_wait_seconds += dt;
+      return;
+    case State::kSleeping:
+      phases_.throttled_seconds += dt;
+      return;
+    case State::kSuspending:
+      phases_.suspend_flush_seconds += dt;
+      return;
+    case State::kFinished:  // terminal settles happen before MarkFinished
+      phases_.cpu_run_seconds += dt;
+      return;
+    case State::kRunning:
+      break;
+  }
+  // The (1 - duty) slice of a duty-cycled interval is self-imposed sleep
+  // no matter what the active slice did.
+  double active = dt * duty_;
+  phases_.throttled_seconds += dt - active;
+  // On-CPU time is the granted CPU spread over the query's parallel
+  // lanes; the rest of the active slice the query waited on the device
+  // (or was starved of a grant). Spill-inflated I/O makes the governor's
+  // short memory grant responsible for its share of that stall.
+  double cpu_time = std::min(
+      active, cpu_delta / static_cast<double>(std::max(1, spec_.dop)));
+  double stall = active - cpu_time;
+  double memory_stall = stall * spill_io_fraction_;
+  phases_.cpu_run_seconds += cpu_time;
+  phases_.memory_stall_seconds += memory_stall;
+  phases_.io_stall_seconds += stall - memory_stall;
+}
+
+ExecPhaseTotals QueryExecution::PhasesAt(double now) const {
+  ExecPhaseTotals out = phases_;
+  double dt = now - last_account_time_;
+  if (dt <= 0.0) return out;
+  switch (state_) {
+    case State::kAcquiringLocks:
+      out.lock_wait_seconds += dt;
+      break;
+    case State::kSleeping:
+      out.throttled_seconds += dt;
+      break;
+    case State::kSuspending:
+      out.suspend_flush_seconds += dt;
+      break;
+    case State::kRunning:
+    case State::kFinished:
+      // Provisional: the grant for the open interval is unknown until the
+      // next tick settles it, so show it as active time.
+      out.throttled_seconds += dt * (1.0 - duty_);
+      out.cpu_run_seconds += dt * duty_;
+      break;
+  }
+  return out;
 }
 
 double QueryExecution::FractionDone() const {
@@ -186,6 +252,7 @@ Status QueryExecution::BeginSuspend(SuspendStrategy strategy, double now,
   if (state_ == State::kSuspending) {
     return Status::AlreadyExists("suspend already in progress");
   }
+  SettlePhases(now, 0.0);  // close the pre-suspend interval in its state
 
   out->spec = spec_;
   out->strategy = strategy;
@@ -285,6 +352,7 @@ ExecutionProgress QueryExecution::Snapshot(double now) const {
       p.fraction_done * static_cast<double>(spec_.result_rows));
   p.duty = duty_;
   p.shares = ctx_.shares;
+  p.phases = PhasesAt(now);
   return p;
 }
 

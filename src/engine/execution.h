@@ -82,6 +82,10 @@ struct ExecutionProgress {
   int64_t rows_emitted = 0;
   double duty = 1.0;
   ResourceShares shares;
+  /// Provisional phase decomposition as of the snapshot: settled totals
+  /// plus the open interval attributed by the current state. Sums to
+  /// `elapsed` up to float rounding.
+  ExecPhaseTotals phases;
 };
 
 /// State machine for one query running in the engine. Owned by
@@ -145,6 +149,18 @@ class QueryExecution {
   [[nodiscard]] Status BeginSuspend(SuspendStrategy strategy, double now,
                       double io_ops_per_mb, SuspendedQuery* out);
 
+  // --- phase accounting ------------------------------------------------------
+  /// Closes the open interval [last settle, now], attributing it to
+  /// exactly one phase bucket by the *current* state (so transitions must
+  /// settle before flipping state). `cpu_delta` is the CPU consumed since
+  /// the last settle (from Advance); pass 0 at event-time settles.
+  void SettlePhases(double now, double cpu_delta);
+  /// Settled phase totals (as of the last SettlePhases call).
+  const ExecPhaseTotals& phases() const { return phases_; }
+  /// Settled totals plus the still-open interval, for live snapshots;
+  /// PhasesAt(now).Sum() == now - dispatch_time() up to float rounding.
+  ExecPhaseTotals PhasesAt(double now) const;
+
   // --- accounting / introspection -------------------------------------------
   double cpu_used() const { return cpu_used_; }
   double io_used() const { return io_used_; }
@@ -188,6 +204,10 @@ class QueryExecution {
   double io_used_ = 0.0;
   double duty_ = 1.0;
   double sleeping_until_ = -1.0;
+
+  ExecPhaseTotals phases_;
+  double last_account_time_;       // start of the open phase interval
+  double spill_io_fraction_ = 0.0; // share of device I/O caused by spilling
 };
 
 }  // namespace wlm

@@ -21,6 +21,12 @@ bool LockManager::Compatible(const LockState& state, TxnId txn,
   return true;
 }
 
+void LockManager::RecordGrant(TxnId txn, LockKey key) {
+  // try_emplace: an upgrade or re-acquire keeps the original grant time.
+  txn_locks_[txn].try_emplace(key,
+                              time_source_ ? time_source_() : 0.0);
+}
+
 bool LockManager::Acquire(TxnId txn, LockKey key, LockMode mode) {
   LockState& state = table_[key];
 
@@ -41,7 +47,7 @@ bool LockManager::Acquire(TxnId txn, LockKey key, LockMode mode) {
                     (!is_upgrade && !state.queue.empty());
   if (!must_queue) {
     state.holders[txn] = mode;
-    txn_locks_[txn].insert(key);
+    RecordGrant(txn, key);
     return true;
   }
 
@@ -64,7 +70,7 @@ void LockManager::GrantWaiters(LockKey key) {
     const Waiter& w = state.queue.front();
     if (!Compatible(state, w.txn, w.mode)) break;
     state.holders[w.txn] = w.mode;
-    txn_locks_[w.txn].insert(key);
+    RecordGrant(w.txn, key);
     waiting_on_.erase(w.txn);
     granted.push_back(w);
     state.queue.pop_front();
@@ -96,7 +102,15 @@ void LockManager::ReleaseAll(TxnId txn) {
 
   auto locks_it = txn_locks_.find(txn);
   if (locks_it == txn_locks_.end()) return;
-  std::vector<LockKey> keys(locks_it->second.begin(), locks_it->second.end());
+  std::vector<LockKey> keys;
+  keys.reserve(locks_it->second.size());
+  double now = time_source_ ? time_source_() : 0.0;
+  for (const auto& [key, granted_at] : locks_it->second) {
+    keys.push_back(key);
+    if (time_source_) {
+      hold_seconds_released_ += std::max(0.0, now - granted_at);
+    }
+  }
   txn_locks_.erase(locks_it);
   // Deterministic release order.
   std::sort(keys.begin(), keys.end());
@@ -198,5 +212,17 @@ size_t LockManager::total_locks_held() const {
 }
 
 size_t LockManager::blocked_txn_count() const { return waiting_on_.size(); }
+
+double LockManager::HeldSeconds(TxnId txn, double now) const {
+  if (!time_source_) return 0.0;
+  auto it = txn_locks_.find(txn);
+  if (it == txn_locks_.end()) return 0.0;
+  double total = 0.0;
+  for (const auto& [key, granted_at] : it->second) {
+    (void)key;
+    total += std::max(0.0, now - granted_at);
+  }
+  return total;
+}
 
 }  // namespace wlm

@@ -29,6 +29,13 @@ class LockManager {
 
   void set_grant_callback(GrantCallback cb) { grant_cb_ = std::move(cb); }
 
+  /// Clock used to timestamp grants for hold-time attribution. Without
+  /// one (direct unit-test usage) grants are untimed and HeldSeconds
+  /// reports 0.
+  void set_time_source(std::function<double()> now) {
+    time_source_ = std::move(now);
+  }
+
   /// Requests `key` in `mode` for `txn`. Returns true if granted
   /// immediately; false if the request was queued (the grant callback fires
   /// later). Re-acquiring a held key (same or weaker mode) is a no-op grant;
@@ -53,12 +60,18 @@ class LockManager {
   /// is blocked; rising past ~1.3 signals lock thrashing.
   double ConflictRatio() const;
 
+  /// Sum over `txn`'s held locks of (now - grant time): the lock-hold
+  /// footprint it currently imposes. 0 without a time source.
+  double HeldSeconds(TxnId txn, double now) const;
+
   /// Counters for the monitor.
   size_t total_locks_held() const;
   size_t blocked_txn_count() const;
   size_t txn_count() const { return txn_locks_.size(); }
   uint64_t deadlocks_detected() const { return deadlocks_detected_; }
   uint64_t waits() const { return waits_; }
+  /// Cumulative hold seconds of every lock released so far.
+  double hold_seconds_released() const { return hold_seconds_released_; }
 
  private:
   struct Waiter {
@@ -76,15 +89,20 @@ class LockManager {
   void GrantWaiters(LockKey key);
   static bool Compatible(const LockState& state, TxnId txn, LockMode mode);
 
+  // Records when `txn` first held `key`, for hold-time attribution.
+  void RecordGrant(TxnId txn, LockKey key);
+
   std::unordered_map<LockKey, LockState> table_;
-  // txn -> keys held
-  std::unordered_map<TxnId, std::unordered_set<LockKey>> txn_locks_;
+  // txn -> keys held, each with its grant time (0 when untimed)
+  std::unordered_map<TxnId, std::unordered_map<LockKey, double>> txn_locks_;
   // txn -> key it waits for (each txn waits on at most one key because
   // acquisition is sequential)
   std::unordered_map<TxnId, LockKey> waiting_on_;
   GrantCallback grant_cb_;
+  std::function<double()> time_source_;
   uint64_t deadlocks_detected_ = 0;
   uint64_t waits_ = 0;
+  double hold_seconds_released_ = 0.0;
 };
 
 }  // namespace wlm

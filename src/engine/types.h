@@ -93,6 +93,40 @@ enum class OutcomeKind {
 
 const char* OutcomeKindToString(OutcomeKind kind);
 
+/// Mutually exclusive decomposition of an execution's in-engine wall time.
+/// Every settled interval of [dispatch, finish] lands in exactly one bucket,
+/// so `Sum()` equals `finish_time - dispatch_time` up to float rounding —
+/// the conservation invariant the telemetry profile tests enforce.
+struct ExecPhaseTotals {
+  /// Blocked in the lock manager before the work began (or as a deadlock
+  /// victim).
+  double lock_wait_seconds = 0.0;
+  /// Actively consuming CPU (granted CPU spread over the query's lanes).
+  double cpu_run_seconds = 0.0;
+  /// Running but waiting on the device (or starved of a grant).
+  double io_stall_seconds = 0.0;
+  /// The slice of I/O stall caused by spill inflation from a short memory
+  /// grant — pressure the memory governor imposed, not intrinsic I/O.
+  double memory_stall_seconds = 0.0;
+  /// Duty-cycle sleep slices plus interrupt-throttle pauses.
+  double throttled_seconds = 0.0;
+  /// Flushing state to disk after a suspend request.
+  double suspend_flush_seconds = 0.0;
+
+  double Sum() const {
+    return lock_wait_seconds + cpu_run_seconds + io_stall_seconds +
+           memory_stall_seconds + throttled_seconds + suspend_flush_seconds;
+  }
+  void Accumulate(const ExecPhaseTotals& other) {
+    lock_wait_seconds += other.lock_wait_seconds;
+    cpu_run_seconds += other.cpu_run_seconds;
+    io_stall_seconds += other.io_stall_seconds;
+    memory_stall_seconds += other.memory_stall_seconds;
+    throttled_seconds += other.throttled_seconds;
+    suspend_flush_seconds += other.suspend_flush_seconds;
+  }
+};
+
 /// Delivered to the completion callback when an execution leaves the engine.
 struct QueryOutcome {
   QueryId id = 0;
@@ -109,6 +143,13 @@ struct QueryOutcome {
   double buffer_hit_ratio = 0.0;
   /// Seconds spent waiting on locks before running.
   double lock_wait_seconds = 0.0;
+  /// Sum over held locks of (release - grant) seconds at finish; strict
+  /// 2PL releases everything at once, so this is the lock-hold footprint
+  /// the query imposed on others.
+  double lock_hold_seconds = 0.0;
+  /// Wall-time decomposition of [dispatch_time, finish_time];
+  /// phases.Sum() equals the wall time up to float rounding.
+  ExecPhaseTotals phases;
 };
 
 }  // namespace wlm

@@ -78,12 +78,16 @@ void TimeoutEscalationController::OnSample(const SystemIndicators& indicators,
   }
 
   for (const Action& action : actions) {
+    const Request* request = manager.Find(action.id);
+    const std::string workload =
+        request != nullptr ? request->workload : std::string();
     switch (action.stage) {
       case Stage::kThrottled:
         if (manager.ThrottleRequest(action.id, action.policy->throttle_duty)
                 .ok()) {
           stages_[action.id] = {Stage::kThrottled, action.dispatch_time};
           ++throttles_;
+          manager.telemetry().OnEscalation(action.id, workload, "throttle");
         }
         break;
       case Stage::kSuspending:
@@ -92,6 +96,7 @@ void TimeoutEscalationController::OnSample(const SystemIndicators& indicators,
                 .ok()) {
           stages_[action.id] = {Stage::kSuspending, action.dispatch_time};
           ++suspends_;
+          manager.telemetry().OnEscalation(action.id, workload, "suspend");
         }
         break;
       case Stage::kKilled: {
@@ -103,6 +108,9 @@ void TimeoutEscalationController::OnSample(const SystemIndicators& indicators,
           ++kills_;
           if (action.past_deadline) ++deadline_kills_;
           stages_.erase(action.id);
+          manager.telemetry().OnEscalation(
+              action.id, workload,
+              action.past_deadline ? "deadline_kill" : "kill");
         }
         break;
       }

@@ -68,6 +68,9 @@ void WriteChromeTrace(const Tracer& tracer, std::ostream& out,
   WriteEvent(out, first,
              R"({"name":"process_name","ph":"M","pid":1,"tid":0,)"
              R"("args":{"name":"wlm"}})");
+  WriteEvent(out, first,
+             R"({"name":"process_name","ph":"M","pid":2,"tid":0,)"
+             R"("args":{"name":"wlm phases"}})");
 
   for (const QueryTrace* trace : tracer.Traces()) {
     char buf[256];
@@ -80,8 +83,16 @@ void WriteChromeTrace(const Tracer& tracer, std::ostream& out,
 
     for (const Span& span : trace->spans) {
       const double end = span.open() ? span.start : span.end;
+      // Phase tiles partition a segment; they can straddle throttle/pause
+      // windows on the query's own track, so they render as a parallel
+      // "phase lane" process where each query still keeps its tid.
+      const bool phase = span.kind == SpanKind::kPhase;
       std::string json = "{\"name\":\"";
-      json += SpanKindToString(span.kind);
+      if (phase && !span.detail.empty()) {
+        json += JsonEscape(span.detail);
+      } else {
+        json += SpanKindToString(span.kind);
+      }
       json += "\",\"cat\":\"";
       json += JsonEscape(trace->workload);
       json += "\",\"ph\":\"X\",\"ts\":";
@@ -89,7 +100,7 @@ void WriteChromeTrace(const Tracer& tracer, std::ostream& out,
       json += ",\"dur\":";
       json += std::to_string(
           std::max(0LL, ToMicros(end) - ToMicros(span.start)));
-      json += ",\"pid\":1,\"tid\":";
+      json += phase ? ",\"pid\":2,\"tid\":" : ",\"pid\":1,\"tid\":";
       json += std::to_string(trace->tid);
       json += ",\"args\":{\"query\":";
       json += std::to_string(trace->id);

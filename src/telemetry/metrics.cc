@@ -115,9 +115,14 @@ void HistogramMetric::Observe(double value) {
 }
 
 const std::vector<double>& HistogramMetric::DefaultLatencyBuckets() {
+  // Sub-millisecond bounds resolve phase durations (lock waits, throttle
+  // slices) far below the response-time scale; the tail matches long BI
+  // queries. Ascending order keeps the exposition byte-stable.
   static const std::vector<double> kBuckets = {
-      0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
-      60.0, 120.0, 300.0};
+      0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+      0.01,   0.025,   0.05,   0.1,   0.25,   0.5,
+      1.0,    2.5,     5.0,    10.0,  30.0,   60.0,
+      120.0,  300.0};
   return kBuckets;
 }
 

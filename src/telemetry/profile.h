@@ -1,0 +1,184 @@
+#ifndef WLM_TELEMETRY_PROFILE_H_
+#define WLM_TELEMETRY_PROFILE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/types.h"
+
+namespace wlm {
+
+/// Mutually exclusive phases of a request's arrival-to-terminal wall time.
+/// Manager-side waits (queue, suspended, retry backoff) come from the
+/// lifecycle hooks; in-engine phases come from the engine's own
+/// ExecPhaseTotals decomposition. For every terminal profile the phase
+/// seconds sum to `finish - arrival` up to float rounding — the
+/// conservation invariant the telemetry tests enforce.
+enum class Phase {
+  kAdmissionQueue,  // waiting for dispatch under the normal discipline
+  kOverloadQueue,   // waiting while the queue runs newest-first (CoDel
+                    // overload mode) — backlog time overload control owns
+  kLockWait,        // blocked in the lock manager
+  kCpuRun,          // actively consuming CPU
+  kIoStall,         // running but waiting on the device
+  kMemoryStall,     // I/O stall caused by spill from a short memory grant
+  kThrottled,       // duty-cycle sleep slices and pauses
+  kSuspendFlush,    // flushing state after a suspend request
+  kSuspendedWait,   // suspended, parked until re-dispatch
+  kRetryBackoff,    // fault-retry backoff limbo before requeue
+};
+
+/// Number of Phase values (keep in sync with the enum).
+inline constexpr size_t kPhaseCount = 10;
+
+const char* PhaseToString(Phase phase);
+
+/// Resource attribution of one request across all of its run segments.
+struct ResourceAttribution {
+  /// CPU-seconds actually consumed.
+  double cpu_seconds = 0.0;
+  /// Device I/O operations actually performed.
+  double io_ops = 0.0;
+  /// Largest work-memory grant held by any segment, in MB.
+  double peak_memory_mb = 0.0;
+  /// Sum over held locks of (release - grant) seconds: the lock-hold
+  /// footprint this request imposed on others.
+  double lock_hold_seconds = 0.0;
+  /// Worst (highest) spill factor any segment ran under.
+  double spill_factor = 1.0;
+  /// Best buffer-pool hit ratio any segment was granted.
+  double buffer_hit_ratio = 0.0;
+};
+
+/// Per-query latency decomposition + resource attribution: where every
+/// second of a request's life went and what it consumed getting there.
+struct QueryProfile {
+  QueryId id = 0;
+  std::string workload;  // service class
+  QueryKind kind = QueryKind::kBiQuery;
+  double arrival_time = 0.0;
+  /// First dispatch into the engine; -1 while never dispatched.
+  double first_dispatch_time = -1.0;
+  /// Terminal time; -1 while the request is still live.
+  double finish_time = -1.0;
+  /// Terminal outcome name (completed / killed / aborted / rejected /
+  /// shed); empty while live.
+  std::string outcome;
+  /// Outcome qualifier: reject gate+reason, shed reason, kill detail.
+  std::string detail;
+  /// Phase seconds, indexed by static_cast<size_t>(Phase).
+  std::array<double, kPhaseCount> phase_seconds{};
+  ResourceAttribution resources;
+  int run_segments = 0;   // engine executions (dispatches + resumes)
+  int suspend_count = 0;  // completed suspensions
+  int requeue_count = 0;  // resubmits after kill / deadlock / fault retry
+
+  double seconds(Phase phase) const {
+    return phase_seconds[static_cast<size_t>(phase)];
+  }
+  /// Terminal wall time (0 while live).
+  double WallSeconds() const {
+    return finish_time >= 0.0 ? finish_time - arrival_time : 0.0;
+  }
+  double PhaseSum() const;
+  /// Fraction of the phase sum spent in `phase` (0 when nothing accrued).
+  double PhaseShare(Phase phase) const;
+  /// Largest bucket; ties break toward the lower enum value.
+  Phase DominantPhase() const;
+  [[nodiscard]] bool terminal() const { return !outcome.empty(); }
+};
+
+/// Per-service-class rollup over terminal profiles.
+struct ClassProfileRollup {
+  int64_t count = 0;
+  std::array<double, kPhaseCount> phase_seconds{};
+  ResourceAttribution resources;  // sums (peak fields keep max semantics)
+};
+
+/// One line on why a request ended the way it did, for dashboards:
+/// "rejected: mpl gate", "shed: brownout level 2", "slow: 78% lock_wait",
+/// "healthy: 91% cpu_run".
+std::string ExplainOutcome(const QueryProfile& profile);
+
+/// Accumulates QueryProfiles, driven by the Telemetry facade's lifecycle
+/// hooks. Bounded like the tracer: past `max_profiles` the oldest
+/// *terminal* profile is evicted per new profile (live requests are never
+/// dropped). Lookups are O(1); every externally visible listing
+/// (Profiles(), rollups()) is explicitly ordered, so the hash map never
+/// leaks iteration nondeterminism.
+class ProfileStore {
+ public:
+  explicit ProfileStore(size_t max_profiles = 8192);
+
+  /// Creates the profile of `id` at submission (no-op if present).
+  void Begin(QueryId id, const std::string& workload, QueryKind kind,
+             double now);
+  /// Opens a wait segment (admission/overload queue, suspended wait,
+  /// retry backoff). Any open segment is settled first.
+  void OpenWait(QueryId id, Phase phase, double now);
+  /// Opens the queue wait segment, choosing kAdmissionQueue or
+  /// kOverloadQueue from the current queue discipline.
+  void OpenQueueWait(QueryId id, double now);
+  /// Settles the open wait segment (if any) into its bucket.
+  void Settle(QueryId id, double now);
+  /// The wait queue flipped FIFO<->LIFO: re-buckets every open queue
+  /// segment at `now` so time is split exactly at the flip.
+  void SetQueueDiscipline(bool lifo, double now);
+  /// One engine run segment ended (any OutcomeKind): folds its phase
+  /// decomposition and resource usage into the profile.
+  void AccumulateSegment(QueryId id, const QueryOutcome& outcome);
+  void MarkDispatched(QueryId id, double now);
+  void CountRequeue(QueryId id);
+  void CountSuspend(QueryId id);
+  /// Terminal: settles any open segment, stamps the outcome and rolls the
+  /// profile into its class rollup. Returns the finalized profile
+  /// (nullptr when `id` is unknown).
+  const QueryProfile* Finalize(QueryId id, double now,
+                               const std::string& outcome,
+                               const std::string& detail);
+
+  const QueryProfile* Find(QueryId id) const;
+  /// Open wait segment of `id` as (phase index, start time); (-1, 0) when
+  /// none is open. Lets the facade emit a trace tile before settling.
+  std::pair<int, double> OpenSegment(QueryId id) const;
+  /// All retained profiles, in creation order.
+  std::vector<const QueryProfile*> Profiles() const;
+  const std::map<std::string, ClassProfileRollup>& rollups() const {
+    return rollups_;
+  }
+  size_t size() const { return profiles_.size(); }
+  int64_t evicted() const { return evicted_; }
+  bool queue_lifo() const { return queue_lifo_; }
+
+ private:
+  struct Entry {
+    QueryProfile profile;
+    int64_t order = 0;       // creation order, for deterministic listing
+    int open_phase = -1;     // static_cast<int>(Phase); -1 = none open
+    double open_start = 0.0;
+  };
+
+  Entry* FindEntry(QueryId id);
+  /// Settle on an already-resolved entry (skips the repeat lookup the
+  /// public Settle would pay on the per-query hot path).
+  void SettleEntry(Entry* entry, double now);
+
+  size_t max_profiles_;
+  int64_t next_order_ = 0;
+  int64_t evicted_ = 0;
+  bool queue_lifo_ = false;
+  std::unordered_map<QueryId, Entry> profiles_;
+  std::deque<QueryId> finished_order_;
+  std::map<std::string, ClassProfileRollup> rollups_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_TELEMETRY_PROFILE_H_

@@ -9,9 +9,14 @@ Telemetry::Telemetry(Simulation* sim, Monitor* monitor, EventLog* event_log,
                      TelemetryOptions options)
     : sim_(sim),
       monitor_(monitor),
+      event_log_(event_log),
       enabled_(options.enabled),
+      profiling_(options.profiling),
+      flight_recorder_enabled_(options.flight_recorder),
       tracer_(options.max_traces),
-      watchdog_(monitor, event_log, &metrics_) {
+      watchdog_(monitor, event_log, &metrics_),
+      profiles_(options.max_profiles),
+      recorder_(options.flight_recorder_options) {
   if (!enabled_) return;
   metrics_.SetHelp("wlm_requests_submitted_total",
                    "Requests entering the workload manager");
@@ -79,6 +84,13 @@ Telemetry::Telemetry(Simulation* sim, Monitor* monitor, EventLog* event_log,
                    "Brownout shed-level changes");
   metrics_.SetHelp("wlm_overload_queue_lifo",
                    "1 while the wait queue serves newest-first");
+  metrics_.SetHelp("wlm_phase_seconds_total",
+                   "Wall time by latency-decomposition phase and service "
+                   "class (workload), accrued at terminal outcomes");
+  metrics_.SetHelp("wlm_escalations_total",
+                   "Timeout-escalation ladder actions, by rung");
+  metrics_.SetHelp("wlm_flight_recorder_dumps_total",
+                   "Post-mortems captured by the flight recorder");
 }
 
 double Telemetry::Now() const { return sim_->Now(); }
@@ -93,6 +105,7 @@ void Telemetry::OnSubmit(QueryId id, const std::string& workload,
                          QueryKind kind) {
   if (!enabled_) return;
   tracer_.GetOrCreate(id, workload, kind, Now());
+  if (profiling_) profiles_.Begin(id, workload, kind, Now());
   metrics_.GetCounter("wlm_requests_submitted_total", {{"workload", workload}})
       .Increment();
 }
@@ -103,6 +116,7 @@ void Telemetry::OnAdmitted(QueryId id, const std::string& workload) {
   const double now = Now();
   tracer_.AddClosedSpan(id, SpanKind::kAdmit, now, now, "admitted");
   tracer_.OpenSpan(id, SpanKind::kQueue, now);
+  if (profiling_) profiles_.OpenQueueWait(id, now);
 }
 
 void Telemetry::OnRejected(QueryId id, const std::string& workload,
@@ -113,6 +127,7 @@ void Telemetry::OnRejected(QueryId id, const std::string& workload,
   tracer_.AddClosedSpan(id, SpanKind::kAdmit, now, now,
                         "rejected gate=" + gate + " reason=" + reason);
   tracer_.FinishTrace(id, now);
+  FinalizeProfile(id, "rejected", reason + " (gate=" + gate + ")");
   metrics_
       .GetCounter("wlm_requests_rejected_total",
                   {{"workload", workload}, {"gate", gate}})
@@ -125,6 +140,16 @@ void Telemetry::OnRequeued(QueryId id, const std::string& workload) {
   // A kill/deadlock resubmission interrupts the running segment.
   tracer_.CloseExecutionSegment(id, now, "outcome=resubmitted");
   tracer_.OpenSpan(id, SpanKind::kQueue, now, "resubmit");
+  if (profiling_) {
+    // A fault retry arrives here from backoff limbo: tile that wait.
+    auto [phase, start] = profiles_.OpenSegment(id);
+    if (phase >= 0 && now > start) {
+      tracer_.AddClosedSpan(id, SpanKind::kPhase, start, now,
+                            PhaseToString(static_cast<Phase>(phase)));
+    }
+    profiles_.CountRequeue(id);
+    profiles_.OpenQueueWait(id, now);
+  }
   metrics_
       .GetCounter("wlm_requests_resubmitted_total", {{"workload", workload}})
       .Increment();
@@ -147,6 +172,16 @@ void Telemetry::OnDispatch(QueryId id, const std::string& workload,
   tracer_.CloseSpan(id, resumed ? SpanKind::kSuspendedWait : SpanKind::kQueue,
                     now);
   tracer_.OpenSpan(id, SpanKind::kExecute, now, resumed ? "resumed" : "");
+  if (profiling_) {
+    // Tile the wait that just ended (admission/overload queue or
+    // suspended wait), then settle it into the profile.
+    auto [phase, start] = profiles_.OpenSegment(id);
+    if (phase >= 0 && now > start) {
+      tracer_.AddClosedSpan(id, SpanKind::kPhase, start, now,
+                            PhaseToString(static_cast<Phase>(phase)));
+    }
+    profiles_.MarkDispatched(id, now);
+  }
   metrics_
       .GetCounter("wlm_dispatches_total",
                   {{"workload", workload},
@@ -168,9 +203,21 @@ void Telemetry::OnSuspended(QueryId id, const std::string& workload) {
   tracer_.CloseSpan(id, SpanKind::kSuspendFlush, now);
   tracer_.CloseExecutionSegment(id, now, "outcome=suspended");
   tracer_.OpenSpan(id, SpanKind::kSuspendedWait, now);
+  if (profiling_) {
+    profiles_.CountSuspend(id);
+    profiles_.OpenWait(id, Phase::kSuspendedWait, now);
+  }
   metrics_
       .GetCounter("wlm_requests_suspended_total", {{"workload", workload}})
       .Increment();
+}
+
+void Telemetry::OnRunSegment(QueryId id, const std::string& workload,
+                             const QueryOutcome& outcome) {
+  if (!enabled_ || !profiling_) return;
+  (void)workload;
+  profiles_.AccumulateSegment(id, outcome);
+  AddPhaseTiles(id, outcome.dispatch_time, outcome.phases);
 }
 
 void Telemetry::OnTerminal(QueryId id, const std::string& workload,
@@ -194,6 +241,7 @@ void Telemetry::OnTerminal(QueryId id, const std::string& workload,
                 outcome.spill_factor, outcome.buffer_hit_ratio);
   tracer_.CloseExecutionSegment(id, now, detail);
   tracer_.FinishTrace(id, now);
+  FinalizeProfile(id, outcome_name, "");
 
   metrics_
       .GetCounter(std::string("wlm_requests_") + outcome_name + "_total",
@@ -254,6 +302,8 @@ void Telemetry::OnFaultBegin(const std::string& kind,
   metrics_.GetCounter("wlm_faults_injected_total", {{"kind", kind}})
       .Increment();
   metrics_.GetGauge("wlm_faults_active").Add(1.0);
+  ++active_faults_;
+  TriggerFlightRecorder("fault:" + kind);
 }
 
 void Telemetry::OnFaultEnd(const std::string& kind, double started_at) {
@@ -266,6 +316,7 @@ void Telemetry::OnFaultEnd(const std::string& kind, double started_at) {
   metrics_.GetCounter("wlm_faults_recovered_total", {{"kind", kind}})
       .Increment();
   metrics_.GetGauge("wlm_faults_active").Add(-1.0);
+  if (active_faults_ > 0) --active_faults_;
 }
 
 void Telemetry::OnFaultAbort(QueryId id, const std::string& workload,
@@ -284,12 +335,14 @@ void Telemetry::OnFaultRetry(QueryId id, const std::string& workload,
   char detail[48];
   std::snprintf(detail, sizeof(detail), "backoff=%.3fs", delay_seconds);
   tracer_.Instant(id, "fault_retry", Now(), detail);
+  if (profiling_) profiles_.OpenWait(id, Phase::kRetryBackoff, Now());
   metrics_.GetCounter("wlm_faults_retries_total", {{"workload", workload}})
       .Increment();
 }
 
 void Telemetry::SetDegraded(bool degraded) {
   if (!enabled_) return;
+  degraded_ = degraded;
   metrics_.GetGauge("wlm_faults_degraded").Set(degraded ? 1.0 : 0.0);
 }
 
@@ -300,6 +353,14 @@ void Telemetry::OnShed(QueryId id, const std::string& workload,
   tracer_.CloseSpan(id, SpanKind::kQueue, now, " shed=" + reason);
   tracer_.Instant(id, "shed", now, reason);
   tracer_.FinishTrace(id, now);
+  if (profiling_) {
+    auto [phase, start] = profiles_.OpenSegment(id);
+    if (phase >= 0 && now > start) {
+      tracer_.AddClosedSpan(id, SpanKind::kPhase, start, now,
+                            PhaseToString(static_cast<Phase>(phase)));
+    }
+  }
+  FinalizeProfile(id, "shed", reason);
   metrics_
       .GetCounter("wlm_overload_shed_total",
                   {{"workload", workload}, {"reason", reason}})
@@ -335,6 +396,10 @@ void Telemetry::OnBreakerTransition(const std::string& workload, int state,
       .GetCounter("wlm_overload_breaker_transitions_total",
                   {{"workload", workload}, {"to", state_name}})
       .Increment();
+  breaker_states_[workload] = state;
+  if (std::string(state_name) == "open") {
+    TriggerFlightRecorder("breaker_open:" + workload);
+  }
 }
 
 void Telemetry::OnBrownoutStep(int level, double entered_at,
@@ -353,6 +418,7 @@ void Telemetry::OnBrownoutStep(int level, double entered_at,
   metrics_.GetGauge("wlm_overload_brownout_level")
       .Set(static_cast<double>(level));
   metrics_.GetCounter("wlm_overload_brownout_steps_total").Increment();
+  brownout_level_ = level;
 }
 
 void Telemetry::OnQueueDiscipline(bool lifo) {
@@ -361,6 +427,8 @@ void Telemetry::OnQueueDiscipline(bool lifo) {
   tracer_.GetOrCreate(kOverloadTraceId, "overload", QueryKind::kUtility, now);
   tracer_.Instant(kOverloadTraceId, lifo ? "queue_lifo" : "queue_fifo", now);
   metrics_.GetGauge("wlm_overload_queue_lifo").Set(lifo ? 1.0 : 0.0);
+  queue_lifo_ = lifo;
+  if (profiling_) profiles_.SetQueueDiscipline(lifo, now);
 }
 
 void Telemetry::OnMonitorSample(const SystemIndicators& indicators,
@@ -378,7 +446,17 @@ void Telemetry::OnMonitorSample(const SystemIndicators& indicators,
     metrics_.GetGauge("wlm_throughput", {{"workload", tag}})
         .Set(stats.last_interval_throughput);
   }
+  last_indicators_ = indicators;
+  last_queue_depth_ = queue_depth;
+  last_running_ = running_count;
   watchdog_.Check(indicators);
+  // New watchdog violations arm the black box: dump while the anomaly is
+  // fresh rather than asking questions after the run.
+  const auto& violations = watchdog_.violations();
+  if (violations.size() > violations_seen_) {
+    TriggerFlightRecorder("slo_violation:" + violations.back().workload);
+    violations_seen_ = violations.size();
+  }
 }
 
 void Telemetry::SetWorkloadOccupancy(const std::string& workload, int queued,
@@ -388,6 +466,89 @@ void Telemetry::SetWorkloadOccupancy(const std::string& workload, int queued,
       .Set(static_cast<double>(queued));
   metrics_.GetGauge("wlm_running", {{"workload", workload}})
       .Set(static_cast<double>(running));
+}
+
+void Telemetry::OnEscalation(QueryId id, const std::string& workload,
+                             const char* rung) {
+  if (!enabled_) return;
+  tracer_.Instant(id, "escalate", Now(), std::string("rung=") + rung);
+  metrics_
+      .GetCounter("wlm_escalations_total",
+                  {{"workload", workload}, {"rung", rung}})
+      .Increment();
+}
+
+ControllerStateSnapshot Telemetry::ControllerState() const {
+  ControllerStateSnapshot state;
+  state.time = Now();
+  state.degraded = degraded_;
+  state.active_faults = active_faults_;
+  state.brownout_level = brownout_level_;
+  state.queue_lifo = queue_lifo_;
+  state.queue_depth = last_queue_depth_;
+  state.running = last_running_;
+  state.cpu_utilization = last_indicators_.cpu_utilization;
+  state.io_utilization = last_indicators_.io_utilization;
+  state.memory_utilization = last_indicators_.memory_utilization;
+  state.breaker_states = breaker_states_;
+  return state;
+}
+
+void Telemetry::FinalizeProfile(QueryId id, const std::string& outcome,
+                                const std::string& detail) {
+  if (!profiling_) return;
+  const QueryProfile* profile = profiles_.Finalize(id, Now(), outcome, detail);
+  if (profile == nullptr) return;
+  auto [slot, inserted] = phase_counters_.try_emplace(profile->workload);
+  if (inserted) slot->second.fill(nullptr);
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    if (profile->phase_seconds[i] <= 0.0) continue;
+    if (slot->second[i] == nullptr) {
+      slot->second[i] = &metrics_.GetCounter(
+          "wlm_phase_seconds_total",
+          {{"phase", PhaseToString(static_cast<Phase>(i))},
+           {"workload", profile->workload}});
+    }
+    slot->second[i]->Increment(profile->phase_seconds[i]);
+  }
+  if (flight_recorder_enabled_) recorder_.RecordProfile(*profile);
+}
+
+void Telemetry::AddPhaseTiles(QueryId id, double start,
+                              const ExecPhaseTotals& phases) {
+  // Sequential layout of the segment's decomposition: tiles partition
+  // [dispatch, finish) exactly because the buckets sum to the segment's
+  // wall time. Ordering is presentational (true interleaving is finer).
+  const std::pair<Phase, double> tiles[] = {
+      {Phase::kLockWait, phases.lock_wait_seconds},
+      {Phase::kCpuRun, phases.cpu_run_seconds},
+      {Phase::kIoStall, phases.io_stall_seconds},
+      {Phase::kMemoryStall, phases.memory_stall_seconds},
+      {Phase::kThrottled, phases.throttled_seconds},
+      {Phase::kSuspendFlush, phases.suspend_flush_seconds},
+  };
+  Span batch[std::size(tiles)];
+  size_t count = 0;
+  double cursor = start;
+  for (const auto& [phase, seconds] : tiles) {
+    if (seconds <= 0.0) continue;
+    Span& span = batch[count++];
+    span.kind = SpanKind::kPhase;
+    span.start = cursor;
+    span.end = cursor + seconds;
+    span.detail = PhaseToString(phase);
+    cursor += seconds;
+  }
+  if (count > 0) tracer_.AddClosedSpans(id, batch, count);
+}
+
+void Telemetry::TriggerFlightRecorder(const std::string& reason) {
+  if (!flight_recorder_enabled_ || !profiling_) return;
+  size_t before = recorder_.postmortems().size();
+  recorder_.Trigger(reason, ControllerState(), event_log_);
+  if (recorder_.postmortems().size() > before) {
+    metrics_.GetCounter("wlm_flight_recorder_dumps_total").Increment();
+  }
 }
 
 }  // namespace wlm

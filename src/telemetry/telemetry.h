@@ -1,15 +1,20 @@
 #ifndef WLM_TELEMETRY_TELEMETRY_H_
 #define WLM_TELEMETRY_TELEMETRY_H_
 
+#include <array>
+#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/monitor.h"
 #include "engine/types.h"
 #include "sim/simulation.h"
 #include "telemetry/event_log.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
+#include "telemetry/profile.h"
 #include "telemetry/slo.h"
 #include "telemetry/slo_watchdog.h"
 #include "telemetry/trace.h"
@@ -32,6 +37,16 @@ struct TelemetryOptions {
   bool enabled = true;
   /// Bound on retained per-query traces; oldest finished evicted first.
   size_t max_traces = 8192;
+  /// Per-query latency decomposition + resource attribution (QueryProfile
+  /// store, wlm_phase_seconds_total metrics, phase tiles in the Chrome
+  /// trace). Ignored while `enabled` is false.
+  bool profiling = true;
+  /// Bound on retained profiles; oldest terminal evicted first.
+  size_t max_profiles = 8192;
+  /// Black-box flight recorder (needs `profiling`): post-mortem dumps on
+  /// SLO violations, breaker trips and fault windows.
+  bool flight_recorder = true;
+  FlightRecorder::Options flight_recorder_options;
 };
 
 /// The observability facade the WorkloadManager drives: per-query span
@@ -56,6 +71,16 @@ class Telemetry {
   const MetricsRegistry& metrics() const { return metrics_; }
   SloWatchdog& watchdog() { return watchdog_; }
   const SloWatchdog& watchdog() const { return watchdog_; }
+  /// Per-query latency decomposition + resource attribution store.
+  ProfileStore& profiles() { return profiles_; }
+  const ProfileStore& profiles() const { return profiles_; }
+  /// Black-box flight recorder (post-mortem ring + dumps).
+  FlightRecorder& flight_recorder() { return recorder_; }
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+  [[nodiscard]] bool profiling() const { return enabled_ && profiling_; }
+  /// Controller-plane state as the facade currently knows it (what a
+  /// post-mortem snapshot would capture right now).
+  ControllerStateSnapshot ControllerState() const;
 
   /// Replaces the watched SLOs of `workload` (on workload definition).
   void WatchSlos(const std::string& workload,
@@ -79,10 +104,20 @@ class Telemetry {
                       const char* strategy);
   /// State flush finished; the request waits for resume.
   void OnSuspended(QueryId id, const std::string& workload);
+  /// One engine run segment ended with any OutcomeKind (terminal or not):
+  /// folds the segment's phase decomposition and resource usage into the
+  /// query's profile and adds phase tiles to its trace. Fired before the
+  /// outcome-specific hook (OnTerminal / OnSuspended / OnRequeued).
+  void OnRunSegment(QueryId id, const std::string& workload,
+                    const QueryOutcome& outcome);
   /// Terminal outcome (completed / killed / aborted).
   void OnTerminal(QueryId id, const std::string& workload,
                   const char* outcome_name, double response_seconds,
                   double queue_wait_seconds, const QueryOutcome& outcome);
+  /// Timeout-escalation ladder stepped a request onto `rung`
+  /// (throttle / suspend / kill / deadline_kill).
+  void OnEscalation(QueryId id, const std::string& workload,
+                    const char* rung);
   void OnThrottle(QueryId id, const std::string& workload, double duty);
   void OnPause(QueryId id, const std::string& workload, double seconds);
   void OnReprioritize(QueryId id, const std::string& workload,
@@ -133,13 +168,41 @@ class Telemetry {
 
  private:
   double Now() const;
+  /// Finalizes a profile: phase metrics, flight-recorder ring, rollups.
+  void FinalizeProfile(QueryId id, const std::string& outcome,
+                       const std::string& detail);
+  /// Emits kPhase tile spans partitioning [start, start+sum(phases)).
+  void AddPhaseTiles(QueryId id, double start, const ExecPhaseTotals& phases);
+  /// Fires the flight recorder with the current controller state.
+  void TriggerFlightRecorder(const std::string& reason);
 
   Simulation* sim_;
   Monitor* monitor_;
+  EventLog* event_log_;
   bool enabled_;
+  bool profiling_;
+  bool flight_recorder_enabled_;
   Tracer tracer_;
   MetricsRegistry metrics_;
   SloWatchdog watchdog_;
+  ProfileStore profiles_;
+  FlightRecorder recorder_;
+  // Controller-plane state mirrored from the hooks, for post-mortems.
+  bool degraded_ = false;
+  int active_faults_ = 0;
+  int brownout_level_ = 0;
+  bool queue_lifo_ = false;
+  size_t last_queue_depth_ = 0;
+  size_t last_running_ = 0;
+  SystemIndicators last_indicators_;
+  std::map<std::string, int> breaker_states_;
+  size_t violations_seen_ = 0;  // watchdog watermark for trigger edges
+  // Per-workload cache of wlm_phase_seconds_total series: Counter objects
+  // are heap-allocated and pointer-stable, so finalizing a query costs one
+  // hash lookup instead of building + sorting + serializing a label set
+  // per nonzero phase.
+  std::unordered_map<std::string, std::array<Counter*, kPhaseCount>>
+      phase_counters_;
 };
 
 }  // namespace wlm

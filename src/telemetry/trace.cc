@@ -27,6 +27,8 @@ const char* SpanKindToString(SpanKind kind) {
       return "fault";
     case SpanKind::kOverload:
       return "overload";
+    case SpanKind::kPhase:
+      return "phase";
   }
   return "?";
 }
@@ -77,6 +79,10 @@ QueryTrace& Tracer::GetOrCreate(QueryId id, const std::string& workload,
   trace.kind = kind;
   trace.tid = next_tid_++;
   trace.start_time = now;
+  // A healthy query records ~8 spans plus up to 6 phase tiles; one
+  // up-front reservation spares every trace the realloc-and-move churn
+  // of growing through 1/2/4/8/16.
+  trace.spans.reserve(16);
   return traces_.emplace(id, std::move(trace)).first->second;
 }
 
@@ -123,6 +129,16 @@ void Tracer::AddClosedSpan(QueryId id, SpanKind kind, double start,
   span.end = end;
   span.detail = std::move(detail);
   it->second.spans.push_back(std::move(span));
+}
+
+void Tracer::AddClosedSpans(QueryId id, Span* spans, size_t count) {
+  auto it = traces_.find(id);
+  if (it == traces_.end()) return;
+  auto& out = it->second.spans;
+  for (size_t i = 0; i < count; ++i) {
+    if (spans[i].end < spans[i].start) continue;
+    out.push_back(std::move(spans[i]));
+  }
 }
 
 void Tracer::Instant(QueryId id, std::string name, double now,

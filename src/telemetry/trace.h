@@ -27,10 +27,13 @@ enum class SpanKind {
   kFault,          // fault window on the synthetic fault track (query 0)
   kOverload,       // overload episode (breaker open window, brownout
                    // level) on the synthetic overload track
+  kPhase,          // latency-decomposition tile (detail = phase name);
+                   // tiles partition a queue or execute segment and render
+                   // on their own pid so they never straddle inner spans
 };
 
 /// Number of SpanKind values (keep in sync with the enum).
-inline constexpr size_t kSpanKindCount = 10;
+inline constexpr size_t kSpanKindCount = 11;
 
 const char* SpanKindToString(SpanKind kind);
 
@@ -97,6 +100,10 @@ class Tracer {
   /// after the fact, e.g. lock waits reported with the outcome).
   void AddClosedSpan(QueryId id, SpanKind kind, double start, double end,
                      std::string detail = "");
+  /// Records a batch of already-closed spans with a single trace lookup
+  /// (the per-segment phase tiles would otherwise pay one tree walk
+  /// each). Spans are moved from; entries with end < start are skipped.
+  void AddClosedSpans(QueryId id, Span* spans, size_t count);
   void Instant(QueryId id, std::string name, double now,
                std::string detail = "");
 

@@ -312,6 +312,52 @@ TEST(LintSuppressionTest, TrailingCommentCoversSameLine) {
 }
 
 // ---------------------------------------------------------------------------
+// P1 — phase emits go through the Telemetry facade, not the EventLog.
+// ---------------------------------------------------------------------------
+
+TEST(LintP1Test, FlagsEventLogIncludeAndUseInEngineLayers) {
+  auto findings = LintSource("src/execution/foo.cc", R"(
+    #include "telemetry/event_log.h"
+    void Emit(EventLog* log);
+  )");
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"P1", "P1"}));
+}
+
+TEST(LintP1Test, FlagsDirectEventLogMemberInOverloadController) {
+  auto findings = LintSource("src/overload/foo.h", R"(
+    class Controller {
+     private:
+      EventLog* event_log_ = nullptr;
+    };
+  )");
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"P1"}));
+}
+
+TEST(LintP1Test, CoreAndTelemetryLayersOwnTheLogLegitimately) {
+  // The WorkloadManager is the facade's driver and the telemetry layer is
+  // the facade; both hold the log by design.
+  auto findings = LintSource("src/core/workload_manager.h", R"(
+    #include "telemetry/event_log.h"
+    class WorkloadManager { EventLog event_log_; };
+  )");
+  EXPECT_FALSE(HasRule(findings, "P1"));
+  findings = LintSource("src/telemetry/flight_recorder.cc", R"(
+    #include "telemetry/event_log.h"
+    void Dump(const EventLog* log);
+  )");
+  EXPECT_FALSE(HasRule(findings, "P1"));
+}
+
+TEST(LintP1Test, SuppressibleWithReason) {
+  auto findings = LintSource("src/faults/foo.cc", R"(
+    // wlm-lint: allow(P1) injector logs fault windows itself
+    #include "telemetry/event_log.h"
+    void Emit(EventLog* log);  // wlm-lint: allow(P1) injector logs fault windows itself
+  )");
+  EXPECT_FALSE(HasRule(findings, "P1"));
+}
+
+// ---------------------------------------------------------------------------
 // Q1 — wait-queue containers must declare a capacity.
 // ---------------------------------------------------------------------------
 

@@ -67,6 +67,10 @@ TEST_P(EngineConservationSweep, WorkConservedAndCapacityRespected) {
     double wall = outcome.finish_time - outcome.dispatch_time;
     EXPECT_GE(wall + 2 * cfg.tick_seconds,
               specs[id].cpu_seconds / std::max(1, specs[id].dop));
+    // The engine's phase decomposition partitions the segment's wall
+    // time exactly (conservation, engine side).
+    EXPECT_NEAR(outcome.phases.Sum(), wall, 1e-6);
+    EXPECT_GE(outcome.phases.memory_stall_seconds, 0.0);
   }
   // Engine-level accounting matches the sum of per-query usage.
   EXPECT_NEAR(engine.counters().cpu_used_seconds, total_cpu, 1e-3);
@@ -429,6 +433,18 @@ TEST_P(FaultChaosSweep, NoRequestLostAndBudgetsHoldUnderRandomFaults) {
     EXPECT_EQ(counters.submitted, counters.completed + counters.killed +
                                       counters.aborted + counters.rejected);
   }
+
+  // Latency decomposition conserves wall time for every terminal
+  // profile, fault chaos (retries, suspends, kills, sheds) included.
+  const ProfileStore& profiles = rig.wlm.telemetry().profiles();
+  int64_t profiled = 0;
+  for (const QueryProfile* p : profiles.Profiles()) {
+    if (!p->terminal()) continue;
+    ++profiled;
+    EXPECT_NEAR(p->PhaseSum(), p->WallSeconds(), 1e-6)
+        << "query " << p->id << " (" << p->outcome << ")";
+  }
+  EXPECT_EQ(profiled, terminal);
 
   // Every fault window recovered and the engine is healthy again.
   EXPECT_EQ(injector.active_windows(), 0);

@@ -546,7 +546,10 @@ TEST(TelemetryEndToEnd, ChromeTraceExportParsesAndNests) {
   ASSERT_FALSE(root.array.empty());
 
   size_t span_events = 0;
-  std::map<int, std::vector<std::pair<long long, long long>>> by_tid;
+  // Keyed by (pid, tid): phase tiles render on their own process (pid 2)
+  // so they may straddle throttle/pause spans on the query's pid-1 track.
+  std::map<std::pair<int, int>, std::vector<std::pair<long long, long long>>>
+      by_track;
   for (const JsonValue& event : root.array) {
     ASSERT_EQ(event.kind, JsonValue::Kind::kObject);
     const JsonValue* ph = event.Get("ph");
@@ -563,15 +566,16 @@ TEST(TelemetryEndToEnd, ChromeTraceExportParsesAndNests) {
     EXPECT_GE(ts, 0);
     EXPECT_GE(dur, 0);
     if (dur > 0) {
-      by_tid[static_cast<int>(event.Get("tid")->number)]
+      by_track[{static_cast<int>(event.Get("pid")->number),
+                static_cast<int>(event.Get("tid")->number)}]
           .emplace_back(ts, ts + dur);
     }
   }
   EXPECT_GE(span_events, 4u);
 
-  // Per thread, spans either nest or are disjoint (never partially overlap)
+  // Per track, spans either nest or are disjoint (never partially overlap)
   // — the invariant Perfetto's track builder needs.
-  for (auto& [tid, spans] : by_tid) {
+  for (auto& [track, spans] : by_track) {
     std::sort(spans.begin(), spans.end());
     std::vector<std::pair<long long, long long>> stack;
     for (const auto& span : spans) {
@@ -580,8 +584,9 @@ TEST(TelemetryEndToEnd, ChromeTraceExportParsesAndNests) {
       }
       if (!stack.empty()) {
         EXPECT_LE(span.second, stack.back().second)
-            << "tid " << tid << ": span [" << span.first << ", "
-            << span.second << ") straddles its parent";
+            << "pid " << track.first << " tid " << track.second << ": span ["
+            << span.first << ", " << span.second
+            << ") straddles its parent";
       }
       stack.push_back(span);
     }
@@ -645,6 +650,216 @@ TEST(TelemetryEndToEnd, SeriesAndEventLogExportsAreWellFormed) {
 // Determinism contract: every export surface must be byte-stable across two
 // identical runs. Guards against hash-order iteration sneaking into an
 // exporter (see DESIGN.md "Determinism contract").
+// ---------------------------------------------------------------------------
+// Latency decomposition: profiles, conservation, flight recorder
+// ---------------------------------------------------------------------------
+
+TEST(ProfileStore, QueueDisciplineFlipSplitsWaitExactly) {
+  ProfileStore store(16);
+  store.Begin(7, "bi", QueryKind::kBiQuery, 0.0);
+  store.OpenQueueWait(7, 0.0);
+  store.SetQueueDiscipline(true, 3.0);   // FIFO -> LIFO at t=3
+  store.SetQueueDiscipline(false, 5.0);  // and back at t=5
+  const QueryProfile* p = store.Finalize(7, 9.0, "shed", "codel");
+  ASSERT_NE(p, nullptr);
+  EXPECT_DOUBLE_EQ(p->seconds(Phase::kAdmissionQueue), 3.0 + 4.0);
+  EXPECT_DOUBLE_EQ(p->seconds(Phase::kOverloadQueue), 2.0);
+  EXPECT_DOUBLE_EQ(p->PhaseSum(), p->WallSeconds());
+  EXPECT_EQ(p->DominantPhase(), Phase::kAdmissionQueue);
+}
+
+TEST(ProfileStore, EvictsOldestTerminalProfilesOnly) {
+  ProfileStore store(2);
+  store.Begin(1, "w", QueryKind::kOltpTransaction, 0.0);
+  store.Begin(2, "w", QueryKind::kOltpTransaction, 0.0);
+  ASSERT_NE(store.Finalize(1, 1.0, "completed", ""), nullptr);
+  // Store is at capacity but only query 1 is terminal; query 1 goes.
+  store.Begin(3, "w", QueryKind::kOltpTransaction, 2.0);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.evicted(), 1);
+  EXPECT_EQ(store.Find(1), nullptr);
+  EXPECT_NE(store.Find(2), nullptr);
+  EXPECT_NE(store.Find(3), nullptr);
+}
+
+TEST(ProfileStore, ExplainOutcomeVerdicts) {
+  QueryProfile p;
+  EXPECT_EQ(ExplainOutcome(p), "live");
+  p.outcome = "rejected";
+  p.detail = "mpl gate";
+  EXPECT_EQ(ExplainOutcome(p), "rejected: mpl gate");
+  p.outcome = "completed";
+  p.detail.clear();
+  p.phase_seconds[static_cast<size_t>(Phase::kCpuRun)] = 3.0;
+  p.phase_seconds[static_cast<size_t>(Phase::kLockWait)] = 1.0;
+  EXPECT_EQ(ExplainOutcome(p), "healthy: 75% cpu_run");
+  p.phase_seconds[static_cast<size_t>(Phase::kLockWait)] = 9.0;
+  EXPECT_EQ(ExplainOutcome(p), "slow: 75% lock_wait");
+  p.outcome = "killed";
+  p.detail = "timeout";
+  EXPECT_EQ(ExplainOutcome(p), "killed: 75% lock_wait (timeout)");
+}
+
+TEST(FlightRecorder, CooldownAndDumpBudgetSuppressTriggers) {
+  FlightRecorder::Options opts;
+  opts.max_postmortems = 2;
+  opts.cooldown_seconds = 1.0;
+  FlightRecorder recorder(opts);
+  ControllerStateSnapshot state;
+  state.time = 0.0;
+  recorder.Trigger("a", state, nullptr);
+  state.time = 0.5;
+  recorder.Trigger("b", state, nullptr);  // within cooldown
+  state.time = 2.0;
+  recorder.Trigger("c", state, nullptr);
+  state.time = 4.0;
+  recorder.Trigger("d", state, nullptr);  // dump budget spent
+  ASSERT_EQ(recorder.postmortems().size(), 2u);
+  EXPECT_EQ(recorder.triggers_seen(), 4);
+  EXPECT_EQ(recorder.triggers_suppressed(), 2);
+  EXPECT_EQ(recorder.postmortems()[0].reason, "a");
+  EXPECT_EQ(recorder.postmortems()[1].reason, "c");
+}
+
+TEST(FlightRecorder, ProfileRingIsBounded) {
+  FlightRecorder::Options opts;
+  opts.max_profiles = 3;
+  FlightRecorder recorder(opts);
+  for (int i = 1; i <= 5; ++i) {
+    QueryProfile p;
+    p.id = static_cast<QueryId>(i);
+    recorder.RecordProfile(p);
+  }
+  ASSERT_EQ(recorder.recent_profiles().size(), 3u);
+  EXPECT_EQ(recorder.recent_profiles().front().id, 3u);
+  EXPECT_EQ(recorder.recent_profiles().back().id, 5u);
+}
+
+TEST(TelemetryEndToEnd, PhaseDecompositionConservesWallTime) {
+  MixedRun run(/*telemetry_enabled=*/true);
+  Telemetry& telemetry = run.rig->wlm.telemetry();
+  const ProfileStore& profiles = telemetry.profiles();
+
+  // Every terminal request carries a profile whose phases partition its
+  // wall time exactly (the conservation invariant).
+  size_t terminal_requests = 0;
+  for (const Request* request : run.rig->wlm.AllRequests()) {
+    if (!request->terminal()) continue;
+    ++terminal_requests;
+    const QueryProfile* p = profiles.Find(request->spec.id);
+    ASSERT_NE(p, nullptr) << "query " << request->spec.id;
+    ASSERT_TRUE(p->terminal());
+    EXPECT_NEAR(p->PhaseSum(), p->WallSeconds(), 1e-6)
+        << "query " << p->id << " (" << p->outcome << ")";
+    EXPECT_NEAR(p->WallSeconds(), request->ResponseTime(), 1e-9);
+    if (p->outcome == "completed") {
+      EXPECT_GE(p->run_segments, 1);
+      EXPECT_GT(p->resources.cpu_seconds, 0.0);
+    }
+  }
+  ASSERT_GE(terminal_requests, 10u);
+
+  // The throttled BI query attributes nonzero throttled time, and its
+  // resource attribution saw the engine's actual consumption.
+  const QueryProfile* bi = profiles.Find(1);
+  ASSERT_NE(bi, nullptr);
+  EXPECT_GT(bi->seconds(Phase::kThrottled), 0.0);
+  EXPECT_GT(bi->seconds(Phase::kCpuRun), 0.0);
+  EXPECT_NEAR(bi->resources.cpu_seconds, 2.0, 1e-6);
+
+  // The per-class rollup sums its members' phase vectors.
+  const auto& rollups = profiles.rollups();
+  ASSERT_TRUE(rollups.count("bi") > 0 && rollups.count("oltp") > 0);
+  std::array<double, kPhaseCount> bi_sum{};
+  int64_t bi_count = 0;
+  for (const QueryProfile* p : profiles.Profiles()) {
+    if (!p->terminal() || p->workload != "bi") continue;
+    ++bi_count;
+    for (size_t i = 0; i < kPhaseCount; ++i) bi_sum[i] += p->phase_seconds[i];
+  }
+  EXPECT_EQ(rollups.at("bi").count, bi_count);
+  for (size_t i = 0; i < kPhaseCount; ++i) {
+    EXPECT_NEAR(rollups.at("bi").phase_seconds[i], bi_sum[i], 1e-9);
+  }
+
+  // wlm_phase_seconds_total mirrors the rollups for nonzero phases.
+  const Counter* cpu_run = telemetry.metrics().FindCounter(
+      "wlm_phase_seconds_total",
+      {{"phase", "cpu_run"}, {"workload", "bi"}});
+  ASSERT_NE(cpu_run, nullptr);
+  EXPECT_NEAR(cpu_run->value(),
+              rollups.at("bi").phase_seconds[static_cast<size_t>(
+                  Phase::kCpuRun)],
+              1e-9);
+
+  // The manager's per-phase percentile rollups sampled every terminal
+  // request into every phase key.
+  const WorkloadCounters& counters = run.rig->wlm.counters("bi");
+  for (const std::string& phase : WorkloadPhaseNames()) {
+    auto it = counters.phase_seconds.find(phase);
+    ASSERT_NE(it, counters.phase_seconds.end()) << phase;
+    EXPECT_EQ(it->second.count(), bi_count) << phase;
+  }
+}
+
+TEST(TelemetryEndToEnd, SloViolationTripsFlightRecorder) {
+  MixedRun run(/*telemetry_enabled=*/true);
+  Telemetry& telemetry = run.rig->wlm.telemetry();
+  ASSERT_GE(telemetry.watchdog().violations().size(), 1u);
+
+  const FlightRecorder& recorder = telemetry.flight_recorder();
+  ASSERT_GE(recorder.postmortems().size(), 1u);
+  const PostMortem& dump = recorder.postmortems().front();
+  EXPECT_EQ(dump.reason.rfind("slo_violation:", 0), 0u) << dump.reason;
+  EXPECT_FALSE(dump.recent_profiles.empty());
+  EXPECT_FALSE(dump.recent_events.empty());
+  // The dump counter matches the captures (not the raw trigger count).
+  const Counter* dumps =
+      telemetry.metrics().FindCounter("wlm_flight_recorder_dumps_total");
+  ASSERT_NE(dumps, nullptr);
+  EXPECT_DOUBLE_EQ(dumps->value(),
+                   static_cast<double>(recorder.postmortems().size()));
+
+  // Both dump formats render and the JSONL side parses line by line.
+  std::ostringstream jsonl;
+  recorder.WriteJsonl(jsonl);
+  std::istringstream lines(jsonl.str());
+  std::string line;
+  size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    JsonValue value;
+    ASSERT_TRUE(JsonParser(line).Parse(&value)) << line;
+    ASSERT_EQ(value.kind, JsonValue::Kind::kObject);
+    ASSERT_NE(value.Get("type"), nullptr);
+    ++parsed;
+  }
+  EXPECT_GT(parsed, recorder.postmortems().size());
+  std::ostringstream ascii;
+  recorder.WriteAscii(ascii);
+  EXPECT_NE(ascii.str().find("== post-mortem @"), std::string::npos);
+}
+
+TEST(TelemetryEndToEnd, ProfilingOffKeepsTracesButRecordsNoProfiles) {
+  WlmConfig config;
+  config.telemetry.profiling = false;
+  TestRig rig(TestEngineConfig(), /*interval=*/0.25, config);
+  rig.wlm.set_scheduler(std::make_unique<FifoScheduler>(/*mpl=*/2));
+  rig.sim.Schedule(0.0,
+                   [&rig] { (void)rig.wlm.Submit(OltpSpec(1)); });
+  rig.sim.RunUntil(10.0);
+
+  Telemetry& telemetry = rig.wlm.telemetry();
+  EXPECT_FALSE(telemetry.profiling());
+  EXPECT_EQ(telemetry.profiles().size(), 0u);
+  EXPECT_EQ(telemetry.flight_recorder().recent_profiles().size(), 0u);
+  EXPECT_EQ(telemetry.metrics().FindCounter(
+                "wlm_phase_seconds_total",
+                {{"phase", "cpu_run"}, {"workload", "default"}}),
+            nullptr);
+  // The trace surface is unaffected.
+  EXPECT_EQ(telemetry.tracer().Traces().size(), 1u);
+}
+
 TEST(TelemetryEndToEnd, ExportsAreByteStableAcrossIdenticalRuns) {
   MixedRun first(/*telemetry_enabled=*/true);
   MixedRun second(/*telemetry_enabled=*/true);
@@ -666,6 +881,14 @@ TEST(TelemetryEndToEnd, ExportsAreByteStableAcrossIdenticalRuns) {
     std::ostringstream events;
     WriteEventLogJsonl(run.rig->wlm.event_log(), events);
     out["event_log_jsonl"] = events.str();
+    const FlightRecorder& recorder =
+        run.rig->wlm.telemetry().flight_recorder();
+    std::ostringstream postmortem_jsonl;
+    recorder.WriteJsonl(postmortem_jsonl);
+    out["postmortem_jsonl"] = postmortem_jsonl.str();
+    std::ostringstream postmortem_ascii;
+    recorder.WriteAscii(postmortem_ascii);
+    out["postmortem_ascii"] = postmortem_ascii.str();
     return out;
   };
 

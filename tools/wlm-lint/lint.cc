@@ -486,6 +486,46 @@ void RunH2(const std::string& path, const LexedFile& file,
 }
 
 // ---------------------------------------------------------------------------
+// P1 — phase-transition emits must go through the Telemetry facade.
+// ---------------------------------------------------------------------------
+
+void RunP1(const std::string& path, const LexedFile& file,
+           const Suppressions& allow, std::vector<Finding>* findings) {
+  // Scope: the engine-side layers. The per-query latency decomposition
+  // conserves wall time only because every phase transition flows through
+  // one facade (WorkloadManager -> Telemetry); an engine or controller
+  // component writing the control-plane EventLog directly bypasses the
+  // profile store and the flight recorder, so its transitions vanish from
+  // post-mortems and the conservation invariant silently decays.
+  if (!HasComponent(path, "engine") && !HasComponent(path, "execution") &&
+      !HasComponent(path, "admission") && !HasComponent(path, "scheduling") &&
+      !HasComponent(path, "overload") && !HasComponent(path, "faults")) {
+    return;
+  }
+  for (const IncludeDirective& inc : file.includes) {
+    if (!inc.angled && Basename(inc.path) == "event_log.h" &&
+        !allow.Allows(inc.line, "P1")) {
+      findings->push_back(
+          {path, inc.line, "P1",
+           "engine-layer component includes the control-plane event log: "
+           "emit phase transitions through the Telemetry facade "
+           "(WorkloadManager hooks) so profiles, metrics and the flight "
+           "recorder all see them"});
+    }
+  }
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokKind::kIdent || t.text != "EventLog") continue;
+    if (allow.Allows(t.line, "P1")) continue;
+    findings->push_back(
+        {path, t.line, "P1",
+         "direct EventLog use in an engine-layer component bypasses the "
+         "Telemetry facade: route the emit through WorkloadManager's "
+         "telemetry hooks (or annotate the exception with `// wlm-lint: "
+         "allow(P1) reason`)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Q1 — wait-queue containers must declare an explicit capacity.
 // ---------------------------------------------------------------------------
 
@@ -584,6 +624,8 @@ const std::vector<RuleInfo>& Rules() {
              "[[nodiscard]]"},
       {"H2", "no <iostream> in headers; a .cc includes its own header "
              "first"},
+      {"P1", "engine-layer components emit phase transitions through the "
+             "Telemetry facade, never the control-plane EventLog directly"},
       {"Q1", "wait-queue containers in admission/scheduling/core/overload "
              "declare an explicit capacity bound (or justify the unbounded "
              "queue with an allow annotation)"},
@@ -631,6 +673,7 @@ std::vector<Finding> LintSource(
   RunD3(path, file, allow, &findings);
   RunH1(path, file, allow, &findings);
   RunH2(path, file, allow, &findings);
+  RunP1(path, file, allow, &findings);
   RunQ1(path, file, allow, &findings);
   SortFindings(&findings);
   return findings;
