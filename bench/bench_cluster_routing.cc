@@ -1,0 +1,224 @@
+// Cluster routing sweep: shard count x placement policy x arrival surge.
+// Each run drives the same seeded OLTP + heavy-tailed BI mix through a
+// ClusterDispatcher and reports goodput (in-deadline completions per
+// traffic second), P99 response and the routing imbalance coefficient.
+// Under the skewed BI surge, round-robin keeps feeding shards stuck
+// behind lognormal stragglers while the load-aware policies steer around
+// them — the P99 gap is the experiment. Writes the sweep as JSON (last
+// CLI arg, default cluster_routing.json) for CI artifact upload; the
+// whole sweep is seeded, so two runs emit byte-identical JSON.
+//
+// `--quick` runs the 4-shard surge column only (the CI smoke).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/cluster.h"
+#include "scheduling/queue_schedulers.h"
+
+namespace {
+
+using namespace wlm;
+
+constexpr double kTrafficSeconds = 30.0;
+constexpr double kQuickTrafficSeconds = 12.0;
+constexpr double kDrainSeconds = 20.0;
+constexpr double kOltpDeadlineSeconds = 1.0;
+constexpr double kBiDeadlineSeconds = 20.0;
+constexpr double kOltpRate = 25.0;
+constexpr double kBiRate = 2.0;
+/// The surge quadruples BI pressure for the middle third of the run.
+constexpr double kSurgeFactor = 4.0;
+constexpr uint64_t kSeed = 97;
+
+struct RunResult {
+  int shards = 0;
+  PlacementPolicyKind placement = PlacementPolicyKind::kRoundRobin;
+  bool surge = false;
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t shed = 0;
+  int64_t rejected = 0;
+  int64_t redispatched = 0;
+  double goodput = 0.0;
+  double p99_response = 0.0;
+  double imbalance = 0.0;
+};
+
+std::string F6(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+RunResult Run(int shards, PlacementPolicyKind placement, bool surge,
+              double traffic_seconds) {
+  Simulation sim;
+  ClusterOptions options;
+  options.num_shards = shards;
+  options.engine.num_cpus = 2;
+  options.engine.io_ops_per_second = 1000.0;
+  options.engine.memory_mb = 1024.0;
+  options.engine.tick_seconds = 0.02;
+  options.monitor_interval = 0.5;
+  options.placement = placement;
+  options.redispatch = true;
+  options.wlm.overload.enabled = true;
+  options.wlm.overload.codel.queue_capacity = 32;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    wlm_bench::DefineStandardWorkloads(&m);
+    m.set_scheduler(std::make_unique<FifoScheduler>(/*mpl=*/4));
+  });
+
+  int64_t submitted = 0;
+  int64_t good = 0;
+  Percentiles responses;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    cluster.shard(s).wlm().AddCompletionListener([&](const Request& request) {
+      if (request.state != RequestState::kCompleted) return;
+      responses.Add(request.ResponseTime());
+      const double deadline = request.spec.kind == QueryKind::kOltpTransaction
+                                  ? kOltpDeadlineSeconds
+                                  : kBiDeadlineSeconds;
+      if (request.ResponseTime() <= deadline) ++good;
+    });
+  }
+
+  WorkloadGenerator gen(kSeed);
+  Rng arrivals(kSeed * 31 + 7);
+  OltpWorkloadConfig oltp_shape;
+  BiWorkloadConfig bi_shape;
+  bi_shape.cpu_sigma = 1.4;  // heavier tail => worse stragglers
+  OpenLoopDriver oltp(
+      &sim, &arrivals, kOltpRate, [&] { return gen.NextOltp(oltp_shape); },
+      [&](QuerySpec spec) {
+        ++submitted;
+        (void)cluster.Submit(std::move(spec));
+      });
+  OpenLoopDriver bi(
+      &sim, &arrivals, kBiRate, [&] { return gen.NextBi(bi_shape); },
+      [&](QuerySpec spec) {
+        ++submitted;
+        (void)cluster.Submit(std::move(spec));
+      });
+  oltp.Start(traffic_seconds);
+  bi.Start(traffic_seconds);
+  if (surge) {
+    sim.ScheduleAt(traffic_seconds / 3.0,
+                   [&bi] { bi.set_rate(kBiRate * kSurgeFactor); });
+    sim.ScheduleAt(2.0 * traffic_seconds / 3.0,
+                   [&bi] { bi.set_rate(kBiRate); });
+  }
+  sim.RunUntil(traffic_seconds + kDrainSeconds);
+
+  RunResult result;
+  result.shards = shards;
+  result.placement = placement;
+  result.surge = surge;
+  result.submitted = submitted;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    const EventLog& log = cluster.shard(s).wlm().event_log();
+    result.completed += log.CountOf(WlmEventType::kCompleted);
+    result.shed += log.CountOf(WlmEventType::kShed);
+  }
+  result.rejected = cluster.rejected_total();
+  result.redispatched = cluster.redispatched_total();
+  result.goodput = static_cast<double>(good) / traffic_seconds;
+  result.p99_response = responses.count() > 0 ? responses.Percentile(99) : 0.0;
+  result.imbalance = cluster.ImbalanceCoefficient();
+  return result;
+}
+
+void WriteJson(const std::vector<RunResult>& runs, const std::string& path,
+               double traffic_seconds) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"cluster_routing\",\n"
+      << "  \"seed\": " << kSeed << ",\n"
+      << "  \"traffic_seconds\": " << F6(traffic_seconds) << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    out << "    {\"shards\": " << r.shards << ", \"placement\": \""
+        << PlacementPolicyKindToString(r.placement) << "\", \"surge\": "
+        << (r.surge ? "true" : "false") << ", \"submitted\": " << r.submitted
+        << ", \"completed\": " << r.completed << ", \"shed\": " << r.shed
+        << ", \"rejected\": " << r.rejected
+        << ", \"redispatched\": " << r.redispatched
+        << ", \"goodput\": " << F6(r.goodput)
+        << ", \"p99_response\": " << F6(r.p99_response)
+        << ", \"imbalance\": " << F6(r.imbalance) << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "cluster_routing.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else {
+      json_path = arg;
+    }
+  }
+  const double traffic_seconds =
+      quick ? kQuickTrafficSeconds : kTrafficSeconds;
+  const std::vector<int> shard_counts = quick ? std::vector<int>{4}
+                                              : std::vector<int>{2, 4};
+  const std::vector<bool> surges =
+      quick ? std::vector<bool>{true} : std::vector<bool>{false, true};
+  const PlacementPolicyKind policies[] = {
+      PlacementPolicyKind::kRoundRobin, PlacementPolicyKind::kLeastOutstanding,
+      PlacementPolicyKind::kEwmaLatency, PlacementPolicyKind::kAffinity};
+
+  std::cout << "Cluster routing sweep: " << kOltpRate << " q/s OLTP + "
+            << kBiRate << " q/s heavy-tailed BI (x" << kSurgeFactor
+            << " surge), per-shard MPL 4, overload protection on.\n\n";
+  TablePrinter table({"shards", "placement", "surge", "completed", "shed",
+                      "goodput q/s", "p99 resp s", "imbalance"});
+
+  std::vector<RunResult> runs;
+  for (int shards : shard_counts) {
+    for (bool surge : surges) {
+      for (PlacementPolicyKind policy : policies) {
+        RunResult r = Run(shards, policy, surge, traffic_seconds);
+        runs.push_back(r);
+        table.AddRow({std::to_string(r.shards),
+                      PlacementPolicyKindToString(r.placement),
+                      r.surge ? "yes" : "no", TablePrinter::Int(r.completed),
+                      TablePrinter::Int(r.shed), TablePrinter::Num(r.goodput),
+                      TablePrinter::Num(r.p99_response, 3),
+                      TablePrinter::Num(r.imbalance, 3)});
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  // The acceptance check this bench exists for: under the skewed surge at
+  // 4 shards, load-aware placement must beat round-robin on P99.
+  double rr_p99 = 0.0, load_aware_p99 = 0.0;
+  for (const RunResult& r : runs) {
+    if (r.shards != 4 || !r.surge) continue;
+    if (r.placement == PlacementPolicyKind::kRoundRobin) rr_p99 = r.p99_response;
+    if (r.placement == PlacementPolicyKind::kLeastOutstanding) {
+      load_aware_p99 = r.p99_response;
+    }
+  }
+  std::cout << "\n4-shard surge P99: round_robin=" << F6(rr_p99)
+            << "s least_outstanding=" << F6(load_aware_p99) << "s => "
+            << (load_aware_p99 < rr_p99 ? "load-aware wins" : "REGRESSION")
+            << "\n";
+
+  WriteJson(runs, json_path, traffic_seconds);
+  std::cout << "wrote " << json_path << "\n";
+  return load_aware_p99 < rr_p99 ? 0 : 1;
+}

@@ -7,6 +7,8 @@
 //     outcome explainer ("slow: 78% lock_wait", "shed: brownout level 2")
 //   - resource attribution for the heaviest consumers
 //   - the flight recorder's post-mortem summary
+//   - a cluster rollup: the same mixed hour spread over a 4-shard
+//     cluster, with per-shard routing/health/P99 columns
 //
 // and writes wlm_top_postmortem.jsonl / wlm_top_postmortem.txt with the
 // black-box dumps captured at each anomaly trigger.
@@ -22,6 +24,8 @@
 #include <vector>
 
 #include "characterization/static_classifier.h"
+#include "cluster/cluster.h"
+#include "common/table_printer.h"
 #include "core/workload_manager.h"
 #include "execution/timeout_escalation.h"
 #include "faults/fault_injector.h"
@@ -221,5 +225,85 @@ int main() {
     recorder.WriteAscii(out);
   }
   std::printf("wrote wlm_top_postmortem.jsonl and wlm_top_postmortem.txt\n");
+
+  // --- cluster rollup ------------------------------------------------------
+  // The same traffic shape, spread over a 4-shard cluster with one shard
+  // having a bad stretch — where the per-node story above becomes a
+  // routing story.
+  {
+    Simulation cluster_sim;
+    ClusterOptions cluster_options;
+    cluster_options.num_shards = 4;
+    cluster_options.engine = engine_config;
+    cluster_options.wlm = config;
+    cluster_options.placement = PlacementPolicyKind::kLeastOutstanding;
+    cluster_options.redispatch = true;
+    ClusterDispatcher cluster(
+        &cluster_sim, cluster_options, [](int, WorkloadManager& shard_wlm) {
+          WorkloadDefinition shard_oltp;
+          shard_oltp.name = "oltp";
+          shard_oltp.priority = BusinessPriority::kHigh;
+          shard_wlm.DefineWorkload(shard_oltp);
+          WorkloadDefinition shard_bi;
+          shard_bi.name = "bi";
+          shard_bi.priority = BusinessPriority::kLow;
+          shard_wlm.DefineWorkload(shard_bi);
+          auto shard_classifier = std::make_unique<StaticClassifier>();
+          ClassificationRule rule;
+          rule.workload = "oltp";
+          rule.kind = QueryKind::kOltpTransaction;
+          shard_classifier->AddRule(rule);
+          rule.workload = "bi";
+          rule.kind = QueryKind::kBiQuery;
+          shard_classifier->AddRule(rule);
+          shard_wlm.set_classifier(std::move(shard_classifier));
+          shard_wlm.set_scheduler(
+              std::make_unique<PriorityScheduler>(/*mpl=*/8));
+        });
+    cluster_sim.ScheduleAt(15.0, [&] {
+      cluster.shard(1).wlm().NotifyFaultBegin("disk_degrade", "rollup demo");
+    });
+    cluster_sim.ScheduleAt(23.0, [&] {
+      cluster.shard(1).wlm().NotifyFaultEnd("disk_degrade", 15.0);
+    });
+
+    WorkloadGenerator cluster_gen(/*seed=*/5);
+    Rng cluster_arrivals(43);
+    OpenLoopDriver cluster_oltp(
+        &cluster_sim, &cluster_arrivals, oltp_rate,
+        [&] { return cluster_gen.NextOltp(oltp_shape); },
+        [&](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+    OpenLoopDriver cluster_bi(
+        &cluster_sim, &cluster_arrivals, 0.6,
+        [&] { return cluster_gen.NextBi(bi_shape); },
+        [&](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+    cluster_oltp.Start(/*until=*/60.0);
+    cluster_bi.Start(/*until=*/60.0);
+    cluster_sim.RunUntil(90.0);
+
+    std::printf("\ncluster rollup (4 shards, least-outstanding placement, "
+                "shard 1 faulted @ [15s, 23s)):\n");
+    TablePrinter cluster_table({"shard", "routed", "refused", "redisp in",
+                                "completed", "shed", "p99 s", "ewma s"});
+    for (int s = 0; s < cluster.num_shards(); ++s) {
+      const ClusterShard& shard = cluster.shard(s);
+      const EventLog& shard_log = shard.wlm().event_log();
+      cluster_table.AddRow(
+          {std::to_string(s), TablePrinter::Int(shard.routed()),
+           TablePrinter::Int(shard.refused()),
+           TablePrinter::Int(shard.redispatched_in()),
+           TablePrinter::Int(shard_log.CountOf(WlmEventType::kCompleted)),
+           TablePrinter::Int(shard_log.CountOf(WlmEventType::kShed)),
+           TablePrinter::Num(shard.P99Seconds(), 3),
+           TablePrinter::Num(shard.ewma_latency_seconds(), 3)});
+    }
+    cluster_table.Print(std::cout);
+    std::printf("cluster: routed %lld, rejected %lld, re-dispatched %lld, "
+                "imbalance %.3f\n",
+                static_cast<long long>(cluster.routed_total()),
+                static_cast<long long>(cluster.rejected_total()),
+                static_cast<long long>(cluster.redispatched_total()),
+                cluster.ImbalanceCoefficient());
+  }
   return 0;
 }

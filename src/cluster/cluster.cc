@@ -1,0 +1,293 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/stats.h"
+#include "telemetry/profile.h"
+
+namespace wlm {
+
+namespace {
+
+MetricLabels ShardLabels(int shard) {
+  return {{"shard", std::to_string(shard)}};
+}
+
+}  // namespace
+
+ClusterShard::ClusterShard(int index, Simulation* sim,
+                           const EngineConfig& engine_config,
+                           double monitor_interval,
+                           const WlmConfig& wlm_config)
+    : index_(index),
+      engine_(sim, engine_config),
+      monitor_(sim, &engine_, monitor_interval),
+      wlm_(sim, &engine_, &monitor_, wlm_config) {
+  monitor_.Start();
+}
+
+bool ClusterShard::healthy() const {
+  if (wlm_.active_fault_count() > 0) return false;
+  const OverloadController* overload = wlm_.overload();
+  return overload == nullptr || !overload->AnyBreakerOpen();
+}
+
+double ClusterShard::P99Seconds() const {
+  Percentiles percentiles;
+  for (const QueryProfile* profile : wlm_.telemetry().profiles().Profiles()) {
+    if (profile->outcome == "completed") percentiles.Add(profile->WallSeconds());
+  }
+  return percentiles.count() > 0 ? percentiles.Percentile(99.0) : 0.0;
+}
+
+ClusterDispatcher::ClusterDispatcher(Simulation* sim, ClusterOptions options,
+                                     ShardConfigurator configure)
+    : sim_(sim),
+      options_(std::move(options)),
+      policy_(MakePlacementPolicy(options_.placement)) {
+  if (options_.num_shards < 1) options_.num_shards = 1;
+  metrics_.SetHelp("wlm_cluster_routed_total",
+                   "Queries the dispatcher placed on each shard.");
+  metrics_.SetHelp("wlm_cluster_refused_total",
+                   "Placement attempts each shard's overload gate refused.");
+  metrics_.SetHelp("wlm_cluster_redispatched_total",
+                   "Shed/aborted queries re-dispatched to each shard.");
+  metrics_.SetHelp("wlm_cluster_rejected_total",
+                   "Queries refused by every eligible shard.");
+  metrics_.SetHelp("wlm_cluster_imbalance",
+                   "Coefficient of variation of per-shard routed counts.");
+  metrics_.SetHelp("wlm_cluster_shard_p99_seconds",
+                   "P99 response time over each shard's completed queries.");
+  metrics_.SetHelp("wlm_cluster_shard_queue_depth",
+                   "Requests waiting in each shard's admission queue.");
+  metrics_.SetHelp("wlm_cluster_shard_running",
+                   "Requests executing on each shard's engine.");
+  metrics_.SetHelp("wlm_cluster_shard_healthy",
+                   "1 while the shard is routable, 0 while routed around.");
+  metrics_.SetHelp("wlm_cluster_shard_ewma_latency_seconds",
+                   "Smoothed completion latency the load-aware policy sees.");
+  // Instantiate up front so the family exports even before the first
+  // cluster-level reject.
+  metrics_.GetCounter("wlm_cluster_rejected_total");
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<ClusterShard>(
+        i, sim_, options_.engine, options_.monitor_interval, options_.wlm));
+    routed_counters_.push_back(
+        &metrics_.GetCounter("wlm_cluster_routed_total", ShardLabels(i)));
+    refused_counters_.push_back(
+        &metrics_.GetCounter("wlm_cluster_refused_total", ShardLabels(i)));
+    redispatched_counters_.push_back(
+        &metrics_.GetCounter("wlm_cluster_redispatched_total", ShardLabels(i)));
+    if (configure) configure(i, shards_.back()->wlm());
+    shards_.back()->wlm().AddCompletionListener(
+        [this, i](const Request& request) { OnShardCompletion(i, request); });
+  }
+}
+
+Status ClusterDispatcher::Submit(QuerySpec spec) {
+  return SubmitToShards(std::move(spec), /*is_redispatch=*/false, {});
+}
+
+std::vector<int> ClusterDispatcher::EligibleShards(
+    const std::set<int>& exclude) const {
+  std::vector<int> eligible;
+  if (options_.route_around_unhealthy) {
+    for (const auto& shard : shards_) {
+      if (shard->healthy() && exclude.count(shard->index()) == 0) {
+        eligible.push_back(shard->index());
+      }
+    }
+    if (!eligible.empty()) return eligible;
+  }
+  // No healthy shard left (or routing-around disabled): degraded shards
+  // are still better than a guaranteed cluster-level reject.
+  for (const auto& shard : shards_) {
+    if (exclude.count(shard->index()) == 0) eligible.push_back(shard->index());
+  }
+  return eligible;
+}
+
+std::vector<ShardSnapshot> ClusterDispatcher::Snapshots(
+    const std::vector<int>& eligible) const {
+  std::vector<ShardSnapshot> snapshots;
+  snapshots.reserve(eligible.size());
+  for (int index : eligible) {
+    const ClusterShard& shard = *shards_[static_cast<size_t>(index)];
+    ShardSnapshot snap;
+    snap.shard = index;
+    snap.queued = shard.wlm().queue_depth();
+    snap.running = shard.wlm().running_count();
+    snap.ewma_latency_seconds = shard.ewma_latency_seconds();
+    snap.healthy = shard.healthy();
+    snapshots.push_back(snap);
+  }
+  return snapshots;
+}
+
+Status ClusterDispatcher::SubmitToShards(QuerySpec spec, bool is_redispatch,
+                                         const std::set<int>& exclude) {
+  std::set<int> tried = exclude;
+  const QueryId previous_in_submit = in_submit_query_;
+  in_submit_query_ = spec.id;
+  Status result = Status::Overloaded("every eligible shard refused");
+  int attempt = 0;
+  while (true) {
+    std::vector<int> eligible = EligibleShards(tried);
+    if (eligible.empty()) {
+      ++rejected_total_;
+      metrics_.GetCounter("wlm_cluster_rejected_total").Increment();
+      break;
+    }
+    const int pick = policy_->Pick(spec, Snapshots(eligible));
+    route_log_.push_back(
+        {sim_->Now(), spec.id, pick, attempt, is_redispatch});
+    ClusterShard& shard = *shards_[static_cast<size_t>(pick)];
+    const Status status = shard.wlm().Submit(spec);
+    if (status.IsOverloaded()) {
+      // Capacity refusal: fail over to the next-best shard in the same
+      // instant. (Admission-policy rejects are final — a cost threshold
+      // on one shard would reject on every identically configured shard.)
+      ++shard.refused_;
+      refused_counters_[static_cast<size_t>(pick)]->Increment();
+      tried.insert(pick);
+      ++attempt;
+      continue;
+    }
+    ++shard.routed_;
+    routed_counters_[static_cast<size_t>(pick)]->Increment();
+    if (options_.redispatch) shards_tried_[spec.id].insert(pick);
+    if (is_redispatch) {
+      ++shard.redispatched_in_;
+      redispatched_counters_[static_cast<size_t>(pick)]->Increment();
+      ++redispatched_total_;
+    }
+    result = status;
+    break;
+  }
+  in_submit_query_ = previous_in_submit;
+  return result;
+}
+
+void ClusterDispatcher::OnShardCompletion(int shard_index,
+                                          const Request& request) {
+  ClusterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+  if (request.state == RequestState::kCompleted) {
+    const double response = request.ResponseTime();
+    shard.ewma_latency_ =
+        shard.ewma_latency_ == 0.0
+            ? response
+            : options_.ewma_alpha * response +
+                  (1.0 - options_.ewma_alpha) * shard.ewma_latency_;
+    return;
+  }
+  if (options_.redispatch && (request.state == RequestState::kShed ||
+                              request.state == RequestState::kAborted)) {
+    MaybeRedispatch(shard_index, request);
+  }
+}
+
+void ClusterDispatcher::MaybeRedispatch(int from_shard,
+                                        const Request& request) {
+  (void)from_shard;
+  // Arrival-time sheds surface while the failover loop is still running
+  // this query; that loop already retries other shards synchronously.
+  if (request.spec.id == in_submit_query_) return;
+  auto it = redispatch_counts_.find(request.spec.id);
+  const int used = it == redispatch_counts_.end() ? 0 : it->second;
+  if (used >= options_.max_redispatches) return;
+  redispatch_counts_[request.spec.id] = used + 1;
+  // Completion listeners fire mid-dispatch inside the source shard;
+  // re-entering another shard's Submit from here would interleave two
+  // managers' dispatch loops, so the re-dispatch lands after a small
+  // simulated coordination delay.
+  QuerySpec spec = request.spec;
+  const std::string workload = request.workload;
+  sim_->Schedule(options_.redispatch_delay_seconds,
+                 [this, spec = std::move(spec), workload]() {
+                   const std::set<int>& tried = shards_tried_[spec.id];
+                   std::vector<int> eligible = EligibleShards(tried);
+                   if (eligible.empty()) return;
+                   // "Healthier" target: fewest outstanding among the
+                   // eligible shards, ties to the lowest index.
+                   std::vector<ShardSnapshot> snaps = Snapshots(eligible);
+                   const ShardSnapshot* best = &snaps.front();
+                   for (const ShardSnapshot& snap : snaps) {
+                     if (snap.outstanding() < best->outstanding()) best = &snap;
+                   }
+                   ClusterShard& target =
+                       *shards_[static_cast<size_t>(best->shard)];
+                   OverloadController* overload = target.wlm().overload();
+                   if (overload != nullptr &&
+                       !overload->AllowRetry(workload, sim_->Now())) {
+                     return;  // the shed stands: no budget, no retry storm
+                   }
+                   std::set<int> exclude;
+                   for (const auto& shard : shards_) {
+                     if (shard->index() != best->shard) {
+                       exclude.insert(shard->index());
+                     }
+                   }
+                   (void)SubmitToShards(spec, /*is_redispatch=*/true, exclude);
+                 });
+}
+
+std::string ClusterDispatcher::FormatRouteLog() const {
+  std::string out;
+  out.reserve(route_log_.size() * 48);
+  char line[128];
+  for (const RouteDecision& d : route_log_) {
+    std::snprintf(line, sizeof(line),
+                  "t=%.6f q=%llu shard=%d attempt=%d redispatch=%d\n", d.time,
+                  static_cast<unsigned long long>(d.query), d.shard, d.attempt,
+                  d.redispatch ? 1 : 0);
+    out += line;
+  }
+  return out;
+}
+
+double ClusterDispatcher::ImbalanceCoefficient() const {
+  double mean = 0.0;
+  for (const auto& shard : shards_) mean += static_cast<double>(shard->routed_);
+  mean /= static_cast<double>(shards_.size());
+  if (mean <= 0.0) return 0.0;
+  double variance = 0.0;
+  for (const auto& shard : shards_) {
+    const double d = static_cast<double>(shard->routed_) - mean;
+    variance += d * d;
+  }
+  variance /= static_cast<double>(shards_.size());
+  return std::sqrt(variance) / mean;
+}
+
+int64_t ClusterDispatcher::routed_total() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->routed_;
+  return total;
+}
+
+void ClusterDispatcher::RefreshGauges() {
+  metrics_.GetGauge("wlm_cluster_imbalance").Set(ImbalanceCoefficient());
+  for (const auto& shard : shards_) {
+    const MetricLabels labels = ShardLabels(shard->index());
+    metrics_.GetGauge("wlm_cluster_shard_p99_seconds", labels)
+        .Set(shard->P99Seconds());
+    metrics_.GetGauge("wlm_cluster_shard_queue_depth", labels)
+        .Set(static_cast<double>(shard->wlm().queue_depth()));
+    metrics_.GetGauge("wlm_cluster_shard_running", labels)
+        .Set(static_cast<double>(shard->wlm().running_count()));
+    metrics_.GetGauge("wlm_cluster_shard_healthy", labels)
+        .Set(shard->healthy() ? 1.0 : 0.0);
+    metrics_.GetGauge("wlm_cluster_shard_ewma_latency_seconds", labels)
+        .Set(shard->ewma_latency_seconds());
+  }
+}
+
+void ClusterDispatcher::ExportMetrics(std::ostream& out) {
+  RefreshGauges();
+  metrics_.WritePrometheus(out);
+}
+
+}  // namespace wlm

@@ -1,0 +1,199 @@
+#ifndef WLM_CLUSTER_CLUSTER_H_
+#define WLM_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/placement.h"
+#include "common/status.h"
+#include "core/workload_manager.h"
+#include "engine/engine.h"
+#include "engine/monitor.h"
+#include "sim/simulation.h"
+#include "telemetry/metrics.h"
+
+namespace wlm {
+
+/// Configuration of a deterministic multi-shard cluster. Every shard is
+/// an independent engine + monitor + WorkloadManager stack built from the
+/// same template configs, all driven by one shared simulation clock, so a
+/// cluster run is bit-reproducible exactly like a single-node run.
+struct ClusterOptions {
+  int num_shards = 2;
+  /// Per-shard engine capacity (each shard gets its own engine built from
+  /// this template).
+  EngineConfig engine;
+  double monitor_interval = 0.5;
+  /// Per-shard WorkloadManager config template (overload protection,
+  /// resilience, telemetry all instantiate per shard).
+  WlmConfig wlm;
+  PlacementPolicyKind placement = PlacementPolicyKind::kLeastOutstanding;
+  /// Route around shards inside an armed fault window or with an open
+  /// service-class circuit breaker, as long as any healthy shard remains.
+  bool route_around_unhealthy = true;
+  /// Smoothing factor for the per-shard completion-latency EWMA the
+  /// load-aware policy steers on.
+  double ewma_alpha = 0.3;
+  /// Re-dispatch shed / deadlock-aborted queries to another (healthier)
+  /// shard, gated by the target shard's retry budget.
+  bool redispatch = false;
+  int max_redispatches = 1;
+  /// Simulated network/coordination delay before a re-dispatch lands.
+  double redispatch_delay_seconds = 0.001;
+};
+
+/// One shard: a full single-node workload-management stack. The monitor
+/// is started at construction; workloads/classifiers/schedulers are
+/// installed by the dispatcher's configurator callback.
+class ClusterShard {
+ public:
+  ClusterShard(int index, Simulation* sim, const EngineConfig& engine_config,
+               double monitor_interval, const WlmConfig& wlm_config);
+  ClusterShard(const ClusterShard&) = delete;
+  ClusterShard& operator=(const ClusterShard&) = delete;
+
+  int index() const { return index_; }
+  DatabaseEngine& engine() { return engine_; }
+  Monitor& monitor() { return monitor_; }
+  WorkloadManager& wlm() { return wlm_; }
+  const WorkloadManager& wlm() const { return wlm_; }
+
+  /// False while the shard is inside an armed fault window or any of its
+  /// service-class circuit breakers is open — the signals the dispatcher
+  /// routes around.
+  [[nodiscard]] bool healthy() const;
+
+  /// Smoothed response time of recent completions, seconds.
+  double ewma_latency_seconds() const { return ewma_latency_; }
+  /// Queries routed here (initial placements + failovers that landed).
+  int64_t routed() const { return routed_; }
+  /// Placement attempts this shard's overload gate refused.
+  int64_t refused() const { return refused_; }
+  /// Queries re-dispatched *to* this shard after a shed/abort elsewhere.
+  int64_t redispatched_in() const { return redispatched_in_; }
+
+  /// P99 arrival-to-finish seconds over the shard's completed query
+  /// profiles (0 when none completed yet).
+  double P99Seconds() const;
+
+ private:
+  friend class ClusterDispatcher;
+
+  int index_;
+  DatabaseEngine engine_;
+  Monitor monitor_;
+  WorkloadManager wlm_;
+  double ewma_latency_ = 0.0;
+  int64_t routed_ = 0;
+  int64_t refused_ = 0;
+  int64_t redispatched_in_ = 0;
+};
+
+/// Routes each arriving query to a shard via the configured placement
+/// policy, with cluster-level admission: a query is rejected only when
+/// every eligible shard's overload gate refuses it (a single shard's
+/// refusal fails over to the next-best shard in the same instant).
+///
+/// Determinism contract: shards are created, snapshotted and iterated in
+/// index order; all policy state is a function of the call sequence; the
+/// route log and the `wlm_cluster_*` metric export are byte-identical
+/// across same-seed runs.
+class ClusterDispatcher {
+ public:
+  /// Invoked once per shard at construction to install workload
+  /// definitions, classifier and scheduler (the same way a single-node
+  /// caller configures its WorkloadManager).
+  using ShardConfigurator = std::function<void(int shard, WorkloadManager&)>;
+
+  /// One placement decision, in submission order.
+  struct RouteDecision {
+    double time = 0.0;
+    QueryId query = 0;
+    int shard = 0;
+    /// 0 = first-choice placement; >0 = failover attempt number.
+    int attempt = 0;
+    bool redispatch = false;
+  };
+
+  ClusterDispatcher(Simulation* sim, ClusterOptions options,
+                    ShardConfigurator configure = nullptr);
+
+  /// Routes and submits one query. Returns OK when some shard admitted
+  /// it, Rejected when the landing shard's admission policy refused it
+  /// (no failover: policy rejections are not capacity signals), and
+  /// Overloaded only when every eligible shard's overload gate refused.
+  [[nodiscard]] Status Submit(QuerySpec spec);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  ClusterShard& shard(int index) { return *shards_[static_cast<size_t>(index)]; }
+  const ClusterShard& shard(int index) const {
+    return *shards_[static_cast<size_t>(index)];
+  }
+  Simulation* sim() const { return sim_; }
+  const ClusterOptions& options() const { return options_; }
+  PlacementPolicy& placement() { return *policy_; }
+
+  const std::vector<RouteDecision>& route_log() const { return route_log_; }
+  /// Canonical text form of the route log, one decision per line — the
+  /// byte-comparable routing-determinism surface.
+  std::string FormatRouteLog() const;
+
+  /// Coefficient of variation (stddev / mean) of per-shard routed
+  /// counts: 0 = perfectly balanced.
+  double ImbalanceCoefficient() const;
+
+  int64_t routed_total() const;
+  /// Queries refused by every eligible shard (cluster-level rejects).
+  int64_t rejected_total() const { return rejected_total_; }
+  /// Successful re-dispatches of shed/aborted queries to another shard.
+  int64_t redispatched_total() const { return redispatched_total_; }
+
+  /// Cluster-level metrics registry (`wlm_cluster_*` families).
+  MetricsRegistry& metrics() { return metrics_; }
+  /// Refreshes derived gauges (imbalance, per-shard P99 / occupancy) and
+  /// writes the Prometheus exposition; byte-stable across same-seed runs.
+  void ExportMetrics(std::ostream& out);
+
+ private:
+  /// Snapshots of `eligible` (shard indexes, ascending).
+  std::vector<ShardSnapshot> Snapshots(const std::vector<int>& eligible) const;
+  /// Shard indexes eligible for a placement: healthy ones (all, when
+  /// none is healthy or routing-around is off) minus `exclude`.
+  std::vector<int> EligibleShards(const std::set<int>& exclude) const;
+  Status SubmitToShards(QuerySpec spec, bool is_redispatch,
+                        const std::set<int>& exclude);
+  void OnShardCompletion(int shard_index, const Request& request);
+  void MaybeRedispatch(int from_shard, const Request& request);
+  void RefreshGauges();
+
+  Simulation* sim_;
+  ClusterOptions options_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::vector<std::unique_ptr<ClusterShard>> shards_;
+  MetricsRegistry metrics_;
+  /// Pointer-stable cached counter handles, one per shard (label-set
+  /// construction is off the submit path).
+  std::vector<Counter*> routed_counters_;
+  std::vector<Counter*> refused_counters_;
+  std::vector<Counter*> redispatched_counters_;
+  std::vector<RouteDecision> route_log_;
+  /// Cluster-level re-dispatch bookkeeping, keyed by query id (ordered
+  /// maps: iteration feeds no emission, but determinism costs nothing).
+  std::map<QueryId, int> redispatch_counts_;
+  std::map<QueryId, std::set<int>> shards_tried_;
+  /// Query currently inside SubmitToShards: its arrival-time sheds are
+  /// handled by the failover loop, not the re-dispatch listener.
+  QueryId in_submit_query_ = 0;
+  int64_t rejected_total_ = 0;
+  int64_t redispatched_total_ = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_CLUSTER_CLUSTER_H_

@@ -1,0 +1,151 @@
+#include "cluster/placement.h"
+
+#include <cassert>
+
+namespace wlm {
+
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit hash for rendezvous
+/// weights and string digests. Fixed constants keep placement stable
+/// across platforms and runs.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashString(const std::string& s) {
+  // FNV-1a, then mixed: short digests differ in few bytes.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  PlacementPolicyKind kind() const override {
+    return PlacementPolicyKind::kRoundRobin;
+  }
+  int Pick(const QuerySpec& spec,
+           const std::vector<ShardSnapshot>& eligible) override {
+    (void)spec;
+    const ShardSnapshot& chosen = eligible[next_ % eligible.size()];
+    ++next_;
+    return chosen.shard;
+  }
+
+ private:
+  size_t next_ = 0;
+};
+
+class LeastOutstandingPlacement final : public PlacementPolicy {
+ public:
+  PlacementPolicyKind kind() const override {
+    return PlacementPolicyKind::kLeastOutstanding;
+  }
+  int Pick(const QuerySpec& spec,
+           const std::vector<ShardSnapshot>& eligible) override {
+    (void)spec;
+    const ShardSnapshot* best = &eligible.front();
+    for (const ShardSnapshot& snap : eligible) {
+      if (snap.outstanding() < best->outstanding()) best = &snap;
+    }
+    return best->shard;
+  }
+};
+
+class EwmaLatencyPlacement final : public PlacementPolicy {
+ public:
+  PlacementPolicyKind kind() const override {
+    return PlacementPolicyKind::kEwmaLatency;
+  }
+  int Pick(const QuerySpec& spec,
+           const std::vector<ShardSnapshot>& eligible) override {
+    (void)spec;
+    // Primary key: smoothed latency. Secondary: outstanding count, so a
+    // cold shard (no completions yet, latency 0) still loses to an idle
+    // one, and two equally fast shards split by load.
+    const ShardSnapshot* best = &eligible.front();
+    for (const ShardSnapshot& snap : eligible) {
+      if (snap.ewma_latency_seconds < best->ewma_latency_seconds ||
+          (snap.ewma_latency_seconds == best->ewma_latency_seconds &&
+           snap.outstanding() < best->outstanding())) {
+        best = &snap;
+      }
+    }
+    return best->shard;
+  }
+};
+
+class AffinityPlacement final : public PlacementPolicy {
+ public:
+  PlacementPolicyKind kind() const override {
+    return PlacementPolicyKind::kAffinity;
+  }
+  int Pick(const QuerySpec& spec,
+           const std::vector<ShardSnapshot>& eligible) override {
+    // Rendezvous hashing: the eligible shard with the highest
+    // hash(key, shard) weight wins. Every router computes the same
+    // winner without shared state, and removing a shard from the
+    // eligible set only remaps the keys that lived on it.
+    uint64_t key = AffinityKey(spec);
+    const ShardSnapshot* best = &eligible.front();
+    uint64_t best_weight = 0;
+    bool first = true;
+    for (const ShardSnapshot& snap : eligible) {
+      uint64_t weight =
+          Mix64(key ^ Mix64(static_cast<uint64_t>(snap.shard) + 1));
+      if (first || weight > best_weight) {
+        best = &snap;
+        best_weight = weight;
+        first = false;
+      }
+    }
+    return best->shard;
+  }
+};
+
+}  // namespace
+
+const char* PlacementPolicyKindToString(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kRoundRobin:
+      return "round_robin";
+    case PlacementPolicyKind::kLeastOutstanding:
+      return "least_outstanding";
+    case PlacementPolicyKind::kEwmaLatency:
+      return "ewma_latency";
+    case PlacementPolicyKind::kAffinity:
+      return "affinity";
+  }
+  return "unknown";
+}
+
+uint64_t AffinityKey(const QuerySpec& spec) {
+  if (!spec.locks.empty()) return Mix64(spec.locks.front().key);
+  if (!spec.sql_digest.empty()) return HashString(spec.sql_digest);
+  return HashString(spec.session.application);
+}
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(
+    PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPlacement>();
+    case PlacementPolicyKind::kLeastOutstanding:
+      return std::make_unique<LeastOutstandingPlacement>();
+    case PlacementPolicyKind::kEwmaLatency:
+      return std::make_unique<EwmaLatencyPlacement>();
+    case PlacementPolicyKind::kAffinity:
+      return std::make_unique<AffinityPlacement>();
+  }
+  assert(false && "unknown placement policy");
+  return std::make_unique<RoundRobinPlacement>();
+}
+
+}  // namespace wlm

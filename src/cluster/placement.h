@@ -1,0 +1,77 @@
+#ifndef WLM_CLUSTER_PLACEMENT_H_
+#define WLM_CLUSTER_PLACEMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/types.h"
+
+namespace wlm {
+
+/// Routing-time view of one shard the placement policy chooses from.
+/// Snapshots are built by the dispatcher in shard-index order, so a
+/// policy that breaks ties by position is deterministic by construction.
+struct ShardSnapshot {
+  int shard = 0;
+  /// Requests waiting in the shard's admission queue.
+  size_t queued = 0;
+  /// Requests currently executing on the shard's engine.
+  size_t running = 0;
+  /// Exponentially smoothed response time of recent completions on the
+  /// shard, seconds (0 until the first completion).
+  double ewma_latency_seconds = 0.0;
+  /// False while the shard is inside an armed fault window or one of its
+  /// service-class circuit breakers is open; the dispatcher routes around
+  /// unhealthy shards when any healthy one remains.
+  bool healthy = true;
+
+  size_t outstanding() const { return queued + running; }
+};
+
+/// The built-in placement policies.
+enum class PlacementPolicyKind {
+  /// Cycle through eligible shards in index order.
+  kRoundRobin,
+  /// Fewest outstanding (queued + running) requests; ties to the lowest
+  /// shard index (join-the-shortest-queue).
+  kLeastOutstanding,
+  /// Lowest smoothed completion latency, with outstanding count as the
+  /// tiebreak — load-aware routing that avoids shards stuck behind a
+  /// heavy-tailed straggler.
+  kEwmaLatency,
+  /// Rendezvous (highest-random-weight) hash of the query's affinity key
+  /// (first lock key, else sql digest, else session application), so a
+  /// key's queries land on one shard and keep their cache/lock locality,
+  /// and removing a shard only moves that shard's keys.
+  kAffinity,
+};
+
+const char* PlacementPolicyKindToString(PlacementPolicyKind kind);
+
+/// Affinity key of a spec for consistent-hash placement: the first table
+/// lock key when the query takes locks, else a hash of its statement
+/// digest, else a hash of the session application.
+uint64_t AffinityKey(const QuerySpec& spec);
+
+/// A placement policy picks one shard for each arriving query from the
+/// eligible snapshots. Policies may keep internal state (the round-robin
+/// cursor); all of it must be deterministic functions of the call
+/// sequence so same-seed runs route identically.
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  virtual PlacementPolicyKind kind() const = 0;
+  /// Returns the chosen shard index (an element of `eligible`).
+  /// `eligible` is non-empty and ordered by shard index.
+  virtual int Pick(const QuerySpec& spec,
+                   const std::vector<ShardSnapshot>& eligible) = 0;
+};
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(PlacementPolicyKind kind);
+
+}  // namespace wlm
+
+#endif  // WLM_CLUSTER_PLACEMENT_H_

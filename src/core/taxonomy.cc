@@ -65,11 +65,6 @@ TechniqueClass SubclassParent(TechniqueSubclass s) {
   return TechniqueClass::kExecutionControl;
 }
 
-TaxonomyRegistry& TaxonomyRegistry::Global() {
-  static TaxonomyRegistry* registry = new TaxonomyRegistry();
-  return *registry;
-}
-
 void TaxonomyRegistry::Register(const TechniqueInfo& info) {
   if (Find(info.name) != nullptr) return;
   techniques_.push_back(info);

@@ -47,14 +47,13 @@ struct TechniqueInfo {
   std::string source;
 };
 
-/// Registry of implemented techniques, organized by the taxonomy. Distinct
-/// instances are supported (benches build their own); `Global()` offers a
-/// process-wide one for convenience.
+/// Registry of implemented techniques, organized by the taxonomy. Always
+/// instantiated per caller (benches build their own); there is
+/// deliberately no process-wide instance, so multi-shard clusters never
+/// share mutable state through this layer.
 class TaxonomyRegistry {
  public:
   TaxonomyRegistry() = default;
-
-  static TaxonomyRegistry& Global();
 
   /// Registers a technique; duplicate names are ignored (first wins).
   void Register(const TechniqueInfo& info);

@@ -59,6 +59,14 @@ CircuitBreaker* OverloadController::breaker(const std::string& workload) {
   return &BreakerFor(workload);
 }
 
+bool OverloadController::AnyBreakerOpen() const {
+  for (const auto& [workload, breaker] : breakers_) {
+    (void)workload;
+    if (breaker->state() == CircuitBreaker::State::kOpen) return true;
+  }
+  return false;
+}
+
 std::string OverloadController::EvaluateArrival(const std::string& workload,
                                                 int priority, double now,
                                                 int queue_depth) {

@@ -106,6 +106,9 @@ class OverloadController {
   int brownout_level() const { return brownout_ ? brownout_->level() : 0; }
   bool lifo() const { return lifo_; }
   CircuitBreaker* breaker(const std::string& workload);
+  /// True when any service class's breaker is currently open — the
+  /// shard-health signal the cluster dispatcher routes around.
+  [[nodiscard]] bool AnyBreakerOpen() const;
   RetryBudgetPool* retry_budgets() { return retry_budgets_.get(); }
   double GlobalViolationRate() const;
   int64_t shed_total() const { return shed_total_; }

@@ -1,0 +1,394 @@
+// Cluster-layer tests: placement-policy units, dispatcher routing /
+// failover / health semantics, re-dispatch, and the multi-shard
+// determinism regressions (identical seed => byte-identical per-shard
+// routing sequences and cluster metric exports, for every policy).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "tests/wlm_test_util.h"
+#include "workloads/generators.h"
+
+namespace wlm {
+namespace {
+
+std::vector<ShardSnapshot> Snaps(std::vector<ShardSnapshot> snaps) {
+  return snaps;
+}
+
+// ------------------------------------------------- placement policies
+
+TEST(PlacementTest, RoundRobinCyclesEligibleShards) {
+  auto policy = MakePlacementPolicy(PlacementPolicyKind::kRoundRobin);
+  auto snaps = Snaps({{0, 0, 0, 0.0, true},
+                      {1, 0, 0, 0.0, true},
+                      {2, 0, 0, 0.0, true}});
+  QuerySpec spec = OltpSpec(1);
+  EXPECT_EQ(policy->Pick(spec, snaps), 0);
+  EXPECT_EQ(policy->Pick(spec, snaps), 1);
+  EXPECT_EQ(policy->Pick(spec, snaps), 2);
+  EXPECT_EQ(policy->Pick(spec, snaps), 0);
+}
+
+TEST(PlacementTest, LeastOutstandingPicksFewestWithLowIndexTie) {
+  auto policy = MakePlacementPolicy(PlacementPolicyKind::kLeastOutstanding);
+  QuerySpec spec = OltpSpec(1);
+  EXPECT_EQ(policy->Pick(spec, Snaps({{0, 3, 1, 0.0, true},
+                                      {1, 1, 1, 0.0, true},
+                                      {2, 4, 0, 0.0, true}})),
+            1);
+  // Tie on outstanding: the lowest shard index wins.
+  EXPECT_EQ(policy->Pick(spec, Snaps({{0, 1, 1, 0.0, true},
+                                      {1, 2, 0, 0.0, true},
+                                      {2, 0, 2, 0.0, true}})),
+            0);
+}
+
+TEST(PlacementTest, EwmaLatencyPicksFastestThenLeastLoaded) {
+  auto policy = MakePlacementPolicy(PlacementPolicyKind::kEwmaLatency);
+  QuerySpec spec = BiSpec(1);
+  EXPECT_EQ(policy->Pick(spec, Snaps({{0, 0, 0, 2.5, true},
+                                      {1, 9, 9, 0.4, true},
+                                      {2, 0, 0, 1.0, true}})),
+            1);
+  // Equal latency: fewer outstanding requests breaks the tie.
+  EXPECT_EQ(policy->Pick(spec, Snaps({{0, 5, 0, 1.0, true},
+                                      {1, 2, 0, 1.0, true}})),
+            1);
+}
+
+TEST(PlacementTest, AffinityIsStableForAKey) {
+  auto policy = MakePlacementPolicy(PlacementPolicyKind::kAffinity);
+  auto snaps = Snaps({{0, 0, 0, 0.0, true},
+                      {1, 0, 0, 0.0, true},
+                      {2, 0, 0, 0.0, true},
+                      {3, 0, 0, 0.0, true}});
+  QuerySpec spec = BiSpec(1);
+  spec.sql_digest = "select sum(x) from t group by y";
+  const int first = policy->Pick(spec, snaps);
+  for (int i = 0; i < 10; ++i) {
+    spec.id = static_cast<QueryId>(i + 2);
+    EXPECT_EQ(policy->Pick(spec, snaps), first);
+  }
+}
+
+TEST(PlacementTest, AffinityRemapsOnlyKeysOfRemovedShard) {
+  auto policy = MakePlacementPolicy(PlacementPolicyKind::kAffinity);
+  auto all = Snaps({{0, 0, 0, 0.0, true},
+                    {1, 0, 0, 0.0, true},
+                    {2, 0, 0, 0.0, true},
+                    {3, 0, 0, 0.0, true}});
+  const int removed = 2;
+  std::vector<ShardSnapshot> remaining;
+  for (const ShardSnapshot& s : all) {
+    if (s.shard != removed) remaining.push_back(s);
+  }
+  int moved = 0;
+  for (int k = 0; k < 200; ++k) {
+    QuerySpec spec = BiSpec(static_cast<QueryId>(k + 1));
+    spec.sql_digest = "digest-" + std::to_string(k);
+    const int before = policy->Pick(spec, all);
+    const int after = policy->Pick(spec, remaining);
+    if (before != removed) {
+      EXPECT_EQ(after, before) << "key " << k << " moved without cause";
+    } else {
+      ++moved;
+      EXPECT_NE(after, removed);
+    }
+  }
+  // Rendezvous hashing spreads keys: the removed shard owned some.
+  EXPECT_GT(moved, 0);
+}
+
+TEST(PlacementTest, AffinityKeyPrefersLocksThenDigestThenApplication) {
+  QuerySpec with_lock = OltpSpec(1);
+  LockRequest lock;
+  lock.key = 77;
+  with_lock.locks = {lock};
+  QuerySpec same_lock = OltpSpec(2);
+  same_lock.locks = {lock};
+  EXPECT_EQ(AffinityKey(with_lock), AffinityKey(same_lock));
+
+  QuerySpec digest_a = BiSpec(3);
+  digest_a.sql_digest = "q1";
+  QuerySpec digest_b = BiSpec(4);
+  digest_b.sql_digest = "q1";
+  QuerySpec digest_c = BiSpec(5);
+  digest_c.sql_digest = "q2";
+  EXPECT_EQ(AffinityKey(digest_a), AffinityKey(digest_b));
+  EXPECT_NE(AffinityKey(digest_a), AffinityKey(digest_c));
+
+  QuerySpec app_only = BiSpec(6);
+  QuerySpec app_same = BiSpec(7);
+  EXPECT_EQ(AffinityKey(app_only), AffinityKey(app_same));
+}
+
+TEST(PlacementTest, KindRoundTrip) {
+  for (PlacementPolicyKind kind :
+       {PlacementPolicyKind::kRoundRobin, PlacementPolicyKind::kLeastOutstanding,
+        PlacementPolicyKind::kEwmaLatency, PlacementPolicyKind::kAffinity}) {
+    auto policy = MakePlacementPolicy(kind);
+    EXPECT_EQ(policy->kind(), kind);
+    EXPECT_STRNE(PlacementPolicyKindToString(kind), "unknown");
+  }
+}
+
+// ------------------------------------------------- dispatcher routing
+
+TEST(ClusterDispatcherTest, RoutesAcrossShardsAndCountsThem) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, TestClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1))).ok());
+  }
+  sim.RunUntil(5.0);
+  EXPECT_EQ(cluster.routed_total(), 6);
+  EXPECT_EQ(cluster.shard(0).routed() + cluster.shard(1).routed(), 6);
+  EXPECT_EQ(cluster.route_log().size(), 6u);
+  // Every query completed on the shard it was routed to.
+  int completed = 0;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    completed += static_cast<int>(
+        cluster.shard(s).wlm().event_log().CountOf(WlmEventType::kCompleted));
+  }
+  EXPECT_EQ(completed, 6);
+}
+
+TEST(ClusterDispatcherTest, FailsOverWhenOneShardRefuses) {
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(2);
+  options.wlm.overload.codel.queue_capacity = 2;
+  options.placement = PlacementPolicyKind::kRoundRobin;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+    m.set_scheduler(std::make_unique<FifoScheduler>(2));
+  });
+  // Long BI queries occupy both engines (MPL 2); round-robin then keeps
+  // offering shard 0 first, whose queue fills first.
+  int admitted = 0;
+  for (int i = 0; i < 12; ++i) {
+    Status status = cluster.Submit(BiSpec(static_cast<QueryId>(i + 1), 50.0));
+    if (status.ok()) ++admitted;
+  }
+  // Capacity: 2 queues of 2 plus what dispatched immediately.
+  EXPECT_LT(admitted, 12);
+  EXPECT_GT(admitted, 0);
+  // Failover attempts show up as attempt > 0 in the route log, and the
+  // final refusals as cluster-level rejects.
+  bool saw_failover = false;
+  for (const auto& decision : cluster.route_log()) {
+    if (decision.attempt > 0) saw_failover = true;
+  }
+  EXPECT_TRUE(saw_failover);
+  EXPECT_GT(cluster.rejected_total(), 0);
+  EXPECT_GT(cluster.shard(0).refused() + cluster.shard(1).refused(), 0);
+}
+
+TEST(ClusterDispatcherTest, RejectsOnlyWhenEveryShardRefuses) {
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(3);
+  options.wlm.overload.codel.queue_capacity = 1;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+    m.set_scheduler(std::make_unique<FifoScheduler>(2));
+  });
+  // Saturate: each shard runs 2 (MPL) and queues 1 => 9 admitted.
+  int admitted = 0;
+  int overloaded = 0;
+  for (int i = 0; i < 15; ++i) {
+    Status status = cluster.Submit(BiSpec(static_cast<QueryId>(i + 1), 50.0));
+    if (status.ok()) {
+      ++admitted;
+    } else {
+      EXPECT_TRUE(status.IsOverloaded()) << status.ToString();
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(admitted, 9);
+  EXPECT_EQ(overloaded, 6);
+  EXPECT_EQ(cluster.rejected_total(), 6);
+}
+
+TEST(ClusterDispatcherTest, RoutesAroundShardInFaultWindow) {
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(2);
+  options.placement = PlacementPolicyKind::kRoundRobin;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  cluster.shard(0).wlm().NotifyFaultBegin("io_stall", "disk degraded");
+  EXPECT_FALSE(cluster.shard(0).healthy());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1))).ok());
+  }
+  EXPECT_EQ(cluster.shard(0).routed(), 0);
+  EXPECT_EQ(cluster.shard(1).routed(), 4);
+  cluster.shard(0).wlm().NotifyFaultEnd("io_stall", 0.0);
+  EXPECT_TRUE(cluster.shard(0).healthy());
+  for (int i = 4; i < 8; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1))).ok());
+  }
+  EXPECT_GT(cluster.shard(0).routed(), 0);
+}
+
+TEST(ClusterDispatcherTest, DegradedClusterStillRoutesWhenNoShardHealthy) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, TestClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  cluster.shard(0).wlm().NotifyFaultBegin("crash", "x");
+  cluster.shard(1).wlm().NotifyFaultBegin("crash", "y");
+  EXPECT_TRUE(cluster.Submit(OltpSpec(1)).ok());
+  EXPECT_EQ(cluster.routed_total(), 1);
+}
+
+TEST(ClusterDispatcherTest, RedispatchGivesShedQueriesASecondShard) {
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(2);
+  options.redispatch = true;
+  options.placement = PlacementPolicyKind::kLeastOutstanding;
+  options.wlm.overload.codel.queue_capacity = 4;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  WorkloadGenerator generator(7);
+  Rng arrivals(7 ^ 0x9999ULL);
+  OpenLoopDriver bi(
+      &sim, &arrivals, 4.0,
+      [&generator] { return generator.NextBi(BiWorkloadConfig()); },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  bi.Start(20.0);
+  sim.RunUntil(40.0);
+  // The surge sheds queued queries (CoDel / deadline); with re-dispatch
+  // enabled some get a second life on the other shard.
+  EXPECT_GT(cluster.redispatched_total(), 0);
+  EXPECT_EQ(cluster.redispatched_total(),
+            cluster.shard(0).redispatched_in() +
+                cluster.shard(1).redispatched_in());
+  // Re-dispatched submissions are marked in the route log.
+  bool saw_redispatch = false;
+  for (const auto& decision : cluster.route_log()) {
+    if (decision.redispatch) saw_redispatch = true;
+  }
+  EXPECT_TRUE(saw_redispatch);
+}
+
+TEST(ClusterDispatcherTest, ExportsClusterMetricFamilies) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, TestClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1))).ok());
+  }
+  sim.RunUntil(5.0);
+  std::ostringstream out;
+  cluster.ExportMetrics(out);
+  const std::string text = out.str();
+  for (const char* family :
+       {"wlm_cluster_routed_total", "wlm_cluster_refused_total",
+        "wlm_cluster_rejected_total", "wlm_cluster_redispatched_total",
+        "wlm_cluster_imbalance", "wlm_cluster_shard_p99_seconds",
+        "wlm_cluster_shard_queue_depth", "wlm_cluster_shard_running",
+        "wlm_cluster_shard_healthy", "wlm_cluster_shard_ewma_latency_seconds"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+  EXPECT_NE(text.find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(text.find("shard=\"1\""), std::string::npos);
+}
+
+TEST(ClusterDispatcherTest, ImbalanceCoefficientTracksSkew) {
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(2);
+  options.placement = PlacementPolicyKind::kRoundRobin;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  EXPECT_DOUBLE_EQ(cluster.ImbalanceCoefficient(), 0.0);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1))).ok());
+  }
+  // Round-robin over two healthy shards: perfectly balanced.
+  EXPECT_DOUBLE_EQ(cluster.ImbalanceCoefficient(), 0.0);
+  // Skew every remaining query to shard 1 via a fault window on shard 0.
+  cluster.shard(0).wlm().NotifyFaultBegin("crash", "x");
+  for (int i = 8; i < 16; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1))).ok());
+  }
+  EXPECT_GT(cluster.ImbalanceCoefficient(), 0.0);
+}
+
+// ------------------------------------------------- determinism regressions
+
+struct ClusterRunResult {
+  std::string route_log;
+  std::string metrics;
+};
+
+ClusterRunResult RunClusterScenario(PlacementPolicyKind kind, uint64_t seed) {
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(4);
+  options.placement = kind;
+  options.redispatch = true;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  WorkloadGenerator generator(seed);
+  Rng arrivals(seed ^ 0x5a5a5a5aULL);
+  OpenLoopDriver oltp(
+      &sim, &arrivals, 20.0,
+      [&generator] { return generator.NextOltp(OltpWorkloadConfig()); },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  OpenLoopDriver bi(
+      &sim, &arrivals, 1.5,
+      [&generator] { return generator.NextBi(BiWorkloadConfig()); },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  oltp.Start(6.0);
+  bi.Start(6.0);
+  sim.RunUntil(10.0);
+  std::ostringstream metrics;
+  cluster.ExportMetrics(metrics);
+  return {cluster.FormatRouteLog(), metrics.str()};
+}
+
+class ClusterDeterminismSweep
+    : public ::testing::TestWithParam<PlacementPolicyKind> {};
+
+TEST_P(ClusterDeterminismSweep, SameSeedSameRoutesAndMetrics) {
+  ClusterRunResult a = RunClusterScenario(GetParam(), 1234);
+  ClusterRunResult b = RunClusterScenario(GetParam(), 1234);
+  EXPECT_FALSE(a.route_log.empty());
+  EXPECT_EQ(a.route_log, b.route_log);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST_P(ClusterDeterminismSweep, DifferentSeedsDiverge) {
+  ClusterRunResult a = RunClusterScenario(GetParam(), 1234);
+  ClusterRunResult b = RunClusterScenario(GetParam(), 987654321);
+  EXPECT_NE(a.route_log, b.route_log);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ClusterDeterminismSweep,
+    ::testing::Values(PlacementPolicyKind::kRoundRobin,
+                      PlacementPolicyKind::kLeastOutstanding,
+                      PlacementPolicyKind::kEwmaLatency,
+                      PlacementPolicyKind::kAffinity),
+    [](const ::testing::TestParamInfo<PlacementPolicyKind>& info) {
+      return std::string(PlacementPolicyKindToString(info.param));
+    });
+
+}  // namespace
+}  // namespace wlm

@@ -420,6 +420,62 @@ TEST(LintQ1Test, VectorsWithoutQueueLikeNamesAndLocalsAreClean) {
 }
 
 // ---------------------------------------------------------------------------
+// S1 — mutable static storage in library layers.
+// ---------------------------------------------------------------------------
+
+TEST(LintS1Test, FlagsFunctionLocalStaticRegistry) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    Registry& Global() {
+      static Registry* registry = new Registry();
+      return *registry;
+    }
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "S1");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintS1Test, FlagsNamespaceScopeCounterAndClassStatic) {
+  auto findings = LintSource("src/telemetry/foo.h", R"(
+    static int64_t next_span_id = 0;
+    class Tracer {
+     public:
+      static int live_instances_;
+    };
+  )");
+  EXPECT_EQ(RuleIds(findings), (std::vector<std::string>{"S1", "S1"}));
+}
+
+TEST(LintS1Test, IgnoresImmutableStaticsAndStaticFunctions) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    static const std::vector<double>& Buckets();
+    static constexpr int kPageBytes = 8192;
+    static const char* kName = "engine";
+    static double WeightOf(const Request& request) { return 1.0; }
+    class Catalog {
+     public:
+      static Catalog TpchLike(double scale_factor);
+    };
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintS1Test, OutOfScopeOutsideSrc) {
+  auto findings = LintSource("tools/wlm-lint/foo.cc", R"(
+    static int call_count = 0;
+  )");
+  EXPECT_FALSE(HasRule(findings, "S1"));
+}
+
+TEST(LintS1Test, SuppressibleWithReason) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    // wlm-lint: allow(S1) intentionally process-wide debug hook
+    static int debug_hook_calls = 0;
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Infrastructure.
 // ---------------------------------------------------------------------------
 

@@ -457,5 +457,182 @@ TEST_P(FaultChaosSweep, NoRequestLostAndBudgetsHoldUnderRandomFaults) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosSweep,
                          ::testing::Values(1, 2, 3, 5, 8));
 
+// ------------------------------------------------- cluster metamorphics
+
+namespace {
+
+/// Pre-draws one deterministic arrival schedule so the same specs hit
+/// both sides of a metamorphic comparison.
+std::vector<std::pair<double, QuerySpec>> ScheduleArrivals(uint64_t seed,
+                                                           double horizon) {
+  WorkloadGenerator gen(seed);
+  Rng arrivals(seed ^ 0x77aa77aaULL);
+  BiWorkloadConfig bi;
+  OltpWorkloadConfig oltp;
+  std::vector<std::pair<double, QuerySpec>> out;
+  double t = 0.0;
+  int n = 0;
+  while (true) {
+    t += arrivals.Exponential(/*mean=*/1.0 / 20.0);  // ~20 arrivals/s
+    if (t >= horizon) break;
+    out.emplace_back(t, (++n % 8 == 0) ? gen.NextBi(bi) : gen.NextOltp(oltp));
+  }
+  return out;
+}
+
+struct QueryFate {
+  RequestState state;
+  double dispatch_time;
+  double finish_time;
+  std::string workload;
+};
+
+std::map<QueryId, QueryFate> Fates(const WorkloadManager& manager) {
+  std::map<QueryId, QueryFate> fates;
+  for (const Request* request : manager.AllRequests()) {
+    fates[request->spec.id] = {request->state, request->dispatch_time,
+                               request->finish_time, request->workload};
+  }
+  return fates;
+}
+
+}  // namespace
+
+class ClusterMetamorphicSweep : public ::testing::TestWithParam<uint64_t> {};
+
+// (a) A 1-shard cluster is the bare WorkloadManager: the dispatcher adds
+// routing, never semantics — every query meets the identical fate at the
+// identical instant.
+TEST_P(ClusterMetamorphicSweep, OneShardClusterEqualsBareManager) {
+  const uint64_t seed = GetParam();
+  const auto arrivals = ScheduleArrivals(seed, 10.0);
+
+  ClusterOptions cluster_options = TestClusterOptions(1);
+  TestRig bare(cluster_options.engine, cluster_options.monitor_interval,
+               cluster_options.wlm);
+  DefineTestWorkloads(bare.wlm);
+  for (const auto& [when, spec] : arrivals) {
+    bare.sim.ScheduleAt(when, [&bare, spec = spec] {
+      (void)bare.wlm.Submit(spec);
+    });
+  }
+  bare.sim.RunUntil(60.0);
+
+  Simulation cluster_sim;
+  ClusterDispatcher cluster(&cluster_sim, cluster_options,
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  for (const auto& [when, spec] : arrivals) {
+    cluster_sim.ScheduleAt(when, [&cluster, spec = spec] {
+      (void)cluster.Submit(spec);
+    });
+  }
+  cluster_sim.RunUntil(60.0);
+
+  const auto bare_fates = Fates(bare.wlm);
+  const auto cluster_fates = Fates(cluster.shard(0).wlm());
+  ASSERT_FALSE(bare_fates.empty());
+  ASSERT_EQ(bare_fates.size(), cluster_fates.size());
+  for (const auto& [id, fate] : bare_fates) {
+    auto it = cluster_fates.find(id);
+    ASSERT_NE(it, cluster_fates.end()) << "query " << id << " not routed";
+    EXPECT_EQ(it->second.state, fate.state) << "query " << id;
+    EXPECT_EQ(it->second.workload, fate.workload) << "query " << id;
+    EXPECT_DOUBLE_EQ(it->second.dispatch_time, fate.dispatch_time)
+        << "query " << id;
+    EXPECT_DOUBLE_EQ(it->second.finish_time, fate.finish_time)
+        << "query " << id;
+  }
+}
+
+// (b) Adding a shard never reduces goodput: the same arrival sequence
+// against 1 shard and against 2 shards (the second starting idle) must
+// complete at least as many queries.
+TEST_P(ClusterMetamorphicSweep, AddingAnIdleShardNeverReducesGoodput) {
+  const uint64_t seed = GetParam();
+  const auto arrivals = ScheduleArrivals(seed, 10.0);
+
+  auto run = [&arrivals](int num_shards) {
+    Simulation sim;
+    ClusterOptions options = TestClusterOptions(num_shards);
+    options.placement = PlacementPolicyKind::kLeastOutstanding;
+    ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+      DefineTestWorkloads(m);
+    });
+    for (const auto& [when, spec] : arrivals) {
+      sim.ScheduleAt(when, [&cluster, spec = spec] {
+        (void)cluster.Submit(spec);
+      });
+    }
+    sim.RunUntil(60.0);
+    int64_t completed = 0;
+    for (int s = 0; s < cluster.num_shards(); ++s) {
+      completed +=
+          cluster.shard(s).wlm().event_log().CountOf(WlmEventType::kCompleted);
+    }
+    return completed;
+  };
+
+  const int64_t one_shard = run(1);
+  const int64_t two_shards = run(2);
+  EXPECT_GE(two_shards, one_shard)
+      << "an added shard must only absorb load, never destroy goodput";
+  EXPECT_GT(one_shard, 0);
+}
+
+// (c) Phase-sum conservation survives cross-shard re-dispatch: every
+// terminal profile on every shard — including the second-life profiles
+// of re-dispatched queries — decomposes its wall time exactly.
+TEST_P(ClusterMetamorphicSweep, PhaseSumConservesForRedispatchedQueries) {
+  const uint64_t seed = GetParam();
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(2);
+  options.redispatch = true;
+  options.wlm.overload.codel.queue_capacity = 4;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  WorkloadGenerator gen(seed);
+  Rng arrivals(seed ^ 0x5a5a5a5aULL);
+  OpenLoopDriver bi(
+      &sim, &arrivals, 4.0,
+      [&gen] { return gen.NextBi(BiWorkloadConfig()); },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  bi.Start(20.0);
+  sim.RunUntil(60.0);
+
+  ASSERT_GT(cluster.redispatched_total(), 0)
+      << "surge too mild to exercise re-dispatch";
+  std::set<QueryId> redispatched;
+  for (const ClusterDispatcher::RouteDecision& d : cluster.route_log()) {
+    if (d.redispatch) redispatched.insert(d.query);
+  }
+  int64_t checked = 0;
+  std::map<QueryId, int64_t> terminal_profiles;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    for (const QueryProfile* p :
+         cluster.shard(s).wlm().telemetry().profiles().Profiles()) {
+      if (!p->terminal()) continue;
+      ++checked;
+      ++terminal_profiles[p->id];
+      EXPECT_NEAR(p->PhaseSum(), p->WallSeconds(), 1e-6)
+          << "shard " << s << " query " << p->id << " (" << p->outcome << ")";
+    }
+  }
+  EXPECT_GT(checked, 0);
+  // Every *landed* re-dispatch leaves terminal profiles on at least two
+  // shards (the shed first life and its second life elsewhere). The route
+  // log also records attempts that never landed, so count landings.
+  int64_t second_lives = 0;
+  for (QueryId id : redispatched) {
+    if (terminal_profiles[id] >= 2) ++second_lives;
+  }
+  EXPECT_GE(second_lives, cluster.redispatched_total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterMetamorphicSweep,
+                         ::testing::Values(11, 23, 42));
+
 }  // namespace
 }  // namespace wlm

@@ -1,0 +1,120 @@
+// Golden scenario-replay regressions: a seeded end-to-end cluster run is
+// serialized to canonical JSONL (arrivals, admissions, sheds, escalations,
+// completions, routing decisions, summaries) and byte-compared against the
+// checked-in goldens for the 1-shard and 4-shard configurations.
+//
+// When an intentional behavior change shifts the goldens, regenerate with
+//   ./scenario_replay_test --regold
+// and review the JSONL diff like any other code change (see README).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tests/wlm_test_util.h"
+
+namespace {
+
+bool g_regold = false;
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(WLM_GOLDEN_DIR) + "/" + name;
+}
+
+bool ReadFile(const std::string& path, std::string* content) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *content = ss.str();
+  return true;
+}
+
+/// First differing line, for a reviewable failure message.
+std::string FirstDiff(const std::string& got, const std::string& want) {
+  std::istringstream got_stream(got), want_stream(want);
+  std::string got_line, want_line;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool got_ok = static_cast<bool>(std::getline(got_stream, got_line));
+    const bool want_ok =
+        static_cast<bool>(std::getline(want_stream, want_line));
+    if (!got_ok && !want_ok) return "files identical";
+    if (got_line != want_line || got_ok != want_ok) {
+      return "line " + std::to_string(line) + "\n  golden: " +
+             (want_ok ? want_line : "<eof>") + "\n  run:    " +
+             (got_ok ? got_line : "<eof>");
+    }
+  }
+}
+
+void CheckGolden(const wlm::ScenarioOptions& options, const std::string& name) {
+  const std::string got = wlm::RunScenarioJsonl(options);
+  ASSERT_FALSE(got.empty());
+  const std::string path = GoldenPath(name);
+  if (g_regold) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << got;
+    SUCCEED() << "regenerated " << path;
+    return;
+  }
+  std::string want;
+  ASSERT_TRUE(ReadFile(path, &want))
+      << "missing golden " << path << " — run `scenario_replay_test --regold`";
+  EXPECT_EQ(got, want) << "scenario diverged from " << name << " at "
+                       << FirstDiff(got, want);
+}
+
+wlm::ScenarioOptions OneShard() {
+  wlm::ScenarioOptions options;
+  options.num_shards = 1;
+  return options;
+}
+
+wlm::ScenarioOptions FourShards() {
+  wlm::ScenarioOptions options;
+  options.num_shards = 4;
+  options.placement = wlm::PlacementPolicyKind::kLeastOutstanding;
+  return options;
+}
+
+TEST(ScenarioReplayTest, OneShardMatchesGolden) {
+  CheckGolden(OneShard(), "scenario_1shard.jsonl");
+}
+
+TEST(ScenarioReplayTest, FourShardMatchesGolden) {
+  CheckGolden(FourShards(), "scenario_4shard.jsonl");
+}
+
+TEST(ScenarioReplayTest, ReplayIsByteStable) {
+  // Two in-process runs of the same seed must agree byte for byte —
+  // catches nondeterminism without involving the checked-in goldens.
+  EXPECT_EQ(wlm::RunScenarioJsonl(OneShard()), wlm::RunScenarioJsonl(OneShard()));
+  EXPECT_EQ(wlm::RunScenarioJsonl(FourShards()),
+            wlm::RunScenarioJsonl(FourShards()));
+}
+
+TEST(ScenarioReplayTest, SeedChangesTheTranscript) {
+  wlm::ScenarioOptions reseeded = FourShards();
+  reseeded.seed = 20260808;
+  EXPECT_NE(wlm::RunScenarioJsonl(FourShards()), wlm::RunScenarioJsonl(reseeded));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--regold") {
+      g_regold = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,12 +1,22 @@
 #ifndef WLM_TESTS_WLM_TEST_UTIL_H_
 #define WLM_TESTS_WLM_TEST_UTIL_H_
 
+#include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
+#include "characterization/static_classifier.h"
+#include "cluster/cluster.h"
 #include "core/workload_manager.h"
 #include "engine/engine.h"
 #include "engine/monitor.h"
+#include "scheduling/queue_schedulers.h"
 #include "sim/simulation.h"
+#include "workloads/generators.h"
 
 namespace wlm {
 
@@ -67,6 +77,179 @@ inline QuerySpec OltpSpec(QueryId id, double cpu = 0.01,
   spec.session.application = application;
   spec.session.user = "cashier";
   return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Cluster helpers.
+// ---------------------------------------------------------------------------
+
+/// The canonical three-tenant setup (oltp high / bi low / utilities
+/// background, classified by query kind) on one shard's manager —
+/// the per-shard analogue of the bench harness's standard workloads.
+inline void DefineTestWorkloads(WorkloadManager& manager) {
+  WorkloadDefinition oltp;
+  oltp.name = "oltp";
+  oltp.priority = BusinessPriority::kHigh;
+  manager.DefineWorkload(oltp);
+  WorkloadDefinition bi;
+  bi.name = "bi";
+  bi.priority = BusinessPriority::kLow;
+  manager.DefineWorkload(bi);
+  WorkloadDefinition utilities;
+  utilities.name = "utilities";
+  utilities.priority = BusinessPriority::kBackground;
+  manager.DefineWorkload(utilities);
+
+  auto classifier = std::make_unique<StaticClassifier>();
+  ClassificationRule oltp_rule;
+  oltp_rule.workload = "oltp";
+  oltp_rule.kind = QueryKind::kOltpTransaction;
+  classifier->AddRule(oltp_rule);
+  ClassificationRule bi_rule;
+  bi_rule.workload = "bi";
+  bi_rule.kind = QueryKind::kBiQuery;
+  classifier->AddRule(bi_rule);
+  ClassificationRule utility_rule;
+  utility_rule.workload = "utilities";
+  utility_rule.kind = QueryKind::kUtility;
+  classifier->AddRule(utility_rule);
+  manager.set_classifier(std::move(classifier));
+  // A concurrency cap makes wait queues real: without one every arrival
+  // dispatches immediately and queue-driven overload control never engages.
+  manager.set_scheduler(std::make_unique<FifoScheduler>(/*mpl=*/4));
+}
+
+/// Cluster built from TestEngineConfig shards with overload protection on.
+inline ClusterOptions TestClusterOptions(int num_shards) {
+  ClusterOptions options;
+  options.num_shards = num_shards;
+  options.engine = TestEngineConfig();
+  options.monitor_interval = 0.5;
+  options.wlm.overload.enabled = true;
+  options.wlm.overload.codel.queue_capacity = 16;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario replay: a seeded end-to-end cluster run serialized as canonical
+// JSONL (merged per-shard control-plane events, then routing decisions,
+// then per-shard and cluster summaries). The byte-identical golden surface
+// for the replay regression tests; regenerate with
+// `scenario_replay_test --regold` (see README).
+// ---------------------------------------------------------------------------
+
+struct ScenarioOptions {
+  int num_shards = 1;
+  uint64_t seed = 42;
+  /// Arrivals stop at `duration`; the sim drains until duration + drain.
+  double duration = 12.0;
+  double drain = 8.0;
+  double oltp_rate = 25.0;
+  double bi_rate = 1.5;
+  PlacementPolicyKind placement = PlacementPolicyKind::kLeastOutstanding;
+  bool redispatch = true;
+  int queue_capacity = 16;
+};
+
+namespace scenario_internal {
+
+inline std::string F6(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace scenario_internal
+
+inline std::string RunScenarioJsonl(const ScenarioOptions& options) {
+  using scenario_internal::F6;
+  using scenario_internal::JsonEscape;
+
+  Simulation sim;
+  ClusterOptions cluster_options = TestClusterOptions(options.num_shards);
+  cluster_options.wlm.overload.codel.queue_capacity = options.queue_capacity;
+  cluster_options.placement = options.placement;
+  cluster_options.redispatch = options.redispatch;
+  ClusterDispatcher cluster(
+      &sim, cluster_options,
+      [](int shard, WorkloadManager& manager) {
+        (void)shard;
+        DefineTestWorkloads(manager);
+      });
+
+  WorkloadGenerator generator(options.seed);
+  Rng arrivals(options.seed ^ 0x5a5a5a5aULL);
+  OpenLoopDriver oltp(
+      &sim, &arrivals, options.oltp_rate,
+      [&generator] { return generator.NextOltp(OltpWorkloadConfig()); },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  OpenLoopDriver bi(
+      &sim, &arrivals, options.bi_rate,
+      [&generator] { return generator.NextBi(BiWorkloadConfig()); },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  if (options.oltp_rate > 0.0) oltp.Start(options.duration);
+  if (options.bi_rate > 0.0) bi.Start(options.duration);
+  sim.RunUntil(options.duration + options.drain);
+
+  // Merge the shards' control-plane logs: (time, shard, per-shard index)
+  // is a total order because each log is already time-ordered.
+  std::vector<std::tuple<double, int, int64_t, std::string>> entries;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    int64_t index = 0;
+    for (const WlmEvent& event : cluster.shard(s).wlm().event_log().events()) {
+      std::string line = "{\"t\":" + F6(event.time) +
+                         ",\"shard\":" + std::to_string(s) + ",\"type\":\"" +
+                         WlmEventTypeToString(event.type) +
+                         "\",\"query\":" + std::to_string(event.query) +
+                         ",\"workload\":\"" + JsonEscape(event.workload) +
+                         "\",\"detail\":\"" + JsonEscape(event.detail) + "\"}";
+      entries.emplace_back(event.time, s, index++, std::move(line));
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+
+  std::string out;
+  for (const auto& entry : entries) {
+    out += std::get<3>(entry);
+    out += '\n';
+  }
+  for (const ClusterDispatcher::RouteDecision& d : cluster.route_log()) {
+    out += "{\"t\":" + F6(d.time) + ",\"type\":\"route\",\"query\":" +
+           std::to_string(d.query) + ",\"shard\":" + std::to_string(d.shard) +
+           ",\"attempt\":" + std::to_string(d.attempt) +
+           ",\"redispatch\":" + (d.redispatch ? "1" : "0") + "}\n";
+  }
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    const ClusterShard& shard = cluster.shard(s);
+    const EventLog& log = shard.wlm().event_log();
+    out += "{\"type\":\"summary\",\"shard\":" + std::to_string(s) +
+           ",\"routed\":" + std::to_string(shard.routed()) +
+           ",\"refused\":" + std::to_string(shard.refused()) +
+           ",\"redispatched_in\":" + std::to_string(shard.redispatched_in()) +
+           ",\"completed\":" +
+           std::to_string(log.CountOf(WlmEventType::kCompleted)) +
+           ",\"shed\":" + std::to_string(log.CountOf(WlmEventType::kShed)) +
+           "}\n";
+  }
+  out += "{\"type\":\"cluster\",\"rejected\":" +
+         std::to_string(cluster.rejected_total()) + ",\"redispatched\":" +
+         std::to_string(cluster.redispatched_total()) + ",\"imbalance\":" +
+         F6(cluster.ImbalanceCoefficient()) + "}\n";
+  return out;
 }
 
 }  // namespace wlm

@@ -600,6 +600,56 @@ void RunQ1(const std::string& path, const LexedFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// S1 — mutable static storage in library layers.
+// ---------------------------------------------------------------------------
+
+void RunS1(const std::string& path, const LexedFile& file,
+           const Suppressions& allow, std::vector<Finding>* findings) {
+  // Scope: everything under src/. The cluster layer multi-instantiates
+  // every engine/telemetry/overload object (one stack per shard); any
+  // mutable namespace-scope, function-local-static or class-static
+  // storage is shared across shards and silently couples them — cached
+  // metric handles, memoized registries and the like must be members.
+  if (!HasComponent(path, "src")) return;
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "static") continue;
+    // Walk to the declaration's first structural delimiter. `(` first
+    // means a static function (stateless); const/constexpr/constinit
+    // anywhere before it means immutable storage. Everything else is
+    // mutable static state.
+    bool immutable = false;
+    bool function_like = false;
+    std::string name;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      const std::string& text = toks[j].text;
+      if (text == "<") {
+        j = SkipTemplateArgs(toks, j) - 1;
+        continue;
+      }
+      if (text == "const" || text == "constexpr" || text == "constinit") {
+        immutable = true;
+      }
+      if (text == "(") {
+        function_like = true;
+        break;
+      }
+      if (text == ";" || text == "=" || text == "{") break;
+      if (toks[j].kind == TokKind::kIdent) name = text;
+    }
+    if (function_like || immutable) continue;
+    if (allow.Allows(toks[i].line, "S1")) continue;
+    findings->push_back(
+        {path, toks[i].line, "S1",
+         "mutable static storage '" + name +
+             "' is shared across every engine/shard instance: the cluster "
+             "layer multi-instantiates this component, so move the state "
+             "into a member (or justify with `// wlm-lint: allow(S1) "
+             "reason`)"});
+  }
+}
+
 void SortFindings(std::vector<Finding>* findings) {
   std::sort(findings->begin(), findings->end(),
             [](const Finding& a, const Finding& b) {
@@ -629,6 +679,9 @@ const std::vector<RuleInfo>& Rules() {
       {"Q1", "wait-queue containers in admission/scheduling/core/overload "
              "declare an explicit capacity bound (or justify the unbounded "
              "queue with an allow annotation)"},
+      {"S1", "no mutable static storage in library layers (src/) — the "
+             "cluster layer multi-instantiates every component per shard, "
+             "so all state must live in instance members"},
   };
   return kRules;
 }
@@ -675,6 +728,7 @@ std::vector<Finding> LintSource(
   RunH2(path, file, allow, &findings);
   RunP1(path, file, allow, &findings);
   RunQ1(path, file, allow, &findings);
+  RunS1(path, file, allow, &findings);
   SortFindings(&findings);
   return findings;
 }
