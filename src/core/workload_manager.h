@@ -17,6 +17,7 @@
 #include "core/workload.h"
 #include "engine/engine.h"
 #include "engine/monitor.h"
+#include "faults/fault_sink.h"
 #include "overload/overload_controller.h"
 #include "sim/simulation.h"
 #include "telemetry/telemetry.h"
@@ -79,7 +80,7 @@ struct WlmConfig {
 ///
 /// Requests enter via Submit(); terminal statistics land in the Monitor
 /// (per-workload tag) and per-workload counters here.
-class WorkloadManager {
+class WorkloadManager : public FaultSink {
  public:
   WorkloadManager(Simulation* sim, DatabaseEngine* engine, Monitor* monitor,
                   WlmConfig config = WlmConfig());
@@ -171,14 +172,15 @@ class WorkloadManager {
   void SetWorkloadShares(const std::string& workload,
                          const ResourceShares& shares);
 
-  // --- fault plumbing (the FaultInjector drives these) ---------------------
+  // --- fault plumbing (FaultSink; the FaultInjector drives these) ----------
   /// A fault window opened: logs kFaultInjected, feeds telemetry, and —
   /// with resilience enabled — engages graceful degradation (MPL shed,
   /// low-priority throttling) until the matching NotifyFaultEnd.
-  void NotifyFaultBegin(const std::string& kind, const std::string& detail);
+  void NotifyFaultBegin(const std::string& kind,
+                        const std::string& detail) override;
   /// The window that began at `started_at` closed; reverts degradation
   /// once no windows remain active.
-  void NotifyFaultEnd(const std::string& kind, double started_at);
+  void NotifyFaultEnd(const std::string& kind, double started_at) override;
   int active_fault_count() const { return active_faults_; }
   /// True while resilience is enabled and any fault window is active.
   [[nodiscard]] bool degraded() const {
@@ -187,7 +189,8 @@ class WorkloadManager {
   /// Spontaneous fault abort of a running request. With resilience
   /// enabled the victim retries after exponential backoff (bounded by
   /// `max_retries`); otherwise it terminates as killed.
-  [[nodiscard]] Status AbortRequestByFault(QueryId id, const std::string& reason);
+  [[nodiscard]] Status AbortRequestByFault(QueryId id,
+                                           const std::string& reason) override;
 
  private:
   void OnSample(const SystemIndicators& indicators);

@@ -4,12 +4,10 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/workload_manager.h"
-
 namespace wlm {
 
 FaultInjector::FaultInjector(Simulation* sim, DatabaseEngine* engine,
-                             WorkloadManager* wlm)
+                             FaultSink* wlm)
     : sim_(sim), engine_(engine), wlm_(wlm), rng_(1) {}
 
 Status FaultInjector::Arm(const FaultPlan& plan) {

@@ -11,11 +11,10 @@
 #include "common/status.h"
 #include "engine/engine.h"
 #include "faults/fault_plan.h"
+#include "faults/fault_sink.h"
 #include "sim/simulation.h"
 
 namespace wlm {
-
-class WorkloadManager;
 
 /// Storm transactions occupy a reserved id range so tests, victim
 /// selection and trace readers can tell them from real workload queries.
@@ -36,11 +35,12 @@ struct FaultInjectorStats {
 /// exactly the scripted intervals. All randomness flows from the plan's
 /// seed, so a run is bit-reproducible given (workload seed, plan).
 ///
-/// With a WorkloadManager attached, window boundaries are reported via
-/// NotifyFaultBegin/End (feeding the event log, metrics and the fault
-/// trace track, and engaging resilience policies) and spontaneous aborts
-/// go through AbortRequestByFault so the retry policy sees them. Without
-/// one, the injector drives the engine alone.
+/// With a FaultSink attached (in practice the WorkloadManager), window
+/// boundaries are reported via NotifyFaultBegin/End (feeding the event
+/// log, metrics and the fault trace track, and engaging resilience
+/// policies) and spontaneous aborts go through AbortRequestByFault so the
+/// retry policy sees them. Without one, the injector drives the engine
+/// alone.
 ///
 /// Overlapping windows compose: the effective I/O factor is the minimum
 /// of active windows, offline cores and pressure MB are sums, and each
@@ -48,7 +48,7 @@ struct FaultInjectorStats {
 class FaultInjector {
  public:
   FaultInjector(Simulation* sim, DatabaseEngine* engine,
-                WorkloadManager* wlm = nullptr);
+                FaultSink* wlm = nullptr);
 
   /// Called at kArrivalSurge boundaries: (factor, true) when the surge
   /// window opens, (factor, false) when it closes. The load generator
@@ -80,7 +80,7 @@ class FaultInjector {
 
   Simulation* sim_;
   DatabaseEngine* engine_;
-  WorkloadManager* wlm_;
+  FaultSink* wlm_;
   std::function<void(double, bool)> surge_handler_;
   Rng rng_;
 

@@ -1,0 +1,37 @@
+#ifndef WLM_FAULTS_FAULT_SINK_H_
+#define WLM_FAULTS_FAULT_SINK_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/types.h"
+
+namespace wlm {
+
+/// What the fault injector needs from the workload manager, owned by the
+/// faults layer so the dependency points downward: WorkloadManager (core)
+/// implements this interface, FaultInjector talks only to it. The faults
+/// layer must never include core headers — core already includes faults
+/// to arm plans, and the reverse edge would be an include cycle in the
+/// layer DAG (rule T2).
+class FaultSink {
+ public:
+  virtual ~FaultSink() = default;
+
+  /// A fault window opened. `kind` is FaultKindToString of the window;
+  /// `detail` is a human-readable summary for the event log.
+  virtual void NotifyFaultBegin(const std::string& kind,
+                                const std::string& detail) = 0;
+
+  /// The matching window closed; `started_at` is its open time.
+  virtual void NotifyFaultEnd(const std::string& kind, double started_at) = 0;
+
+  /// A spontaneous-abort strike chose `id`. The sink routes it through
+  /// retry/resilience policy rather than a raw engine kill.
+  [[nodiscard]] virtual Status AbortRequestByFault(
+      QueryId id, const std::string& reason) = 0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_FAULTS_FAULT_SINK_H_

@@ -508,5 +508,413 @@ TEST(LintInfraTest, LexerSurvivesRawStringsAndContinuations) {
   EXPECT_EQ(findings[0].line, 4);
 }
 
+// ---------------------------------------------------------------------------
+// Suppression placement: trailing, line-above, stacked comment blocks, and
+// trailing comments on #include lines must all reach the flagged construct.
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppressionTest, LineAboveStatementSuppresses) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    // wlm-lint: allow(D1) operator-facing log filename only
+    long t = time(nullptr);
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSuppressionTest, StackedCommentBlockChainsToCode) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    // wlm-lint: allow(D1) wall clock feeds the operator display only;
+    // the value never reaches a scheduling or selection decision,
+    // so replay determinism is unaffected.
+    long t = time(nullptr);
+  )");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSuppressionTest, DoesNotChainPastInterveningCode) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    // wlm-lint: allow(D1) covers only the next statement
+    int x = 1;
+    long t = time(nullptr);
+  )");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D1");
+}
+
+TEST(LintSuppressionTest, TrailingCommentOnIncludeLineSuppresses) {
+  ProjectConfig config;
+  config.layers = {{"core", 4}, {"engine", 2}};
+  std::vector<SourceFile> files = {
+      {"src/core/top.h", "struct Top {};\n"},
+      {"src/engine/use.cc",
+       "#include \"core/top.h\"  // wlm-lint: allow(T2) migration bridge, "
+       "tracked in DESIGN.md\nvoid Use() {}\n"},
+  };
+  EXPECT_TRUE(LintProject(files, config).empty());
+}
+
+// ---------------------------------------------------------------------------
+// T1 — taint propagation over the call graph.
+// ---------------------------------------------------------------------------
+
+TEST(LintT1Test, FlagsTransitiveClockReachability) {
+  std::vector<SourceFile> files = {
+      {"src/engine/now.cc", R"(
+        double NowSeconds() { return static_cast<double>(time(nullptr)); }
+        double Deadline() { return NowSeconds() + 5.0; }
+        double Due() { return Deadline() * 2.0; }
+      )"},
+  };
+  auto findings = LintProject(files);
+  // The direct use is D1's finding; both transitive reachers are T1's.
+  EXPECT_TRUE(HasRule(findings, "D1"));
+  int t1 = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == "T1") {
+      ++t1;
+      EXPECT_NE(f.message.find("time"), std::string::npos);
+      EXPECT_NE(f.message.find("NowSeconds"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(t1, 2);
+}
+
+TEST(LintT1Test, PropagatesAcrossTranslationUnits) {
+  std::vector<SourceFile> files = {
+      {"src/engine/wrap.cc",
+       "double WallNow() { return static_cast<double>(time(nullptr)); }\n"},
+      {"src/scheduling/user.cc",
+       "double Slack() { return WallNow() - 1.0; }\n"},
+  };
+  auto findings = LintProject(files);
+  bool t1_in_user = false;
+  for (const Finding& f : findings) {
+    if (f.rule == "T1" && f.path == "src/scheduling/user.cc") {
+      t1_in_user = true;
+    }
+  }
+  EXPECT_TRUE(t1_in_user);
+}
+
+TEST(LintT1Test, CommonIsTheSanctionedBoundary) {
+  std::vector<SourceFile> files = {
+      {"src/common/rng.cc",
+       "unsigned HardwareSeed() { return std::random_device{}(); }\n"},
+      {"src/engine/user.cc",
+       "unsigned Pick() { return HardwareSeed() % 7; }\n"},
+  };
+  auto findings = LintProject(files);
+  EXPECT_FALSE(HasRule(findings, "D1"));  // common may name entropy
+  EXPECT_FALSE(HasRule(findings, "T1"));  // and never taints its callers
+}
+
+TEST(LintT1Test, AllowD1WrapperDoesNotSeed) {
+  std::vector<SourceFile> files = {
+      {"src/telemetry/wall.cc", R"(
+        double ExportTimestamp() {
+          // wlm-lint: allow(D1) prometheus scrape timestamps are wall time
+          return static_cast<double>(time(nullptr));
+        }
+        double Scrape() { return ExportTimestamp(); }
+      )"},
+  };
+  auto findings = LintProject(files);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintT1Test, AllowT1StopsPropagationAtTheBlessedCaller) {
+  std::vector<SourceFile> files = {
+      {"src/engine/chain.cc", R"(
+        double WallNow() { return static_cast<double>(time(nullptr)); }
+        // wlm-lint: allow(T1) boundary: converts wall time to sim offsets
+        double Bridge() { return WallNow(); }
+        double Consumer() { return Bridge() + 1.0; }
+      )"},
+  };
+  auto findings = LintProject(files);
+  EXPECT_TRUE(HasRule(findings, "D1"));   // the raw use stays flagged
+  EXPECT_FALSE(HasRule(findings, "T1"));  // but taint stops at Bridge
+}
+
+TEST(LintT1Test, QuietOnEntropyFreeCallGraph) {
+  std::vector<SourceFile> files = {
+      {"src/engine/a.cc", "int A() { return 1; }\nint B() { return A(); }\n"},
+  };
+  EXPECT_TRUE(LintProject(files).empty());
+}
+
+// ---------------------------------------------------------------------------
+// T2 — layer DAG and include cycles.
+// ---------------------------------------------------------------------------
+
+namespace {
+ProjectConfig LayeredConfig() {
+  ProjectConfig config;
+  config.layers = {{"common", 0}, {"engine", 2}, {"telemetry", 3},
+                   {"core", 4}};
+  return config;
+}
+}  // namespace
+
+TEST(LintT2Test, FlagsUpwardInclude) {
+  std::vector<SourceFile> files = {
+      {"src/core/manager.h", "struct Manager {};\n"},
+      {"src/engine/exec.cc",
+       "#include \"core/manager.h\"\nvoid Exec() {}\n"},
+  };
+  auto findings = LintProject(files, LayeredConfig());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "T2");
+  EXPECT_EQ(findings[0].path, "src/engine/exec.cc");
+  EXPECT_NE(findings[0].message.find("layering violation"),
+            std::string::npos);
+}
+
+TEST(LintT2Test, FlagsPeerIncludeAtEqualRank) {
+  ProjectConfig config;
+  config.layers = {{"telemetry", 3}, {"workloads", 3}};
+  std::vector<SourceFile> files = {
+      {"src/telemetry/metrics.h", "struct M {};\n"},
+      {"src/workloads/gen.cc",
+       "#include \"telemetry/metrics.h\"\nvoid G() {}\n"},
+  };
+  EXPECT_TRUE(HasRule(LintProject(files, config), "T2"));
+}
+
+TEST(LintT2Test, AllowsDownwardInclude) {
+  std::vector<SourceFile> files = {
+      {"src/engine/exec.h", "struct Exec {};\n"},
+      {"src/core/manager.cc",
+       "#include \"engine/exec.h\"\nvoid M() {}\n"},
+  };
+  EXPECT_TRUE(LintProject(files, LayeredConfig()).empty());
+}
+
+TEST(LintT2Test, FlagsModuleMissingFromLayerMap) {
+  std::vector<SourceFile> files = {
+      {"src/engine/exec.h", "struct Exec {};\n"},
+      {"src/mystery/box.cc",
+       "#include \"engine/exec.h\"\nvoid B() {}\n"},
+  };
+  auto findings = LintProject(files, LayeredConfig());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "T2");
+  EXPECT_NE(findings[0].message.find("mystery"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("no layer rank"), std::string::npos);
+}
+
+TEST(LintT2Test, FlagsIncludeCycleEvenWithoutLayers) {
+  std::vector<SourceFile> files = {
+      {"src/engine/a.h", "#include \"engine/b.h\"\nstruct A {};\n"},
+      {"src/engine/b.h", "#include \"engine/a.h\"\nstruct B {};\n"},
+  };
+  auto findings = LintProject(files);  // no layers configured
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "T2");
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// T3 — telemetry registry consistency.
+// ---------------------------------------------------------------------------
+
+TEST(LintT3Test, FlagsEmittedButUnregisteredMetric) {
+  std::vector<SourceFile> files = {
+      {"src/telemetry/t.cc",
+       "void E(Registry& m) { m.GetCounter(\"wlm_lost_total\")->Add(1); }\n"},
+  };
+  auto findings = LintProject(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "T3");
+  EXPECT_NE(findings[0].message.find("never registered"), std::string::npos);
+}
+
+TEST(LintT3Test, FlagsRegisteredButNeverEmittedMetric) {
+  std::vector<SourceFile> files = {
+      {"src/telemetry/t.cc",
+       "void R(Registry& m) { m.SetHelp(\"wlm_dead_total\", \"gone\"); }\n"},
+  };
+  auto findings = LintProject(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "T3");
+  EXPECT_NE(findings[0].message.find("never emitted"), std::string::npos);
+}
+
+TEST(LintT3Test, ComposedPrefixMatchesRegisteredNames) {
+  std::vector<SourceFile> files = {
+      {"src/telemetry/t.cc", R"(
+        void R(Registry& m) {
+          m.SetHelp("wlm_requests_completed_total", "done");
+          m.GetCounter(std::string("wlm_requests_") + outcome + "_total");
+        }
+      )"},
+  };
+  EXPECT_TRUE(LintProject(files).empty());
+}
+
+TEST(LintT3Test, FlagsEventTypeNeverEmitted) {
+  std::vector<SourceFile> files = {
+      {"src/telemetry/ev.h", "enum class WlmEventType { kUsed, kDead };\n"},
+      {"src/telemetry/ev.cc", R"(
+        const char* WlmEventTypeToString(WlmEventType t) {
+          switch (t) {
+            case WlmEventType::kUsed: return "used";
+            case WlmEventType::kDead: return "dead";
+          }
+          return "?";
+        }
+      )"},
+      {"src/core/emit.cc", "void E() { Log(WlmEventType::kUsed); }\n"},
+  };
+  auto findings = LintProject(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "T3");
+  EXPECT_NE(findings[0].message.find("kDead"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("never emitted"), std::string::npos);
+}
+
+TEST(LintT3Test, FlagsEventTypeMissingFromToString) {
+  std::vector<SourceFile> files = {
+      {"src/telemetry/ev.h", "enum class WlmEventType { kA, kB };\n"},
+      {"src/telemetry/ev.cc", R"(
+        const char* WlmEventTypeToString(WlmEventType t) {
+          if (t == WlmEventType::kA) return "a";
+          return "?";
+        }
+      )"},
+      {"src/core/emit.cc",
+       "void E() { Log(WlmEventType::kA); Log(WlmEventType::kB); }\n"},
+  };
+  auto findings = LintProject(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "T3");
+  EXPECT_NE(findings[0].message.find("kB"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("WlmEventTypeToString"),
+            std::string::npos);
+}
+
+TEST(LintT3Test, QuietOnConsistentRegistry) {
+  std::vector<SourceFile> files = {
+      {"src/telemetry/t.cc", R"(
+        void R(Registry& m) {
+          m.SetHelp("wlm_ok_total", "fine");
+          m.GetCounter("wlm_ok_total")->Add(1);
+        }
+      )"},
+      {"src/telemetry/ev.h", "enum class WlmEventType { kA };\n"},
+      {"src/telemetry/ev.cc", R"(
+        const char* WlmEventTypeToString(WlmEventType t) {
+          if (t == WlmEventType::kA) return "a";
+          return "?";
+        }
+      )"},
+      {"src/core/emit.cc", "void E() { Log(WlmEventType::kA); }\n"},
+  };
+  EXPECT_TRUE(LintProject(files).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: accepted findings are absorbed line-for-line; new occurrences
+// of the same pattern still fail.
+// ---------------------------------------------------------------------------
+
+TEST(LintBaselineTest, RoundTripAbsorbsEveryFinding) {
+  auto findings = LintSource("src/engine/foo.cc", R"(
+    long t = time(nullptr);
+    std::random_device rd;
+  )");
+  ASSERT_EQ(findings.size(), 2u);
+  std::string baseline = ToBaseline(findings);
+  EXPECT_TRUE(ApplyBaseline(findings, baseline).empty());
+}
+
+TEST(LintBaselineTest, EachLineAbsorbsExactlyOneFinding) {
+  // Two identical findings (same rule/path/message, different lines) but
+  // the baseline accepted only one: the second must survive.
+  auto findings = LintSource("src/engine/foo.cc",
+                             "long a = time(nullptr);\n"
+                             "long b = time(nullptr);\n");
+  ASSERT_EQ(findings.size(), 2u);
+  std::string baseline = ToBaseline({findings[0]});
+  auto remaining = ApplyBaseline(findings, baseline);
+  ASSERT_EQ(remaining.size(), 1u);
+  EXPECT_EQ(remaining[0].rule, "D1");
+}
+
+TEST(LintBaselineTest, IsLineNumberInsensitive) {
+  // An edit above the accepted finding moves its line; the baseline must
+  // still absorb it.
+  auto before = LintSource("src/engine/foo.cc", "long t = time(nullptr);\n");
+  auto after = LintSource("src/engine/foo.cc",
+                          "int unrelated = 0;\nlong t = time(nullptr);\n");
+  ASSERT_EQ(before.size(), 1u);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_NE(before[0].line, after[0].line);
+  EXPECT_TRUE(ApplyBaseline(after, ToBaseline(before)).empty());
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output: structurally sound and byte-identical across runs.
+// ---------------------------------------------------------------------------
+
+TEST(LintSarifTest, EmitsWellFormedResults) {
+  auto findings = LintSource("src/engine/foo.cc",
+                             "long t = time(nullptr);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  std::string sarif = ToSarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"D1\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/engine/foo.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
+  // Every catalog rule ships as driver metadata.
+  for (const RuleInfo& rule : Rules()) {
+    EXPECT_NE(sarif.find("{\"id\": \"" + std::string(rule.id) + "\""),
+              std::string::npos);
+  }
+}
+
+TEST(LintSarifTest, ByteIdenticalAcrossRuns) {
+  std::vector<SourceFile> files = {
+      {"src/engine/now.cc", R"(
+        double NowSeconds() { return static_cast<double>(time(nullptr)); }
+        double Deadline() { return NowSeconds() + 5.0; }
+      )"},
+  };
+  std::string a = ToSarif(LintProject(files));
+  std::string b = ToSarif(LintProject(files));
+  EXPECT_EQ(a, b);
+}
+
+TEST(LintSarifTest, EscapesMessageContent) {
+  std::vector<Finding> findings = {
+      {"src/a.cc", 1, "D1", "quote \" backslash \\ newline \n done"}};
+  std::string sarif = ToSarif(findings);
+  EXPECT_NE(sarif.find("quote \\\" backslash \\\\ newline \\n done"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// layers.toml parsing.
+// ---------------------------------------------------------------------------
+
+TEST(LintLayersTest, ParsesRanksAndIgnoresComments) {
+  std::string error;
+  auto layers = ParseLayersToml(
+      "# comment\n[layers]\ncommon = 0  # leaf\nengine = 2\n", &error);
+  ASSERT_EQ(layers.size(), 2u);
+  EXPECT_EQ(layers.at("common"), 0);
+  EXPECT_EQ(layers.at("engine"), 2);
+}
+
+TEST(LintLayersTest, RejectsMalformedAndDuplicateEntries) {
+  std::string error;
+  EXPECT_TRUE(ParseLayersToml("[layers]\nbogus line\n", &error).empty());
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_TRUE(
+      ParseLayersToml("[layers]\na = 1\na = 2\n", &error).empty());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+  EXPECT_TRUE(ParseLayersToml("no table at all\n", &error).empty());
+}
+
 }  // namespace
 }  // namespace wlm::lint

@@ -71,10 +71,20 @@ LexedFile Lex(const std::string& content) {
           }
         }
       }
-      // Swallow to end of logical line.
+      // Swallow to end of logical line, but still record a trailing //
+      // comment — suppression directives ride on #include lines too.
       while (i < n) {
         if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
           advance(2);
+          continue;
+        }
+        if (content[i] == '/' && i + 1 < n && content[i + 1] == '/') {
+          size_t start = i + 2;
+          size_t end = content.find('\n', start);
+          if (end == std::string::npos) end = n;
+          out.comments.push_back(
+              {line, line, content.substr(start, end - start)});
+          advance(end - i);
           continue;
         }
         if (content[i] == '\n') break;
@@ -114,8 +124,14 @@ LexedFile Lex(const std::string& content) {
       std::string close = ")" + delim + "\"";
       size_t end = content.find(close, p);
       int tok_line = line;
+      std::string value;
+      if (p + 1 <= n) {
+        size_t body = p + 1;
+        size_t stop = end == std::string::npos ? n : end;
+        if (stop > body) value = content.substr(body, stop - body);
+      }
       advance((end == std::string::npos ? n : end + close.size()) - i);
-      out.tokens.push_back({TokKind::kString, "", tok_line});
+      out.tokens.push_back({TokKind::kString, "", tok_line, std::move(value)});
       continue;
     }
 
@@ -123,11 +139,13 @@ LexedFile Lex(const std::string& content) {
     if (c == '"') {
       int tok_line = line;
       advance(1);
+      size_t body = i;
       while (i < n && content[i] != '"') {
         advance(content[i] == '\\' ? 2 : 1);
       }
+      std::string value = content.substr(body, i - body);
       advance(1);  // closing quote
-      out.tokens.push_back({TokKind::kString, "", tok_line});
+      out.tokens.push_back({TokKind::kString, "", tok_line, std::move(value)});
       continue;
     }
 
@@ -140,7 +158,7 @@ LexedFile Lex(const std::string& content) {
         advance(content[i] == '\\' ? 2 : 1);
       }
       advance(1);
-      out.tokens.push_back({TokKind::kChar, "", tok_line});
+      out.tokens.push_back({TokKind::kChar, "", tok_line, ""});
       continue;
     }
 
@@ -166,7 +184,7 @@ LexedFile Lex(const std::string& content) {
         break;
       }
       out.tokens.push_back(
-          {TokKind::kNumber, content.substr(start, i - start), tok_line});
+          {TokKind::kNumber, content.substr(start, i - start), tok_line, ""});
       continue;
     }
 
@@ -176,7 +194,7 @@ LexedFile Lex(const std::string& content) {
       size_t start = i;
       while (i < n && IsIdentChar(content[i])) advance(1);
       out.tokens.push_back(
-          {TokKind::kIdent, content.substr(start, i - start), tok_line});
+          {TokKind::kIdent, content.substr(start, i - start), tok_line, ""});
       continue;
     }
 
@@ -185,10 +203,10 @@ LexedFile Lex(const std::string& content) {
     if (i + 1 < n && IsTwoCharPunct(c, content[i + 1])) {
       std::string text = content.substr(i, 2);
       advance(2);
-      out.tokens.push_back({TokKind::kPunct, std::move(text), tok_line});
+      out.tokens.push_back({TokKind::kPunct, std::move(text), tok_line, ""});
     } else {
       advance(1);
-      out.tokens.push_back({TokKind::kPunct, std::string(1, c), tok_line});
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), tok_line, ""});
     }
   }
 

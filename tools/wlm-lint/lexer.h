@@ -18,6 +18,9 @@ struct Token {
   TokKind kind;
   std::string text;
   int line = 0;
+  /// For kString only: the literal's raw contents (escapes unprocessed).
+  /// Kept out of `text` so delimiter matching never sees string innards.
+  std::string value;
 };
 
 /// A comment with the line span it covers. `text` excludes the delimiters.
@@ -44,8 +47,9 @@ struct LexedFile {
 };
 
 /// Tokenizes C++ source. Handles //, /* */, string/char literals with
-/// escapes, raw strings R"delim(...)delim", digit separators, and
-/// line-continued preprocessor directives.
+/// escapes, raw strings R"delim(...)delim", digit separators,
+/// line-continued preprocessor directives, and trailing // comments on
+/// preprocessor lines (so suppressions on an #include line are seen).
 LexedFile Lex(const std::string& content);
 
 }  // namespace wlm::lint

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <sstream>
+
+#include "symbol_graph.h"
 
 namespace wlm::lint {
 
@@ -56,9 +60,12 @@ std::string Stem(const std::string& path) {
 
 // ---------------------------------------------------------------------------
 // Suppressions: `// wlm-lint: allow(RULE-ID) reason`. The directive covers
-// the comment's own line span plus the next line, so both trailing comments
-// and a comment line above the construct work. A directive without a reason
-// is itself a finding (A0) — suppressions must be justified.
+// the comment's own line span, chains through any directly following
+// comment-only lines, and lands on the next code line — so a trailing
+// comment, a comment on the line above, a stacked explanation block, and a
+// trailing comment on an `#include` line all suppress the flagged
+// construct. A directive without a reason is itself a finding (A0) —
+// suppressions must be justified.
 // ---------------------------------------------------------------------------
 
 struct Suppressions {
@@ -72,9 +79,19 @@ struct Suppressions {
 };
 
 Suppressions ParseSuppressions(const std::string& path,
-                               const std::vector<Comment>& comments) {
+                               const LexedFile& file) {
+  // Line classification: a directive extends past its own comment only
+  // through comment-only lines, then covers the first code line it meets.
+  std::set<int> code_lines;
+  for (const Token& t : file.tokens) code_lines.insert(t.line);
+  for (const IncludeDirective& inc : file.includes) code_lines.insert(inc.line);
+  std::set<int> comment_lines;
+  for (const Comment& c : file.comments) {
+    for (int l = c.line; l <= c.end_line; ++l) comment_lines.insert(l);
+  }
+
   Suppressions out;
-  for (const Comment& comment : comments) {
+  for (const Comment& comment : file.comments) {
     size_t pos = comment.text.find("wlm-lint:");
     while (pos != std::string::npos) {
       size_t open = comment.text.find("allow(", pos);
@@ -90,9 +107,15 @@ Suppressions ParseSuppressions(const std::string& path,
              "suppression without a rule id or reason: write "
              "`// wlm-lint: allow(RULE-ID) reason`"});
       } else {
-        for (int line = comment.line; line <= comment.end_line + 1; ++line) {
+        for (int line = comment.line; line <= comment.end_line; ++line) {
           out.allowed[line].insert(rule);
         }
+        int next = comment.end_line + 1;
+        while (comment_lines.count(next) > 0 && code_lines.count(next) == 0) {
+          out.allowed[next].insert(rule);
+          ++next;
+        }
+        out.allowed[next].insert(rule);
       }
       pos = comment.text.find("wlm-lint:", close);
     }
@@ -131,26 +154,10 @@ size_t MatchDelim(const std::vector<Token>& toks, size_t open,
 }
 
 // ---------------------------------------------------------------------------
-// D1 — nondeterminism sources.
+// D1 — nondeterminism sources. The vocabulary and use filters live in
+// symbol_graph.{h,cc} (EntropyUseAt) so the flow-aware taint pass T1 and
+// this per-token rule can never disagree on what counts as entropy.
 // ---------------------------------------------------------------------------
-
-const std::set<std::string>& BannedAnyUse() {
-  static const std::set<std::string> kSet = {
-      "random_device", "system_clock",          "steady_clock",
-      "high_resolution_clock", "mt19937",       "mt19937_64",
-      "minstd_rand",   "default_random_engine", "knuth_b",
-  };
-  return kSet;
-}
-
-const std::set<std::string>& BannedCalls() {
-  static const std::set<std::string> kSet = {
-      "rand",      "srand",        "time",   "clock",
-      "getenv",    "gettimeofday", "localtime", "gmtime",
-      "timespec_get",
-  };
-  return kSet;
-}
 
 void RunD1(const std::string& path, const LexedFile& file,
            const Suppressions& allow, std::vector<Finding>* findings) {
@@ -160,31 +167,8 @@ void RunD1(const std::string& path, const LexedFile& file,
   if (HasComponent(path, "common")) return;
   const std::vector<Token>& toks = file.tokens;
   for (size_t i = 0; i < toks.size(); ++i) {
-    if (toks[i].kind != TokKind::kIdent) continue;
-    const std::string& text = toks[i].text;
-    bool any_use = BannedAnyUse().count(text) > 0;
-    bool call = BannedCalls().count(text) > 0;
-    if (!any_use && !call) continue;
-    // Member access (`event.time`, `obj->clock`) is project data, not the
-    // C library.
-    if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
-      continue;
-    }
-    // Qualified by a namespace other than std/std::chrono: not the
-    // banned entity.
-    if (i > 1 && toks[i - 1].text == "::") {
-      const std::string& ns = toks[i - 2].text;
-      if (ns != "std" && ns != "chrono") continue;
-    }
-    if (call) {
-      // Must look like a call, and not a declaration (`double time(` — a
-      // preceding type identifier means this *names* something new).
-      if (!TextIs(toks, i + 1, "(")) continue;
-      if (i > 0 && toks[i - 1].kind == TokKind::kIdent &&
-          toks[i - 1].text != "return") {
-        continue;
-      }
-    }
+    std::string text = EntropyUseAt(toks, i);
+    if (text.empty()) continue;
     if (allow.Allows(toks[i].line, "D1")) continue;
     findings->push_back(
         {path, toks[i].line, "D1",
@@ -650,12 +634,425 @@ void RunS1(const std::string& path, const LexedFile& file,
   }
 }
 
+// ---------------------------------------------------------------------------
+// T1 — clock/RNG taint propagation over the project call graph. D1 flags
+// the entropy use itself; T1 flags every function that *transitively*
+// reaches one through calls, so wrapping `time()` one level deep no longer
+// hides it. `// wlm-lint: allow(D1)` on the use marks a sanctioned wrapper
+// (no seeding); `allow(T1)` on a definition or call site stops propagation
+// there. src/common is the sanctioned boundary and never seeds or taints.
+// Resolution is by bare name, so same-named functions over-approximate —
+// the price of no libclang, and conservative in the right direction.
+// ---------------------------------------------------------------------------
+
+void RunT1(const SymbolGraph& graph,
+           const std::map<std::string, Suppressions>& supp,
+           std::vector<Finding>* findings) {
+  struct Taint {
+    std::string source;       // the entropy entity ("time", "mt19937", ...)
+    std::string source_path;  // where the seed use lives
+    int source_line = 0;
+    std::vector<std::string> chain;  // this function first, seed last
+    int depth = 0;                   // 0 = direct use (D1's finding, not ours)
+  };
+  const std::vector<FunctionDef>& fns = graph.functions;
+  auto allows = [&](const std::string& path, int line, const char* rule) {
+    auto it = supp.find(path);
+    return it != supp.end() && it->second.Allows(line, rule);
+  };
+
+  std::map<size_t, Taint> taint;        // function index -> taint info
+  std::map<std::string, size_t> rep;    // tainted name -> representative fn
+  std::set<size_t> sanctioned;          // allow(T1)'d call-through functions
+  for (size_t i = 0; i < fns.size(); ++i) {
+    const FunctionDef& fn = fns[i];
+    if (HasComponent(fn.path, "common")) continue;
+    for (const CallSite& use : fn.entropy_uses) {
+      if (allows(fn.path, use.line, "D1") || allows(fn.path, use.line, "T1")) {
+        continue;  // sanctioned wrapper: does not seed
+      }
+      taint[i] = {use.callee, fn.path, use.line, {fn.name}, 0};
+      if (rep.count(fn.name) == 0) rep[fn.name] = i;
+      break;
+    }
+  }
+
+  // Fixpoint. Functions iterate in (path, line) order every round, so the
+  // representative chosen for a name — and therefore the reported chain —
+  // is deterministic.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < fns.size(); ++i) {
+      if (taint.count(i) > 0 || sanctioned.count(i) > 0) continue;
+      const FunctionDef& fn = fns[i];
+      if (HasComponent(fn.path, "common")) continue;
+      for (const CallSite& call : fn.calls) {
+        auto it = rep.find(call.callee);
+        if (it == rep.end()) continue;
+        if (allows(fn.path, fn.line, "T1") ||
+            allows(fn.path, call.line, "T1")) {
+          sanctioned.insert(i);
+          break;
+        }
+        const Taint& src = taint.at(it->second);
+        Taint t;
+        t.source = src.source;
+        t.source_path = src.source_path;
+        t.source_line = src.source_line;
+        t.chain.push_back(fn.name);
+        t.chain.insert(t.chain.end(), src.chain.begin(), src.chain.end());
+        t.depth = src.depth + 1;
+        taint.emplace(i, std::move(t));
+        if (rep.count(fn.name) == 0) rep[fn.name] = i;
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  for (const auto& [i, t] : taint) {
+    if (t.depth == 0) continue;  // the direct use is already a D1 finding
+    const FunctionDef& fn = fns[i];
+    std::string chain;
+    for (const std::string& name : t.chain) {
+      if (!chain.empty()) chain += " -> ";
+      chain += name;
+    }
+    findings->push_back(
+        {fn.path, fn.line, "T1",
+         "'" + fn.name + "' transitively reaches nondeterminism source '" +
+             t.source + "' (" + t.source_path + ":" +
+             std::to_string(t.source_line) + ") via " + chain +
+             " — route randomness/time through the seeded wlm::Rng and the "
+             "sim clock, or bless a deliberate wrapper with `// wlm-lint: "
+             "allow(T1) reason`"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// T2 — layering. The declared layer DAG (tools/wlm-lint/layers.toml) maps
+// each module (first directory under src/) to a rank; a file may include
+// across modules only strictly downward. Include cycles are rejected even
+// without a layers file. Suppression point: the offending #include line.
+// ---------------------------------------------------------------------------
+
+void RunT2(const SymbolGraph& graph, const std::map<std::string, int>& layers,
+           const std::map<std::string, Suppressions>& supp,
+           std::vector<Finding>* findings) {
+  auto allows = [&](const std::string& path, int line) {
+    auto it = supp.find(path);
+    return it != supp.end() && it->second.Allows(line, "T2");
+  };
+
+  if (!layers.empty()) {
+    std::set<std::string> unknown_reported;
+    for (const auto& [from_idx, edges] : graph.resolved_includes) {
+      const ProjectFile& from = graph.files[from_idx];
+      if (from.module.empty()) continue;
+      for (const auto& [to_idx, line] : edges) {
+        const ProjectFile& to = graph.files[to_idx];
+        if (to.module.empty() || to.module == from.module) continue;
+        auto fr = layers.find(from.module);
+        auto tr = layers.find(to.module);
+        if (fr == layers.end() || tr == layers.end()) {
+          const std::string& missing =
+              fr == layers.end() ? from.module : to.module;
+          if (unknown_reported.insert(missing).second &&
+              !allows(from.path, line)) {
+            findings->push_back(
+                {from.path, line, "T2",
+                 "module '" + missing +
+                     "' has no layer rank — add it to "
+                     "tools/wlm-lint/layers.toml so the layer DAG stays "
+                     "total"});
+          }
+          continue;
+        }
+        if (tr->second >= fr->second && !allows(from.path, line)) {
+          findings->push_back(
+              {from.path, line, "T2",
+               "layering violation: '" + from.module + "' (layer " +
+                   std::to_string(fr->second) + ") includes '" +
+                   to.module_path + "' from layer " +
+                   std::to_string(tr->second) + " ('" + to.module +
+                   "') — modules may only include strictly lower layers; "
+                   "invert the dependency behind an interface owned by the "
+                   "lower layer"});
+        }
+      }
+    }
+  }
+
+  // Include cycles, independent of any layers file. DFS over the resolved
+  // include graph; files and edges are already in deterministic order.
+  auto display = [&](const ProjectFile& f) {
+    return f.module_path.empty() ? f.path : f.module_path;
+  };
+  std::vector<int> color(graph.files.size(), 0);  // 0 white, 1 grey, 2 black
+  std::vector<size_t> chain;
+  std::function<void(size_t)> dfs = [&](size_t u) {
+    color[u] = 1;
+    chain.push_back(u);
+    auto it = graph.resolved_includes.find(u);
+    if (it != graph.resolved_includes.end()) {
+      for (const auto& [v, line] : it->second) {
+        if (color[v] == 1) {
+          size_t start = 0;
+          while (start < chain.size() && chain[start] != v) ++start;
+          std::string cyc;
+          for (size_t k = start; k < chain.size(); ++k) {
+            cyc += display(graph.files[chain[k]]);
+            cyc += " -> ";
+          }
+          cyc += display(graph.files[v]);
+          if (!allows(graph.files[u].path, line)) {
+            findings->push_back(
+                {graph.files[u].path, line, "T2",
+                 "include cycle: " + cyc +
+                     " — break it with a forward declaration or an "
+                     "extracted interface header"});
+          }
+        } else if (color[v] == 0) {
+          dfs(v);
+        }
+      }
+    }
+    chain.pop_back();
+    color[u] = 2;
+  };
+  for (size_t u = 0; u < graph.files.size(); ++u) {
+    if (color[u] == 0) dfs(u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// T3 — telemetry registry consistency. Every wlm_* metric emitted
+// (GetCounter/GetGauge/GetHistogram) must be registered (SetHelp) and vice
+// versa; every WlmEventType enumerator must be emitted somewhere outside
+// its declaring file and named by WlmEventTypeToString. Composed metric
+// names (`std::string("wlm_requests_") + outcome`) surface as prefixes
+// ending in '_' and match registered names by prefix.
+// ---------------------------------------------------------------------------
+
+void RunT3(const SymbolGraph& graph,
+           const std::map<std::string, Suppressions>& supp,
+           std::vector<Finding>* findings) {
+  auto allows = [&](const std::string& path, int line) {
+    auto it = supp.find(path);
+    return it != supp.end() && it->second.Allows(line, "T3");
+  };
+
+  std::set<std::string> registered;
+  std::set<std::string> emitted_exact;
+  std::set<std::string> emitted_prefix;
+  for (const MetricRef& ref : graph.metric_refs) {
+    if (ref.registered) {
+      registered.insert(ref.name);
+    } else if (!ref.name.empty() && ref.name.back() == '_') {
+      emitted_prefix.insert(ref.name);
+    } else {
+      emitted_exact.insert(ref.name);
+    }
+  }
+
+  // metric_refs are (name, path, line)-sorted, so "first site" per name
+  // and direction is deterministic.
+  std::set<std::string> done;
+  for (const MetricRef& ref : graph.metric_refs) {
+    if (!done.insert((ref.registered ? "r:" : "e:") + ref.name).second) {
+      continue;
+    }
+    if (ref.registered) {
+      bool emitted = emitted_exact.count(ref.name) > 0;
+      for (auto it = emitted_prefix.begin(); !emitted && it != emitted_prefix.end(); ++it) {
+        if (ref.name.rfind(*it, 0) == 0) emitted = true;
+      }
+      if (!emitted && !allows(ref.path, ref.line)) {
+        findings->push_back(
+            {ref.path, ref.line, "T3",
+             "metric '" + ref.name +
+                 "' is registered (SetHelp) but never emitted — dead "
+                 "telemetry; drop the registration or wire up the "
+                 "emission"});
+      }
+    } else if (!ref.name.empty() && ref.name.back() == '_') {
+      bool known = false;
+      for (const std::string& r : registered) {
+        if (r.rfind(ref.name, 0) == 0) {
+          known = true;
+          break;
+        }
+      }
+      if (!known && !allows(ref.path, ref.line)) {
+        findings->push_back(
+            {ref.path, ref.line, "T3",
+             "no registered metric matches composed prefix '" + ref.name +
+                 "' — every series the prefix can produce needs a SetHelp "
+                 "registration"});
+      }
+    } else if (registered.count(ref.name) == 0 &&
+               !allows(ref.path, ref.line)) {
+      findings->push_back(
+          {ref.path, ref.line, "T3",
+           "metric '" + ref.name +
+               "' is emitted but never registered with SetHelp — it "
+               "exports without HELP text and is invisible to the docs "
+               "surface"});
+    }
+  }
+
+  if (graph.event_decls.empty()) return;
+  std::set<std::string> decl_files;
+  for (const EventTypeDecl& d : graph.event_decls) decl_files.insert(d.path);
+  bool has_tostring =
+      graph.functions_by_name.count("WlmEventTypeToString") > 0;
+  std::set<std::string> emitted_ev;
+  std::set<std::string> documented_ev;
+  for (const EventTypeUse& u : graph.event_uses) {
+    if (u.enclosing_function == "WlmEventTypeToString") {
+      documented_ev.insert(u.enumerator);
+    } else if (decl_files.count(u.path) == 0) {
+      // Uses inside the declaring file (default initializers, the count
+      // sentinel) are bookkeeping, not emission.
+      emitted_ev.insert(u.enumerator);
+    }
+  }
+  std::set<std::string> seen_enum;
+  for (const EventTypeDecl& d : graph.event_decls) {
+    if (!seen_enum.insert(d.enumerator).second) continue;
+    if (emitted_ev.count(d.enumerator) == 0 && !allows(d.path, d.line)) {
+      findings->push_back(
+          {d.path, d.line, "T3",
+           "event type '" + d.enumerator +
+               "' is declared but never emitted outside its declaring file "
+               "— dead telemetry; remove it or wire up the emission"});
+    }
+    if (has_tostring && documented_ev.count(d.enumerator) == 0 &&
+        !allows(d.path, d.line)) {
+      findings->push_back(
+          {d.path, d.line, "T3",
+           "event type '" + d.enumerator +
+               "' is missing from WlmEventTypeToString — exporters and the "
+               "docs surface will render it as a raw integer"});
+    }
+  }
+}
+
 void SortFindings(std::vector<Finding>* findings) {
   std::sort(findings->begin(), findings->end(),
             [](const Finding& a, const Finding& b) {
               return std::tie(a.path, a.line, a.rule, a.message) <
                      std::tie(b.path, b.line, b.rule, b.message);
             });
+}
+
+/// The per-file (non-graph) rules, shared by LintSource and LintProject.
+void RunFileRules(const std::string& path, const LexedFile& file,
+                  const std::set<std::string>& unordered_vars,
+                  const Suppressions& allow,
+                  std::vector<Finding>* findings) {
+  findings->insert(findings->end(), allow.malformed.begin(),
+                   allow.malformed.end());
+  RunD1(path, file, allow, findings);
+  RunD2(path, file, unordered_vars, allow, findings);
+  RunD3(path, file, allow, findings);
+  RunH1(path, file, allow, findings);
+  RunH2(path, file, allow, findings);
+  RunP1(path, file, allow, findings);
+  RunQ1(path, file, allow, findings);
+  RunS1(path, file, allow, findings);
+}
+
+/// Whole-project driver. `fallback_vars` carries unordered-member names for
+/// .cc files whose header was not part of the scanned set (the lone-file
+/// invocation reads the on-disk sibling) — keyed by the .cc path.
+std::vector<Finding> LintProjectImpl(
+    const std::vector<SourceFile>& files, const ProjectConfig& config,
+    const std::map<std::string, std::set<std::string>>& fallback_vars) {
+  // One lex per file; the map both dedupes and fixes iteration order.
+  std::map<std::string, LexedFile> lexed;
+  for (const SourceFile& f : files) {
+    if (lexed.count(f.path) == 0) lexed.emplace(f.path, Lex(f.content));
+  }
+
+  std::map<std::string, std::set<std::string>> header_vars;
+  for (const auto& [path, lf] : lexed) {
+    if (IsHeader(path)) header_vars[path] = CollectUnorderedVars(lf);
+  }
+
+  std::vector<Finding> findings;
+  std::map<std::string, Suppressions> supp;
+  SymbolGraph graph;
+  for (const auto& [path, lf] : lexed) {
+    const Suppressions& allow =
+        supp.emplace(path, ParseSuppressions(path, lf)).first->second;
+    std::set<std::string> vars = CollectUnorderedVars(lf);
+    if (IsSource(path)) {
+      std::string self = Stem(path) + ".h";
+      bool matched = false;
+      for (const auto& [header, hvars] : header_vars) {
+        if (Basename(header) == self) {
+          vars.insert(hvars.begin(), hvars.end());
+          matched = true;
+        }
+      }
+      if (!matched) {
+        auto fb = fallback_vars.find(path);
+        if (fb != fallback_vars.end()) {
+          vars.insert(fb->second.begin(), fb->second.end());
+        }
+      }
+    }
+    RunFileRules(path, lf, vars, allow, &findings);
+    IndexFile(path, lf, &graph);
+  }
+  FinalizeGraph(&graph);
+  RunT1(graph, supp, &findings);
+  RunT2(graph, config.layers, supp, &findings);
+  RunT3(graph, supp, &findings);
+  SortFindings(&findings);
+  return findings;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// SARIF artifact URIs are forward-slash relative paths.
+std::string SarifUri(const std::string& path) {
+  std::string out;
+  out.reserve(path.size());
+  for (char c : path) out += c == '\\' ? '/' : c;
+  while (out.rfind("./", 0) == 0) out = out.substr(2);
+  return out;
 }
 
 }  // namespace
@@ -674,6 +1071,7 @@ const std::vector<RuleInfo>& Rules() {
              "[[nodiscard]]"},
       {"H2", "no <iostream> in headers; a .cc includes its own header "
              "first"},
+      {"IO", "every path handed to the linter must exist and be readable"},
       {"P1", "engine-layer components emit phase transitions through the "
              "Telemetry facade, never the control-plane EventLog directly"},
       {"Q1", "wait-queue containers in admission/scheduling/core/overload "
@@ -682,6 +1080,17 @@ const std::vector<RuleInfo>& Rules() {
       {"S1", "no mutable static storage in library layers (src/) — the "
              "cluster layer multi-instantiates every component per shard, "
              "so all state must live in instance members"},
+      {"T1", "no function outside src/common may transitively reach a "
+             "wall-clock or OS-entropy source through the call graph — "
+             "wrapping time() one level deep does not make it "
+             "deterministic"},
+      {"T2", "cross-module includes follow the declared layer DAG "
+             "(tools/wlm-lint/layers.toml): strictly lower layers only, "
+             "and no include cycles"},
+      {"T3", "the telemetry registry is closed: every wlm_* metric emitted "
+             "is registered via SetHelp (and vice versa), every "
+             "WlmEventType is emitted somewhere and named by "
+             "WlmEventTypeToString"},
   };
   return kRules;
 }
@@ -715,25 +1124,24 @@ std::vector<Finding> LintSource(
     const std::string& path, const std::string& content,
     const std::set<std::string>& extra_unordered_vars) {
   LexedFile file = Lex(content);
-  Suppressions allow = ParseSuppressions(path, file.comments);
+  Suppressions allow = ParseSuppressions(path, file);
 
   std::set<std::string> vars = CollectUnorderedVars(file);
   vars.insert(extra_unordered_vars.begin(), extra_unordered_vars.end());
 
-  std::vector<Finding> findings = allow.malformed;
-  RunD1(path, file, allow, &findings);
-  RunD2(path, file, vars, allow, &findings);
-  RunD3(path, file, allow, &findings);
-  RunH1(path, file, allow, &findings);
-  RunH2(path, file, allow, &findings);
-  RunP1(path, file, allow, &findings);
-  RunQ1(path, file, allow, &findings);
-  RunS1(path, file, allow, &findings);
+  std::vector<Finding> findings;
+  RunFileRules(path, file, vars, allow, &findings);
   SortFindings(&findings);
   return findings;
 }
 
-std::vector<Finding> LintPaths(const std::vector<std::string>& paths) {
+std::vector<Finding> LintProject(const std::vector<SourceFile>& files,
+                                 const ProjectConfig& config) {
+  return LintProjectImpl(files, config, {});
+}
+
+std::vector<Finding> LintPaths(const std::vector<std::string>& paths,
+                               const ProjectConfig& config) {
   std::vector<Finding> findings;
   std::vector<std::string> files;
   for (const std::string& path : paths) {
@@ -769,49 +1177,178 @@ std::vector<Finding> LintPaths(const std::vector<std::string>& paths) {
     return true;
   };
 
-  // First pass: lex headers so each .cc can import its own header's
-  // unordered members (the D2 loops usually live in the .cc, the
-  // declarations in the .h).
-  std::map<std::string, std::set<std::string>> header_vars;
+  // Read everything up front; project analysis needs the full set. For a
+  // .cc whose header is not in the scanned set (lone-file invocation),
+  // read the on-disk sibling for its unordered members only — it
+  // contributes context, not findings.
+  std::set<std::string> scanned_headers;
   for (const std::string& file : files) {
-    if (!IsHeader(file)) continue;
-    std::string content;
-    if (read(file, &content)) {
-      header_vars[file] = CollectUnorderedVars(Lex(content));
-    }
+    if (IsHeader(file)) scanned_headers.insert(Basename(file));
   }
-
+  std::vector<SourceFile> sources;
+  std::map<std::string, std::set<std::string>> fallback_vars;
   for (const std::string& file : files) {
     std::string content;
     if (!read(file, &content)) {
       findings.push_back({file, 0, "IO", "cannot read file"});
       continue;
     }
-    std::set<std::string> extra;
+    sources.push_back({file, std::move(content)});
     if (IsSource(file)) {
       std::string self = Stem(file) + ".h";
-      for (const auto& [header, vars] : header_vars) {
-        if (Basename(header) == self) {
-          extra.insert(vars.begin(), vars.end());
-        }
-      }
-      if (extra.empty()) {
-        // Lone-file invocation: try the sibling header on disk.
+      if (scanned_headers.count(self) == 0) {
         fs::path sibling = fs::path(file).parent_path() / self;
         std::string header_content;
         if (read(sibling.string(), &header_content)) {
-          std::set<std::string> vars =
-              CollectUnorderedVars(Lex(header_content));
-          extra.insert(vars.begin(), vars.end());
+          fallback_vars[file] = CollectUnorderedVars(Lex(header_content));
         }
       }
     }
-    std::vector<Finding> file_findings = LintSource(file, content, extra);
-    findings.insert(findings.end(), file_findings.begin(),
-                    file_findings.end());
   }
+  std::vector<Finding> project = LintProjectImpl(sources, config,
+                                                 fallback_vars);
+  findings.insert(findings.end(), project.begin(), project.end());
   SortFindings(&findings);
   return findings;
+}
+
+std::map<std::string, int> ParseLayersToml(const std::string& content,
+                                           std::string* error) {
+  std::map<std::string, int> out;
+  auto fail = [&](int line_no, const std::string& why) {
+    if (error) {
+      *error = "layers.toml line " + std::to_string(line_no) + ": " + why;
+    }
+    out.clear();
+  };
+  bool in_layers = false;
+  int line_no = 0;
+  std::istringstream in(content);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    size_t hash = raw.find('#');
+    std::string line =
+        Trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      in_layers = line == "[layers]";
+      continue;
+    }
+    if (!in_layers) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail(line_no, "expected `module = rank`");
+      return out;
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string val = Trim(line.substr(eq + 1));
+    if (key.empty() || val.empty() ||
+        val.find_first_not_of("0123456789") != std::string::npos) {
+      fail(line_no, "expected `module = rank` with a non-negative integer "
+                    "rank");
+      return out;
+    }
+    if (out.count(key) > 0) {
+      fail(line_no, "duplicate module '" + key + "'");
+      return out;
+    }
+    out[key] = std::stoi(val);
+  }
+  if (out.empty() && error != nullptr) {
+    *error = "layers.toml: no [layers] entries";
+  }
+  return out;
+}
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  const std::vector<RuleInfo>& rules = Rules();
+  std::map<std::string, size_t> rule_index;
+  for (size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].id] = i;
+
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"wlm-lint\",\n";
+  out += "          \"rules\": [\n";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out += "            {\"id\": \"";
+    out += JsonEscape(rules[i].id);
+    out += "\", \"shortDescription\": {\"text\": \"";
+    out += JsonEscape(rules[i].rationale);
+    out += "\"}}";
+    out += i + 1 < rules.size() ? ",\n" : "\n";
+  }
+  out += "          ]\n";
+  out += "        }\n";
+  out += "      },\n";
+  out += "      \"columnKind\": \"utf16CodeUnits\",\n";
+  out += "      \"results\": [\n";
+  for (size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "        {\"ruleId\": \"";
+    out += JsonEscape(f.rule);
+    out += "\", ";
+    auto idx = rule_index.find(f.rule);
+    if (idx != rule_index.end()) {
+      out += "\"ruleIndex\": " + std::to_string(idx->second) + ", ";
+    }
+    out += "\"level\": \"error\", \"message\": {\"text\": \"";
+    out += JsonEscape(f.message);
+    out += "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"";
+    out += JsonEscape(SarifUri(f.path));
+    out += "\"}, \"region\": {\"startLine\": ";
+    out += std::to_string(f.line > 0 ? f.line : 1);
+    out += "}}}]}";
+    out += i + 1 < findings.size() ? ",\n" : "\n";
+  }
+  out += "      ]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ToBaseline(const std::vector<Finding>& findings) {
+  std::string out =
+      "# wlm-lint baseline: one `rule<TAB>path<TAB>message` per accepted "
+      "finding.\n"
+      "# Line numbers are omitted on purpose: edits above a known finding "
+      "must not\n"
+      "# invalidate the baseline. Regenerate with --write-baseline.\n";
+  for (const Finding& f : findings) {
+    out += f.rule + "\t" + f.path + "\t" + f.message + "\n";
+  }
+  return out;
+}
+
+std::vector<Finding> ApplyBaseline(const std::vector<Finding>& findings,
+                                   const std::string& baseline_content) {
+  std::multiset<std::string> keys;
+  std::istringstream in(baseline_content);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    if (raw.empty() || raw.front() == '#') continue;
+    keys.insert(raw);
+  }
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    std::string key = f.rule + "\t" + f.path + "\t" + f.message;
+    auto it = keys.find(key);
+    if (it != keys.end()) {
+      keys.erase(it);  // each baseline line absorbs exactly one finding
+      continue;
+    }
+    out.push_back(f);
+  }
+  return out;
 }
 
 std::string FormatFinding(const Finding& finding) {

@@ -1,0 +1,111 @@
+#ifndef WLM_TOOLS_WLM_LINT_SYMBOL_GRAPH_H_
+#define WLM_TOOLS_WLM_LINT_SYMBOL_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace wlm::lint {
+
+// ---------------------------------------------------------------------------
+// Entropy vocabulary, shared by the per-token rule D1 and the flow-aware
+// taint pass T1 so both agree on what counts as a nondeterminism source.
+// ---------------------------------------------------------------------------
+
+/// Identifiers banned on any use (entropy/clock types and engines).
+const std::set<std::string>& EntropyTypeNames();
+
+/// Identifiers banned when they look like a C-library call.
+const std::set<std::string>& EntropyCallNames();
+
+/// Returns the banned entity named by `toks[i]` if it is an entropy/clock
+/// use (applying the member-access, foreign-namespace and declaration
+/// filters), or "" if the token is innocent.
+std::string EntropyUseAt(const std::vector<Token>& toks, size_t i);
+
+// ---------------------------------------------------------------------------
+// The project-wide symbol graph: function definitions with their call
+// sites, resolved include edges, and the telemetry registry surfaces
+// (metric names, event-type enumerators). Built by one lexer pass over
+// every translation unit — no libclang, the same token stream the
+// per-file rules already see.
+// ---------------------------------------------------------------------------
+
+/// One call site (or entropy use) inside a function body.
+struct CallSite {
+  std::string callee;
+  int line = 0;
+};
+
+/// One function or method definition (a body was seen, not just a
+/// declaration). `name` is the last component of the declarator
+/// (`FaultInjector::Begin` indexes as `Begin`).
+struct FunctionDef {
+  std::string name;
+  std::string path;
+  int line = 0;
+  std::vector<CallSite> calls;         // deduped by callee, first line wins
+  std::vector<CallSite> entropy_uses;  // banned clock/RNG uses in the body
+};
+
+/// A `wlm_*` metric name appearing as the first string argument of
+/// SetHelp (registration) or GetCounter/GetGauge/GetHistogram (emission).
+struct MetricRef {
+  std::string name;  // may be a prefix when composed: "wlm_requests_"
+  std::string path;
+  int line = 0;
+  bool registered = false;  // SetHelp vs Get*
+};
+
+/// One enumerator of `enum class WlmEventType`.
+struct EventTypeDecl {
+  std::string enumerator;
+  std::string path;
+  int line = 0;
+};
+
+/// One `WlmEventType::kX` mention, with its lexically enclosing function
+/// ("" at namespace/class scope — e.g. a member default initializer).
+struct EventTypeUse {
+  std::string enumerator;
+  std::string path;
+  int line = 0;
+  std::string enclosing_function;
+};
+
+/// Per-file node of the include graph.
+struct ProjectFile {
+  std::string path;         // as scanned
+  std::string module_path;  // components after the last "src": "core/request.h"
+  std::string module;       // first component of module_path ("core")
+  std::vector<IncludeDirective> includes;
+};
+
+struct SymbolGraph {
+  std::vector<FunctionDef> functions;  // (path, line) order after Finalize
+  std::map<std::string, std::vector<size_t>> functions_by_name;
+  std::vector<ProjectFile> files;  // path order after Finalize
+  std::map<std::string, size_t> file_index;  // path -> index in files
+  /// Include edges resolved against the scanned set: from-file index ->
+  /// (to-file index, include line). Unresolved includes (system headers,
+  /// gtest, ...) are simply absent.
+  std::map<size_t, std::vector<std::pair<size_t, int>>> resolved_includes;
+  std::vector<MetricRef> metric_refs;
+  std::vector<EventTypeDecl> event_decls;
+  std::vector<EventTypeUse> event_uses;
+};
+
+/// Indexes one lexed file into the graph (pre-Finalize).
+void IndexFile(const std::string& path, const LexedFile& file,
+               SymbolGraph* graph);
+
+/// Sorts everything into deterministic order and resolves include edges.
+/// Call once after the last IndexFile.
+void FinalizeGraph(SymbolGraph* graph);
+
+}  // namespace wlm::lint
+
+#endif  // WLM_TOOLS_WLM_LINT_SYMBOL_GRAPH_H_
