@@ -19,6 +19,7 @@
 
 #include "bench/bench_util.h"
 #include "cluster/cluster.h"
+#include "faults/fault_plan.h"
 #include "scheduling/queue_schedulers.h"
 
 namespace {
@@ -134,6 +135,130 @@ RunResult Run(int shards, PlacementPolicyKind placement, bool surge,
   return result;
 }
 
+// ----------------------------------------------------------- failover sweep
+//
+// Crash-surge experiment: the same deadline-critical OLTP mix while a
+// rolling restart sweeps every shard once. Three configurations against
+// the identical fault plan — no failure detection at all, detection with
+// hedging disabled, and the full stack — so the JSON shows what detection
+// buys (goodput) and what hedging buys on top (tail latency through the
+// suspicion window).
+
+struct FailoverRun {
+  std::string config;
+  int64_t submitted = 0;
+  int64_t good = 0;
+  int64_t blackholed = 0;
+  int64_t redispatched = 0;
+  int64_t orphans_lost = 0;
+  int64_t hedges = 0;
+  double goodput = 0.0;
+  double p99_oltp = 0.0;
+};
+
+FailoverRun RunFailover(const std::string& config, bool health, bool hedge,
+                        double traffic_seconds) {
+  Simulation sim;
+  ClusterOptions options;
+  options.num_shards = 4;
+  options.engine.num_cpus = 2;
+  options.engine.io_ops_per_second = 1000.0;
+  options.engine.memory_mb = 1024.0;
+  options.engine.tick_seconds = 0.02;
+  options.monitor_interval = 0.5;
+  options.placement = PlacementPolicyKind::kLeastOutstanding;
+  options.redispatch = true;
+  options.wlm.overload.enabled = true;
+  options.wlm.overload.codel.queue_capacity = 32;
+  // Crash drains come in bursts: budget the second lives generously.
+  options.wlm.overload.retry_budget.capacity = 64.0;
+  options.wlm.overload.retry_budget.refill_per_second = 16.0;
+  options.health.enabled = health;
+  options.health.hedge = hedge;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    wlm_bench::DefineStandardWorkloads(&m);
+    m.set_scheduler(std::make_unique<FifoScheduler>(/*mpl=*/4));
+  });
+
+  // One crash window per shard, swept across the middle of the run.
+  const double gap = traffic_seconds / 5.0;
+  FaultPlan plan = FaultPlan::RollingRestart(
+      kSeed, /*num_shards=*/4, /*start=*/gap, /*down_seconds=*/gap * 0.8,
+      /*gap_seconds=*/gap, /*announced=*/false);
+  if (!cluster.ArmFaultPlan(plan).ok()) {
+    std::cerr << "failover plan rejected\n";
+    return {};
+  }
+
+  FailoverRun result;
+  result.config = config;
+  Percentiles oltp_responses;
+  int64_t good = 0;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    cluster.shard(s).wlm().AddCompletionListener([&](const Request& request) {
+      if (request.state != RequestState::kCompleted) return;
+      if (request.spec.kind == QueryKind::kOltpTransaction) {
+        oltp_responses.Add(request.ResponseTime());
+        if (request.ResponseTime() <= kOltpDeadlineSeconds) ++good;
+      }
+    });
+  }
+
+  WorkloadGenerator gen(kSeed);
+  Rng arrivals(kSeed * 31 + 7);
+  OltpWorkloadConfig oltp_shape;
+  BiWorkloadConfig bi_shape;
+  OpenLoopDriver oltp(
+      &sim, &arrivals, kOltpRate, [&] { return gen.NextOltp(oltp_shape); },
+      [&](QuerySpec spec) {
+        // The deadline marks these as hedge-eligible when their primary
+        // turns suspect.
+        spec.deadline_seconds = kOltpDeadlineSeconds;
+        ++result.submitted;
+        (void)cluster.Submit(std::move(spec));
+      });
+  OpenLoopDriver bi(
+      &sim, &arrivals, kBiRate, [&] { return gen.NextBi(bi_shape); },
+      [&](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  oltp.Start(traffic_seconds);
+  bi.Start(traffic_seconds);
+  sim.RunUntil(traffic_seconds + kDrainSeconds);
+
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    result.blackholed += cluster.shard(s).blackholed();
+  }
+  result.good = good;
+  result.redispatched = cluster.redispatched_total();
+  result.orphans_lost = cluster.orphans_lost();
+  result.hedges = cluster.hedges_started();
+  result.goodput = static_cast<double>(good) / traffic_seconds;
+  result.p99_oltp =
+      oltp_responses.count() > 0 ? oltp_responses.Percentile(99) : 0.0;
+  return result;
+}
+
+void WriteFailoverJson(const std::vector<FailoverRun>& runs,
+                       const std::string& path, double traffic_seconds) {
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"cluster_failover\",\n"
+      << "  \"seed\": " << kSeed << ",\n"
+      << "  \"traffic_seconds\": " << F6(traffic_seconds) << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const FailoverRun& r = runs[i];
+    out << "    {\"config\": \"" << r.config << "\", \"submitted\": "
+        << r.submitted << ", \"good\": " << r.good
+        << ", \"blackholed\": " << r.blackholed
+        << ", \"redispatched\": " << r.redispatched
+        << ", \"orphans_lost\": " << r.orphans_lost
+        << ", \"hedges\": " << r.hedges
+        << ", \"goodput\": " << F6(r.goodput)
+        << ", \"p99_oltp\": " << F6(r.p99_oltp) << "}"
+        << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 void WriteJson(const std::vector<RunResult>& runs, const std::string& path,
                double traffic_seconds) {
   std::ofstream out(path);
@@ -220,5 +345,49 @@ int main(int argc, char** argv) {
 
   WriteJson(runs, json_path, traffic_seconds);
   std::cout << "wrote " << json_path << "\n";
-  return load_aware_p99 < rr_p99 ? 0 : 1;
+
+  // --- failover sweep: identical rolling crash plan, three defenses.
+  std::cout << "\nCluster failover sweep: rolling shard crashes under "
+            << kOltpRate << " q/s deadline-critical OLTP.\n\n";
+  TablePrinter failover_table({"config", "good", "blackholed", "redispatched",
+                               "lost", "hedges", "goodput q/s", "p99 oltp s"});
+  std::vector<FailoverRun> failover_runs;
+  failover_runs.push_back(RunFailover("undefended", /*health=*/false,
+                                      /*hedge=*/false, traffic_seconds));
+  failover_runs.push_back(RunFailover("detect_only", /*health=*/true,
+                                      /*hedge=*/false, traffic_seconds));
+  failover_runs.push_back(RunFailover("detect_and_hedge", /*health=*/true,
+                                      /*hedge=*/true, traffic_seconds));
+  for (const FailoverRun& r : failover_runs) {
+    failover_table.AddRow(
+        {r.config, TablePrinter::Int(r.good), TablePrinter::Int(r.blackholed),
+         TablePrinter::Int(r.redispatched), TablePrinter::Int(r.orphans_lost),
+         TablePrinter::Int(r.hedges), TablePrinter::Num(r.goodput),
+         TablePrinter::Num(r.p99_oltp, 3)});
+  }
+  failover_table.Print(std::cout);
+
+  const FailoverRun& undefended = failover_runs[0];
+  const FailoverRun& unhedged = failover_runs[1];
+  const FailoverRun& hedged = failover_runs[2];
+  std::cout << "\nfailover goodput: undefended=" << F6(undefended.goodput)
+            << " detect_only=" << F6(unhedged.goodput)
+            << " detect_and_hedge=" << F6(hedged.goodput)
+            << "\nhedged vs unhedged OLTP P99: " << F6(hedged.p99_oltp)
+            << "s vs " << F6(unhedged.p99_oltp) << "s\n";
+
+  // The failover JSON lands next to the routing JSON for artifact upload.
+  std::string failover_path = json_path;
+  const size_t slash = failover_path.find_last_of('/');
+  failover_path.erase(slash == std::string::npos ? 0 : slash + 1);
+  failover_path += "cluster_failover.json";
+  WriteFailoverJson(failover_runs, failover_path, traffic_seconds);
+  std::cout << "wrote " << failover_path << "\n";
+
+  // Acceptance: load-aware placement beats round-robin under the surge,
+  // and failure detection recovers goodput the undefended cluster loses.
+  const bool routing_ok = load_aware_p99 < rr_p99;
+  const bool failover_ok = hedged.goodput > undefended.goodput;
+  if (!failover_ok) std::cout << "FAILOVER REGRESSION\n";
+  return routing_ok && failover_ok ? 0 : 1;
 }

@@ -5,6 +5,11 @@
 // degraded shard get re-dispatched to healthier ones, and the drill
 // prints the per-shard rollup plus the `wlm_cluster_*` metric export.
 //
+// The failure stack is on too: shard 1 crashes unannounced at t=20s and
+// restarts at t=27s. Phi-accrual heartbeats detect the crash, its
+// queued/running work drains to the survivors as second lives, and the
+// restart re-admits on a warm-up ramp.
+//
 // Build & run:  ./build/examples/cluster_drill
 //
 // The run is fully seeded — every invocation prints the same bytes, so
@@ -18,6 +23,7 @@
 #include "characterization/static_classifier.h"
 #include "cluster/cluster.h"
 #include "common/table_printer.h"
+#include "faults/fault_plan.h"
 #include "scheduling/queue_schedulers.h"
 #include "workloads/generators.h"
 
@@ -35,6 +41,8 @@ int main() {
   options.wlm.overload.enabled = true;
   options.wlm.overload.codel.queue_capacity = 24;
   options.wlm.resilience.enabled = true;
+  // Crash detection, drain and hedged dispatch (the failure stack).
+  options.health.enabled = true;
 
   ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& manager) {
     WorkloadDefinition oltp;
@@ -68,6 +76,20 @@ int main() {
     cluster.shard(2).wlm().NotifyFaultEnd("disk_degrade", 15.0);
   });
 
+  // Shard 1 crashes unannounced at t=20s and comes back at t=27s. The
+  // dispatcher only learns of the death from missed heartbeats.
+  FaultPlan shard_faults;
+  FaultEvent crash;
+  crash.kind = FaultKind::kShardCrash;
+  crash.shard = 1;
+  crash.start = 20.0;
+  crash.duration = 7.0;
+  shard_faults.Add(crash);
+  if (!cluster.ArmFaultPlan(shard_faults).ok()) {
+    std::fprintf(stderr, "failed to arm shard fault plan\n");
+    return 1;
+  }
+
   WorkloadGenerator gen(/*seed=*/7);
   Rng arrivals(/*seed=*/77);
   OltpWorkloadConfig oltp_shape;
@@ -83,9 +105,10 @@ int main() {
   sim.RunUntil(60.0);
 
   std::printf("cluster drill: 4 shards, least-outstanding placement, "
-              "fault window on shard 2 @ [15s, 30s)\n\n");
+              "fault window on shard 2 @ [15s, 30s), shard 1 crash @ "
+              "[20s, 27s)\n\n");
   TablePrinter table({"shard", "routed", "refused", "redisp in", "completed",
-                      "shed", "p99 s", "ewma s", "healthy"});
+                      "shed", "blackholed", "downs", "p99 s", "lifecycle"});
   for (int s = 0; s < cluster.num_shards(); ++s) {
     const ClusterShard& shard = cluster.shard(s);
     const EventLog& log = shard.wlm().event_log();
@@ -94,11 +117,18 @@ int main() {
                   TablePrinter::Int(shard.redispatched_in()),
                   TablePrinter::Int(log.CountOf(WlmEventType::kCompleted)),
                   TablePrinter::Int(log.CountOf(WlmEventType::kShed)),
+                  TablePrinter::Int(shard.blackholed()),
+                  TablePrinter::Int(shard.down_transitions()),
                   TablePrinter::Num(shard.P99Seconds(), 3),
-                  TablePrinter::Num(shard.ewma_latency_seconds(), 3),
-                  shard.healthy() ? "yes" : "no"});
+                  ShardLifecycleToString(shard.lifecycle())});
   }
   table.Print(std::cout);
+
+  std::printf("\ncrash timeline (dispatcher events):\n");
+  for (const WlmEvent& event : cluster.event_log().events()) {
+    std::printf("  t=%6.2fs %-15s %s\n", event.time,
+                WlmEventTypeToString(event.type), event.detail.c_str());
+  }
   std::printf("\nrouted %lld, cluster-rejected %lld, re-dispatched %lld, "
               "imbalance %.3f\n",
               static_cast<long long>(cluster.routed_total()),

@@ -7,6 +7,7 @@
 
 #include "common/stats.h"
 #include "telemetry/profile.h"
+#include "telemetry/telemetry.h"
 
 namespace wlm {
 
@@ -18,15 +19,38 @@ MetricLabels ShardLabels(int shard) {
 
 }  // namespace
 
+const char* RouteCauseToString(RouteCause cause) {
+  switch (cause) {
+    case RouteCause::kPlace:
+      return "place";
+    case RouteCause::kShed:
+      return "shed";
+    case RouteCause::kAbort:
+      return "abort";
+    case RouteCause::kCrashDrain:
+      return "crash_drain";
+    case RouteCause::kHedge:
+      return "hedge";
+  }
+  return "?";
+}
+
 ClusterShard::ClusterShard(int index, Simulation* sim,
                            const EngineConfig& engine_config,
-                           double monitor_interval,
-                           const WlmConfig& wlm_config)
+                           double monitor_interval, const WlmConfig& wlm_config,
+                           const ClusterHealthOptions& health)
     : index_(index),
       engine_(sim, engine_config),
       monitor_(sim, &engine_, monitor_interval),
-      wlm_(sim, &engine_, &monitor_, wlm_config) {
+      wlm_(sim, &engine_, &monitor_, wlm_config),
+      detector_(PhiAccrualDetector::Options{health.detector_window,
+                                            health.detector_min_std,
+                                            health.heartbeat_interval}),
+      warmup_(health.warmup) {
   monitor_.Start();
+  // Prime the detector as if a heartbeat arrived at birth, so phi
+  // measures silence since start-up rather than since the epoch.
+  detector_.Reset(sim->Now());
 }
 
 bool ClusterShard::healthy() const {
@@ -47,7 +71,9 @@ ClusterDispatcher::ClusterDispatcher(Simulation* sim, ClusterOptions options,
                                      ShardConfigurator configure)
     : sim_(sim),
       options_(std::move(options)),
-      policy_(MakePlacementPolicy(options_.placement)) {
+      policy_(MakePlacementPolicy(options_.placement)),
+      link_(options_.health.link,
+            options_.num_shards < 1 ? 1 : options_.num_shards) {
   if (options_.num_shards < 1) options_.num_shards = 1;
   metrics_.SetHelp("wlm_cluster_routed_total",
                    "Queries the dispatcher placed on each shard.");
@@ -69,45 +95,102 @@ ClusterDispatcher::ClusterDispatcher(Simulation* sim, ClusterOptions options,
                    "1 while the shard is routable, 0 while routed around.");
   metrics_.SetHelp("wlm_cluster_shard_ewma_latency_seconds",
                    "Smoothed completion latency the load-aware policy sees.");
-  // Instantiate up front so the family exports even before the first
-  // cluster-level reject.
+  metrics_.SetHelp("wlm_cluster_health_state",
+                   "Detector lifecycle: 0 healthy, 1 suspected, 2 down, "
+                   "3 warming.");
+  metrics_.SetHelp("wlm_cluster_health_phi",
+                   "Phi-accrual suspicion level per shard.");
+  metrics_.SetHelp("wlm_cluster_health_heartbeats_total",
+                   "Heartbeats from each shard that reached the dispatcher.");
+  metrics_.SetHelp("wlm_cluster_health_heartbeats_dropped_total",
+                   "Heartbeats lost on each shard's dispatch link.");
+  metrics_.SetHelp("wlm_cluster_health_down_total",
+                   "Times each shard was declared down.");
+  metrics_.SetHelp("wlm_cluster_health_drained_total",
+                   "Orphans of each dead shard granted second lives elsewhere.");
+  metrics_.SetHelp("wlm_cluster_health_lost_total",
+                   "Orphans of each dead shard denied a second life.");
+  metrics_.SetHelp("wlm_cluster_health_blackholed_total",
+                   "Queries dispatched into each shard while its process "
+                   "was dead but not yet detected.");
+  metrics_.SetHelp("wlm_cluster_hedge_started_total",
+                   "Deadline-critical queries duplicated to a second shard.");
+  metrics_.SetHelp("wlm_cluster_hedge_won_total",
+                   "Hedge races each shard's copy completed first.");
+  metrics_.SetHelp("wlm_cluster_hedge_cancelled_total",
+                   "Losing hedge copies retired after the race resolved.");
+  // Instantiate up front so the families export even before the first
+  // reject / hedge.
   metrics_.GetCounter("wlm_cluster_rejected_total");
+  metrics_.GetCounter("wlm_cluster_hedge_started_total");
+  metrics_.GetCounter("wlm_cluster_hedge_cancelled_total");
+  orphans_.resize(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
     shards_.push_back(std::make_unique<ClusterShard>(
-        i, sim_, options_.engine, options_.monitor_interval, options_.wlm));
+        i, sim_, options_.engine, options_.monitor_interval, options_.wlm,
+        options_.health));
     routed_counters_.push_back(
         &metrics_.GetCounter("wlm_cluster_routed_total", ShardLabels(i)));
     refused_counters_.push_back(
         &metrics_.GetCounter("wlm_cluster_refused_total", ShardLabels(i)));
     redispatched_counters_.push_back(
         &metrics_.GetCounter("wlm_cluster_redispatched_total", ShardLabels(i)));
+    heartbeat_counters_.push_back(&metrics_.GetCounter(
+        "wlm_cluster_health_heartbeats_total", ShardLabels(i)));
+    heartbeat_dropped_counters_.push_back(&metrics_.GetCounter(
+        "wlm_cluster_health_heartbeats_dropped_total", ShardLabels(i)));
+    down_counters_.push_back(
+        &metrics_.GetCounter("wlm_cluster_health_down_total", ShardLabels(i)));
+    drained_counters_.push_back(&metrics_.GetCounter(
+        "wlm_cluster_health_drained_total", ShardLabels(i)));
+    lost_counters_.push_back(
+        &metrics_.GetCounter("wlm_cluster_health_lost_total", ShardLabels(i)));
+    blackholed_counters_.push_back(&metrics_.GetCounter(
+        "wlm_cluster_health_blackholed_total", ShardLabels(i)));
+    hedge_won_counters_.push_back(
+        &metrics_.GetCounter("wlm_cluster_hedge_won_total", ShardLabels(i)));
     if (configure) configure(i, shards_.back()->wlm());
     shards_.back()->wlm().AddCompletionListener(
         [this, i](const Request& request) { OnShardCompletion(i, request); });
   }
+  StartHealthLoop();
 }
 
 Status ClusterDispatcher::Submit(QuerySpec spec) {
-  return SubmitToShards(std::move(spec), /*is_redispatch=*/false, {});
+  return SubmitToShards(std::move(spec), /*is_redispatch=*/false, {},
+                        RouteCause::kPlace);
 }
 
 std::vector<int> ClusterDispatcher::EligibleShards(
     const std::set<int>& exclude) const {
-  std::vector<int> eligible;
-  if (options_.route_around_unhealthy) {
+  const bool health = options_.health.enabled;
+  const double now = sim_->Now();
+  // Three widening passes. Pass 0: fully routable. Pass 1: not detected
+  // down (warming shards past their ramp cap and degraded shards come
+  // back in). Pass 2: anyone left — a detected-down shard is still
+  // better than a guaranteed cluster-level reject.
+  for (int pass = 0; pass < 3; ++pass) {
+    std::vector<int> eligible;
     for (const auto& shard : shards_) {
-      if (shard->healthy() && exclude.count(shard->index()) == 0) {
-        eligible.push_back(shard->index());
+      if (exclude.count(shard->index()) != 0) continue;
+      if (health && pass < 2 &&
+          shard->lifecycle_ == ShardLifecycle::kDown) {
+        continue;
       }
+      if (pass < 1) {
+        if (health && shard->lifecycle_ == ShardLifecycle::kWarming &&
+            !shard->warmup_.AdmitAllowed(
+                now, static_cast<int>(shard->wlm().queue_depth() +
+                                      shard->wlm().running_count()))) {
+          continue;
+        }
+        if (options_.route_around_unhealthy && !shard->healthy()) continue;
+      }
+      eligible.push_back(shard->index());
     }
     if (!eligible.empty()) return eligible;
   }
-  // No healthy shard left (or routing-around disabled): degraded shards
-  // are still better than a guaranteed cluster-level reject.
-  for (const auto& shard : shards_) {
-    if (exclude.count(shard->index()) == 0) eligible.push_back(shard->index());
-  }
-  return eligible;
+  return {};
 }
 
 std::vector<ShardSnapshot> ClusterDispatcher::Snapshots(
@@ -128,11 +211,13 @@ std::vector<ShardSnapshot> ClusterDispatcher::Snapshots(
 }
 
 Status ClusterDispatcher::SubmitToShards(QuerySpec spec, bool is_redispatch,
-                                         const std::set<int>& exclude) {
+                                         const std::set<int>& exclude,
+                                         RouteCause cause) {
   std::set<int> tried = exclude;
   const QueryId previous_in_submit = in_submit_query_;
   in_submit_query_ = spec.id;
   Status result = Status::Overloaded("every eligible shard refused");
+  int landed = -1;
   int attempt = 0;
   while (true) {
     std::vector<int> eligible = EligibleShards(tried);
@@ -143,8 +228,28 @@ Status ClusterDispatcher::SubmitToShards(QuerySpec spec, bool is_redispatch,
     }
     const int pick = policy_->Pick(spec, Snapshots(eligible));
     route_log_.push_back(
-        {sim_->Now(), spec.id, pick, attempt, is_redispatch});
+        {sim_->Now(), spec.id, pick, attempt, is_redispatch, cause});
     ClusterShard& shard = *shards_[static_cast<size_t>(pick)];
+    if (shard.crashed_) {
+      // The placement landed on a dead process the detector has not yet
+      // declared down: nothing refuses, nothing answers. The query is
+      // stranded until a drain grants it a second life (health on) or
+      // forever (health off — the undefended baseline).
+      ++shard.routed_;
+      routed_counters_[static_cast<size_t>(pick)]->Increment();
+      ++shard.blackholed_;
+      blackholed_counters_[static_cast<size_t>(pick)]->Increment();
+      orphans_[static_cast<size_t>(pick)].push_back({spec, std::string()});
+      if (options_.redispatch) shards_tried_[spec.id].insert(pick);
+      if (is_redispatch) {
+        ++shard.redispatched_in_;
+        redispatched_counters_[static_cast<size_t>(pick)]->Increment();
+        ++redispatched_total_;
+      }
+      landed = pick;
+      result = Status::OK();
+      break;
+    }
     const Status status = shard.wlm().Submit(spec);
     if (status.IsOverloaded()) {
       // Capacity refusal: fail over to the next-best shard in the same
@@ -164,16 +269,138 @@ Status ClusterDispatcher::SubmitToShards(QuerySpec spec, bool is_redispatch,
       redispatched_counters_[static_cast<size_t>(pick)]->Increment();
       ++redispatched_total_;
     }
+    if (status.ok()) landed = pick;
     result = status;
     break;
+  }
+  // Hedge before releasing the in-submit guard, so an arrival-time shed
+  // of the duplicate is not mistaken for a re-dispatchable terminal.
+  if (landed >= 0 && !is_redispatch && cause == RouteCause::kPlace) {
+    MaybeHedge(spec, landed);
   }
   in_submit_query_ = previous_in_submit;
   return result;
 }
 
+void ClusterDispatcher::MaybeHedge(const QuerySpec& spec, int primary) {
+  if (!options_.health.enabled || !options_.health.hedge) return;
+  if (spec.deadline_seconds <= 0.0) return;
+  if (shards_[static_cast<size_t>(primary)]->lifecycle_ !=
+      ShardLifecycle::kSuspected) {
+    return;
+  }
+  if (hedges_.count(spec.id) != 0) return;
+  // Best alternate: a shard the detector fully trusts, fewest
+  // outstanding, ties to the lowest index.
+  std::vector<int> candidates;
+  for (const auto& shard : shards_) {
+    if (shard->index() == primary) continue;
+    if (shard->lifecycle_ != ShardLifecycle::kHealthy) continue;
+    if (options_.route_around_unhealthy && !shard->healthy()) continue;
+    candidates.push_back(shard->index());
+  }
+  if (candidates.empty()) return;
+  std::vector<ShardSnapshot> snaps = Snapshots(candidates);
+  const ShardSnapshot* best = &snaps.front();
+  for (const ShardSnapshot& snap : snaps) {
+    if (snap.outstanding() < best->outstanding()) best = &snap;
+  }
+  const int alt = best->shard;
+  ClusterShard& shard = *shards_[static_cast<size_t>(alt)];
+  route_log_.push_back(
+      {sim_->Now(), spec.id, alt, 0, false, RouteCause::kHedge});
+  if (shard.crashed_) {
+    // The trusted alternate just died undetected: the duplicate
+    // black-holes like any other dispatch, and the primary copy (or the
+    // eventual drain) decides the query's fate.
+    ++shard.routed_;
+    routed_counters_[static_cast<size_t>(alt)]->Increment();
+    ++shard.blackholed_;
+    blackholed_counters_[static_cast<size_t>(alt)]->Increment();
+    orphans_[static_cast<size_t>(alt)].push_back({spec, std::string()});
+  } else {
+    const Status status = shard.wlm().Submit(spec);
+    if (status.IsOverloaded()) {
+      ++shard.refused_;
+      refused_counters_[static_cast<size_t>(alt)]->Increment();
+      return;  // no room for a duplicate: the primary keeps its one life
+    }
+    if (!status.ok()) return;  // admission-policy reject: same
+    ++shard.routed_;
+    routed_counters_[static_cast<size_t>(alt)]->Increment();
+  }
+  if (options_.redispatch) shards_tried_[spec.id].insert(alt);
+  hedges_[spec.id] = Hedge{primary, alt, false, 2};
+  ++hedges_started_;
+  metrics_.GetCounter("wlm_cluster_hedge_started_total").Increment();
+  LogClusterEvent(WlmEventType::kHedged, spec.id,
+                  "primary=" + std::to_string(primary) +
+                      " alt=" + std::to_string(alt));
+}
+
+void ClusterDispatcher::CancelHedgeLoser(int loser, QueryId id) {
+  ClusterShard& shard = *shards_[static_cast<size_t>(loser)];
+  if (shard.crashed_) {
+    // The losing copy was black-holed: annihilate its orphan so the
+    // eventual drain does not resurrect an already-answered query.
+    std::vector<Orphan>& orphans = orphans_[static_cast<size_t>(loser)];
+    for (auto it = orphans.begin(); it != orphans.end(); ++it) {
+      if (it->spec.id == id) {
+        orphans.erase(it);
+        ++hedges_cancelled_;
+        metrics_.GetCounter("wlm_cluster_hedge_cancelled_total").Increment();
+        break;
+      }
+    }
+    auto hit = hedges_.find(id);
+    if (hit != hedges_.end() && --hit->second.outstanding <= 0) {
+      hedges_.erase(hit);
+    }
+    return;
+  }
+  if (shard.wlm().KillRequest(id, /*resubmit=*/false).ok()) {
+    ++hedges_cancelled_;
+    metrics_.GetCounter("wlm_cluster_hedge_cancelled_total").Increment();
+  }
+}
+
 void ClusterDispatcher::OnShardCompletion(int shard_index,
                                           const Request& request) {
   ClusterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+  auto hit = hedges_.find(request.spec.id);
+  if (hit != hedges_.end()) {
+    Hedge& hedge = hit->second;
+    const bool last = --hedge.outstanding <= 0;
+    if (request.state == RequestState::kCompleted && !hedge.done) {
+      hedge.done = true;
+      hedge_won_counters_[static_cast<size_t>(shard_index)]->Increment();
+      const int loser =
+          shard_index == hedge.primary ? hedge.alternate : hedge.primary;
+      const QueryId id = request.spec.id;
+      // Deferred one instant: the loser's manager may be mid-dispatch.
+      sim_->Schedule(0.0,
+                     [this, loser, id] { CancelHedgeLoser(loser, id); });
+      if (last) hedges_.erase(hit);
+      // Fall through — the winner's completion feeds the ewma below.
+    } else {
+      // A losing (or redundant) copy resolved. It neither feeds the
+      // latency ewma nor re-dispatches — unless it was the query's LAST
+      // copy and nothing won, in which case the normal shed/abort
+      // second-life machinery takes over. Crash-drain terminals are
+      // excluded: the drain path owns those orphans.
+      const bool salvage =
+          last && !hedge.done && !shard.crashed_ && !shard.draining_ &&
+          options_.redispatch &&
+          (request.state == RequestState::kShed ||
+           request.state == RequestState::kAborted);
+      if (last) hedges_.erase(hit);
+      if (salvage) MaybeRedispatch(shard_index, request);
+      return;
+    }
+  }
+  // Terminals raised by a crash drain are the crash path's business:
+  // victims re-dispatch through the orphan drain, not the shed path.
+  if (shard.crashed_ || shard.draining_) return;
   if (request.state == RequestState::kCompleted) {
     const double response = request.ResponseTime();
     shard.ewma_latency_ =
@@ -199,6 +426,9 @@ void ClusterDispatcher::MaybeRedispatch(int from_shard,
   const int used = it == redispatch_counts_.end() ? 0 : it->second;
   if (used >= options_.max_redispatches) return;
   redispatch_counts_[request.spec.id] = used + 1;
+  const RouteCause cause = request.state == RequestState::kShed
+                               ? RouteCause::kShed
+                               : RouteCause::kAbort;
   // Completion listeners fire mid-dispatch inside the source shard;
   // re-entering another shard's Submit from here would interleave two
   // managers' dispatch loops, so the re-dispatch lands after a small
@@ -206,7 +436,7 @@ void ClusterDispatcher::MaybeRedispatch(int from_shard,
   QuerySpec spec = request.spec;
   const std::string workload = request.workload;
   sim_->Schedule(options_.redispatch_delay_seconds,
-                 [this, spec = std::move(spec), workload]() {
+                 [this, spec = std::move(spec), workload, cause]() {
                    const std::set<int>& tried = shards_tried_[spec.id];
                    std::vector<int> eligible = EligibleShards(tried);
                    if (eligible.empty()) return;
@@ -230,19 +460,262 @@ void ClusterDispatcher::MaybeRedispatch(int from_shard,
                        exclude.insert(shard->index());
                      }
                    }
-                   (void)SubmitToShards(spec, /*is_redispatch=*/true, exclude);
+                   (void)SubmitToShards(spec, /*is_redispatch=*/true, exclude,
+                                        cause);
                  });
+}
+
+Status ClusterDispatcher::ArmFaultPlan(const FaultPlan& plan) {
+  for (const FaultEvent& event : plan.events) {
+    if (!IsShardFaultKind(event.kind)) {
+      return Status::InvalidArgument(
+          "engine-level fault kinds arm via FaultInjector, not the "
+          "dispatcher");
+    }
+    if (event.shard < 0 || event.shard >= num_shards()) {
+      return Status::InvalidArgument(
+          "fault event targets a shard outside the cluster");
+    }
+    if (event.start < 0.0 || event.duration <= 0.0) {
+      return Status::InvalidArgument(
+          "fault window needs start >= 0 and duration > 0");
+    }
+  }
+  for (const FaultEvent& event : plan.events) {
+    const int shard_index = event.shard;
+    const bool announced = event.kind == FaultKind::kShardRestart;
+    sim_->ScheduleAt(event.start, [this, shard_index, announced] {
+      if (announced && options_.health.enabled) {
+        // Coordinated restart: the dispatcher is told up front — no
+        // detection latency, the drain happens while the shard is live.
+        MarkShardDown(shard_index, "shard_restart");
+      }
+      CrashShard(shard_index);
+    });
+    sim_->ScheduleAt(event.end(),
+                     [this, shard_index] { RestartShard(shard_index); });
+  }
+  return Status::OK();
+}
+
+void ClusterDispatcher::CrashShard(int shard_index) {
+  ClusterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+  if (shard.crashed_) return;
+  shard.crashed_ = true;
+  // The process dies this instant: its queued and running work
+  // terminates now (phases conserved up to the kill). Routing learns
+  // nothing here — only the failure detector may, later.
+  std::vector<WorkloadManager::DrainedQuery> victims =
+      shard.wlm().CrashDrain("shard_crash");
+  for (WorkloadManager::DrainedQuery& victim : victims) {
+    // Hedged victims whose entry survived the kill still have a sibling
+    // copy in flight — the sibling owns the query now.
+    if (hedges_.count(victim.spec.id) != 0) continue;
+    orphans_[static_cast<size_t>(shard_index)].push_back(
+        {std::move(victim.spec), std::move(victim.workload)});
+  }
+}
+
+void ClusterDispatcher::RestartShard(int shard_index) {
+  ClusterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+  if (!shard.crashed_) return;
+  shard.crashed_ = false;
+  // Recovery is observed, never announced: the next heartbeat walks the
+  // lifecycle down -> warming. (Health off: the shard simply serves
+  // again, and whatever was black-holed stays lost.)
+}
+
+void ClusterDispatcher::StartHealthLoop() {
+  if (!options_.health.enabled) return;
+  sim_->Schedule(options_.health.heartbeat_interval, [this] { HealthTick(); });
+}
+
+void ClusterDispatcher::HealthTick() {
+  // Live shards emit heartbeats (the link may drop or delay them)...
+  for (int i = 0; i < num_shards(); ++i) {
+    ClusterShard& shard = *shards_[static_cast<size_t>(i)];
+    if (shard.crashed_) continue;  // dead processes do not beat
+    if (link_.DropHeartbeat(i)) {
+      heartbeat_dropped_counters_[static_cast<size_t>(i)]->Increment();
+      continue;
+    }
+    heartbeat_counters_[static_cast<size_t>(i)]->Increment();
+    const double delay = link_.Delay(i);
+    if (delay <= 0.0) {
+      DeliverHeartbeat(i);
+    } else {
+      sim_->Schedule(delay, [this, i] { DeliverHeartbeat(i); });
+    }
+  }
+  // ... then every shard's lifecycle is re-evaluated on the same tick.
+  for (int i = 0; i < num_shards(); ++i) EvaluateShard(i);
+  sim_->Schedule(options_.health.heartbeat_interval, [this] { HealthTick(); });
+}
+
+void ClusterDispatcher::DeliverHeartbeat(int shard_index) {
+  ClusterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+  const double now = sim_->Now();
+  if (shard.lifecycle_ == ShardLifecycle::kDown) {
+    // First sign of life after a declared death: re-admit on the ramp.
+    // Reset (not OnHeartbeat) — the fresh process must not inherit the
+    // giant down-gap as an inter-arrival sample.
+    shard.detector_.Reset(now);
+    shard.lifecycle_ = ShardLifecycle::kWarming;
+    shard.warmup_.BeginWarmup(now);
+    LogClusterEvent(WlmEventType::kShardRecovered, 0,
+                    "shard=" + std::to_string(shard_index));
+  } else {
+    shard.detector_.OnHeartbeat(now);
+  }
+  // A heartbeat proves the process is up: anything still stranded on it
+  // (black-holed between restart and detection) gets its second life.
+  if (!shard.crashed_ &&
+      !orphans_[static_cast<size_t>(shard_index)].empty()) {
+    DrainOrphans(shard_index);
+  }
+}
+
+void ClusterDispatcher::EvaluateShard(int shard_index) {
+  ClusterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+  const double now = sim_->Now();
+  const double phi = shard.detector_.Phi(now);
+  switch (shard.lifecycle_) {
+    case ShardLifecycle::kHealthy:
+    case ShardLifecycle::kSuspected:
+      if (phi >= options_.health.phi_down) {
+        MarkShardDown(shard_index, "phi");
+      } else {
+        shard.lifecycle_ = phi >= options_.health.phi_suspect
+                               ? ShardLifecycle::kSuspected
+                               : ShardLifecycle::kHealthy;
+      }
+      break;
+    case ShardLifecycle::kDown:
+      break;  // only a heartbeat revives it
+    case ShardLifecycle::kWarming:
+      if (phi >= options_.health.phi_down) {
+        MarkShardDown(shard_index, "phi");  // died again mid-warm-up
+      } else if (!shard.warmup_.warming(now)) {
+        shard.lifecycle_ = ShardLifecycle::kHealthy;
+      }
+      break;
+  }
+}
+
+void ClusterDispatcher::MarkShardDown(int shard_index,
+                                      const std::string& why) {
+  ClusterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+  if (shard.lifecycle_ == ShardLifecycle::kDown) return;
+  shard.lifecycle_ = ShardLifecycle::kDown;
+  ++shard.down_transitions_;
+  down_counters_[static_cast<size_t>(shard_index)]->Increment();
+  LogClusterEvent(WlmEventType::kShardDown, 0,
+                  "shard=" + std::to_string(shard_index) + " cause=" + why);
+  // Post-mortem from the dead shard's own black box: what it was doing
+  // when the detector lost it (cooldown and dump budget apply inside).
+  Telemetry& telemetry = shard.wlm().telemetry();
+  telemetry.flight_recorder().Trigger("shard_down", telemetry.ControllerState(),
+                                      &shard.wlm().event_log());
+  if (!shard.crashed_) {
+    // Announced restart: the process is still up, drain it live. The
+    // draining_ flag parks the completion listener so each victim
+    // reaches the orphan buffer exactly once.
+    shard.draining_ = true;
+    std::vector<WorkloadManager::DrainedQuery> victims =
+        shard.wlm().CrashDrain(why);
+    shard.draining_ = false;
+    for (WorkloadManager::DrainedQuery& victim : victims) {
+      if (hedges_.count(victim.spec.id) != 0) continue;
+      orphans_[static_cast<size_t>(shard_index)].push_back(
+          {std::move(victim.spec), std::move(victim.workload)});
+    }
+  }
+  DrainOrphans(shard_index);
+}
+
+void ClusterDispatcher::DrainOrphans(int shard_index) {
+  std::vector<Orphan> orphans;
+  orphans.swap(orphans_[static_cast<size_t>(shard_index)]);
+  if (orphans.empty()) return;
+  const double now = sim_->Now();
+  for (Orphan& orphan : orphans) {
+    auto hit = hedges_.find(orphan.spec.id);
+    if (hit != hedges_.end()) {
+      // A black-holed hedge copy. If its sibling already resolved
+      // without winning, this drain is the query's last chance;
+      // otherwise the sibling owns it and the orphan is annihilated.
+      Hedge& hedge = hit->second;
+      const bool last = --hedge.outstanding <= 0;
+      const bool salvage = last && !hedge.done;
+      if (last) hedges_.erase(hit);
+      if (!salvage) continue;
+    }
+    std::set<int> exclude;
+    if (options_.redispatch) {
+      auto tried = shards_tried_.find(orphan.spec.id);
+      if (tried != shards_tried_.end()) exclude = tried->second;
+    }
+    exclude.insert(shard_index);
+    std::vector<int> eligible = EligibleShards(exclude);
+    if (eligible.empty()) {
+      ++orphans_lost_;
+      lost_counters_[static_cast<size_t>(shard_index)]->Increment();
+      continue;
+    }
+    std::vector<ShardSnapshot> snaps = Snapshots(eligible);
+    const ShardSnapshot* best = &snaps.front();
+    for (const ShardSnapshot& snap : snaps) {
+      if (snap.outstanding() < best->outstanding()) best = &snap;
+    }
+    ClusterShard& target = *shards_[static_cast<size_t>(best->shard)];
+    if (!orphan.workload.empty()) {
+      // Crash-drained victims charge the target's retry budget exactly
+      // like shed re-dispatches: losing a query beats a restart storm.
+      // (Black-holed arrivals were never classified — no workload, no
+      // budget line to charge — so they skip the gate.)
+      OverloadController* overload = target.wlm().overload();
+      if (overload != nullptr && !overload->AllowRetry(orphan.workload, now)) {
+        ++orphans_lost_;
+        lost_counters_[static_cast<size_t>(shard_index)]->Increment();
+        continue;
+      }
+    }
+    std::set<int> submit_exclude;
+    for (const auto& other : shards_) {
+      if (other->index() != best->shard) submit_exclude.insert(other->index());
+    }
+    const Status status = SubmitToShards(orphan.spec, /*is_redispatch=*/true,
+                                         submit_exclude,
+                                         RouteCause::kCrashDrain);
+    if (status.ok()) {
+      drained_counters_[static_cast<size_t>(shard_index)]->Increment();
+    } else {
+      ++orphans_lost_;
+      lost_counters_[static_cast<size_t>(shard_index)]->Increment();
+    }
+  }
+}
+
+void ClusterDispatcher::LogClusterEvent(WlmEventType type, QueryId query,
+                                        std::string detail) {
+  WlmEvent event;
+  event.time = sim_->Now();
+  event.type = type;
+  event.query = query;
+  event.workload = "cluster";
+  event.detail = std::move(detail);
+  event_log_.Append(std::move(event));
 }
 
 std::string ClusterDispatcher::FormatRouteLog() const {
   std::string out;
-  out.reserve(route_log_.size() * 48);
-  char line[128];
+  out.reserve(route_log_.size() * 56);
+  char line[160];
   for (const RouteDecision& d : route_log_) {
     std::snprintf(line, sizeof(line),
-                  "t=%.6f q=%llu shard=%d attempt=%d redispatch=%d\n", d.time,
-                  static_cast<unsigned long long>(d.query), d.shard, d.attempt,
-                  d.redispatch ? 1 : 0);
+                  "t=%.6f q=%llu shard=%d attempt=%d redispatch=%d cause=%s\n",
+                  d.time, static_cast<unsigned long long>(d.query), d.shard,
+                  d.attempt, d.redispatch ? 1 : 0, RouteCauseToString(d.cause));
     out += line;
   }
   return out;
@@ -270,6 +743,7 @@ int64_t ClusterDispatcher::routed_total() const {
 
 void ClusterDispatcher::RefreshGauges() {
   metrics_.GetGauge("wlm_cluster_imbalance").Set(ImbalanceCoefficient());
+  const double now = sim_->Now();
   for (const auto& shard : shards_) {
     const MetricLabels labels = ShardLabels(shard->index());
     metrics_.GetGauge("wlm_cluster_shard_p99_seconds", labels)
@@ -282,6 +756,10 @@ void ClusterDispatcher::RefreshGauges() {
         .Set(shard->healthy() ? 1.0 : 0.0);
     metrics_.GetGauge("wlm_cluster_shard_ewma_latency_seconds", labels)
         .Set(shard->ewma_latency_seconds());
+    metrics_.GetGauge("wlm_cluster_health_state", labels)
+        .Set(static_cast<double>(static_cast<int>(shard->lifecycle_)));
+    metrics_.GetGauge("wlm_cluster_health_phi", labels)
+        .Set(options_.health.enabled ? shard->Phi(now) : 0.0);
   }
 }
 

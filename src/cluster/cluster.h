@@ -10,12 +10,16 @@
 #include <string>
 #include <vector>
 
+#include "cluster/health.h"
 #include "cluster/placement.h"
 #include "common/status.h"
 #include "core/workload_manager.h"
 #include "engine/engine.h"
 #include "engine/monitor.h"
+#include "faults/fault_plan.h"
+#include "faults/link_model.h"
 #include "sim/simulation.h"
+#include "telemetry/event_log.h"
 #include "telemetry/metrics.h"
 
 namespace wlm {
@@ -46,7 +50,23 @@ struct ClusterOptions {
   int max_redispatches = 1;
   /// Simulated network/coordination delay before a re-dispatch lands.
   double redispatch_delay_seconds = 0.001;
+  /// Shard failure model: heartbeat-driven phi-accrual detection, crash
+  /// drain, hedged dispatch and the restart warm-up ramp. Off by default
+  /// (crashed shards then silently black-hole — the undefended baseline).
+  ClusterHealthOptions health;
 };
+
+/// Why a routing decision was made — golden route logs distinguish a
+/// crash-drained second life from an overload-shed retry by this field.
+enum class RouteCause {
+  kPlace,       // arrival placement (attempt > 0 = same-instant failover)
+  kShed,        // re-dispatch after an overload shed elsewhere
+  kAbort,       // re-dispatch after a deadlock/fault abort elsewhere
+  kCrashDrain,  // second life granted when its shard was declared down
+  kHedge,       // duplicate dispatch hedging a suspected shard
+};
+
+const char* RouteCauseToString(RouteCause cause);
 
 /// One shard: a full single-node workload-management stack. The monitor
 /// is started at construction; workloads/classifiers/schedulers are
@@ -54,7 +74,8 @@ struct ClusterOptions {
 class ClusterShard {
  public:
   ClusterShard(int index, Simulation* sim, const EngineConfig& engine_config,
-               double monitor_interval, const WlmConfig& wlm_config);
+               double monitor_interval, const WlmConfig& wlm_config,
+               const ClusterHealthOptions& health);
   ClusterShard(const ClusterShard&) = delete;
   ClusterShard& operator=(const ClusterShard&) = delete;
 
@@ -69,6 +90,17 @@ class ClusterShard {
   /// routes around.
   [[nodiscard]] bool healthy() const;
 
+  /// Detector-derived lifecycle the dispatcher routes on (kHealthy until
+  /// health is enabled and the detector says otherwise).
+  ShardLifecycle lifecycle() const { return lifecycle_; }
+  /// Ground truth: the shard process is dead right now. Routing never
+  /// reads this — only the transport does (to black-hole dispatches into
+  /// a dead process) — so detection latency stays honestly modeled.
+  bool crashed() const { return crashed_; }
+  /// Current suspicion level of the failure detector.
+  double Phi(double now) const { return detector_.Phi(now); }
+  const WarmupGovernor& warmup() const { return warmup_; }
+
   /// Smoothed response time of recent completions, seconds.
   double ewma_latency_seconds() const { return ewma_latency_; }
   /// Queries routed here (initial placements + failovers that landed).
@@ -77,6 +109,11 @@ class ClusterShard {
   int64_t refused() const { return refused_; }
   /// Queries re-dispatched *to* this shard after a shed/abort elsewhere.
   int64_t redispatched_in() const { return redispatched_in_; }
+  /// Queries dispatched into this shard while its process was dead —
+  /// lost until (unless) a drain grants them second lives.
+  int64_t blackholed() const { return blackholed_; }
+  /// Times the dispatcher declared this shard down.
+  int64_t down_transitions() const { return down_transitions_; }
 
   /// P99 arrival-to-finish seconds over the shard's completed query
   /// profiles (0 when none completed yet).
@@ -89,16 +126,35 @@ class ClusterShard {
   DatabaseEngine engine_;
   Monitor monitor_;
   WorkloadManager wlm_;
+  ShardLifecycle lifecycle_ = ShardLifecycle::kHealthy;
+  bool crashed_ = false;
+  /// Set while an announced-restart drain runs on a still-live shard, so
+  /// the dispatcher's completion listener leaves the victims to the
+  /// drain instead of re-dispatching them itself.
+  bool draining_ = false;
+  PhiAccrualDetector detector_;
+  WarmupGovernor warmup_;
   double ewma_latency_ = 0.0;
   int64_t routed_ = 0;
   int64_t refused_ = 0;
   int64_t redispatched_in_ = 0;
+  int64_t blackholed_ = 0;
+  int64_t down_transitions_ = 0;
 };
 
 /// Routes each arriving query to a shard via the configured placement
 /// policy, with cluster-level admission: a query is rejected only when
 /// every eligible shard's overload gate refuses it (a single shard's
 /// refusal fails over to the next-best shard in the same instant).
+///
+/// With ClusterHealthOptions enabled the dispatcher also runs the shard
+/// failure model: a heartbeat loop feeds per-shard phi-accrual detectors;
+/// a shard whose phi crosses the suspect threshold gets hedged dispatch
+/// for deadline-critical queries, and one crossing the down threshold is
+/// drained (its orphans re-dispatched to survivors, charged against
+/// their retry budgets) and excluded from placement until heartbeats
+/// resume — after which a warm-up governor ramps admission back up so a
+/// mass restart cannot re-trigger the collapse.
 ///
 /// Determinism contract: shards are created, snapshotted and iterated in
 /// index order; all policy state is a function of the call sequence; the
@@ -119,6 +175,7 @@ class ClusterDispatcher {
     /// 0 = first-choice placement; >0 = failover attempt number.
     int attempt = 0;
     bool redispatch = false;
+    RouteCause cause = RouteCause::kPlace;
   };
 
   ClusterDispatcher(Simulation* sim, ClusterOptions options,
@@ -130,6 +187,19 @@ class ClusterDispatcher {
   /// Overloaded only when every eligible shard's overload gate refused.
   [[nodiscard]] Status Submit(QuerySpec spec);
 
+  /// Schedules a plan of shard-level fault windows (kShardCrash /
+  /// kShardRestart) on the sim clock. Engine-level kinds are rejected —
+  /// arm those via a per-shard FaultInjector.
+  [[nodiscard]] Status ArmFaultPlan(const FaultPlan& plan);
+
+  /// Kills shard `shard`'s process right now, unannounced: its queued and
+  /// running work dies with it, and the dispatcher only finds out through
+  /// the failure detector (when health is enabled).
+  void CrashShard(int shard);
+  /// Brings a crashed shard's process back; heartbeats resume on the
+  /// next tick and the detector walks it through warming -> healthy.
+  void RestartShard(int shard);
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
   ClusterShard& shard(int index) { return *shards_[static_cast<size_t>(index)]; }
   const ClusterShard& shard(int index) const {
@@ -138,11 +208,18 @@ class ClusterDispatcher {
   Simulation* sim() const { return sim_; }
   const ClusterOptions& options() const { return options_; }
   PlacementPolicy& placement() { return *policy_; }
+  /// Dispatcher <-> shard link model (heartbeat delay/drop); fault
+  /// scripts degrade per-shard quality through it.
+  DispatchLinkModel& link() { return link_; }
 
   const std::vector<RouteDecision>& route_log() const { return route_log_; }
   /// Canonical text form of the route log, one decision per line — the
   /// byte-comparable routing-determinism surface.
   std::string FormatRouteLog() const;
+
+  /// Cluster-level control-plane events (kShardDown / kShardRecovered /
+  /// kHedged), the dispatcher's own analogue of the per-shard logs.
+  const EventLog& event_log() const { return event_log_; }
 
   /// Coefficient of variation (stddev / mean) of per-shard routed
   /// counts: 0 = perfectly balanced.
@@ -153,6 +230,11 @@ class ClusterDispatcher {
   int64_t rejected_total() const { return rejected_total_; }
   /// Successful re-dispatches of shed/aborted queries to another shard.
   int64_t redispatched_total() const { return redispatched_total_; }
+  /// Hedged duplicates submitted / cancelled after the race resolved.
+  int64_t hedges_started() const { return hedges_started_; }
+  int64_t hedges_cancelled() const { return hedges_cancelled_; }
+  /// Orphans denied a second life (retry budget or no eligible shard).
+  int64_t orphans_lost() const { return orphans_lost_; }
 
   /// Cluster-level metrics registry (`wlm_cluster_*` families).
   MetricsRegistry& metrics() { return metrics_; }
@@ -163,26 +245,78 @@ class ClusterDispatcher {
  private:
   /// Snapshots of `eligible` (shard indexes, ascending).
   std::vector<ShardSnapshot> Snapshots(const std::vector<int>& eligible) const;
-  /// Shard indexes eligible for a placement: healthy ones (all, when
-  /// none is healthy or routing-around is off) minus `exclude`.
+  /// Shard indexes eligible for a placement, in three widening passes:
+  /// routable (not down, warming within its ramp, healthy) -> not down
+  /// -> anyone. A detected-down shard re-enters only when nothing else
+  /// is left; degraded shards are still better than a guaranteed reject.
   std::vector<int> EligibleShards(const std::set<int>& exclude) const;
   Status SubmitToShards(QuerySpec spec, bool is_redispatch,
-                        const std::set<int>& exclude);
+                        const std::set<int>& exclude, RouteCause cause);
   void OnShardCompletion(int shard_index, const Request& request);
   void MaybeRedispatch(int from_shard, const Request& request);
+  /// Hedged dispatch: when the landing shard is suspected and the query
+  /// carries an explicit deadline, duplicate it onto the best healthy
+  /// shard; first completion wins, the loser is killed.
+  void MaybeHedge(const QuerySpec& spec, int primary);
+  /// Retires the losing copy of a decided hedge race: kills it on a live
+  /// shard, or annihilates its black-holed orphan on a dead one.
+  void CancelHedgeLoser(int loser, QueryId id);
+  void StartHealthLoop();
+  void HealthTick();
+  void DeliverHeartbeat(int shard);
+  void EvaluateShard(int shard);
+  /// The failure detector (or an announced restart) declared the shard
+  /// dead: log + post-mortem, drain whatever work it still holds, and
+  /// grant the orphans second lives on the survivors.
+  void MarkShardDown(int shard, const std::string& why);
+  void DrainOrphans(int shard);
+  void LogClusterEvent(WlmEventType type, QueryId query, std::string detail);
   void RefreshGauges();
+
+  /// One query stranded on a dead shard (crash-drained or black-holed;
+  /// black-holed arrivals were never classified, so workload is empty
+  /// and their second life skips the retry-budget gate).
+  struct Orphan {
+    QuerySpec spec;
+    std::string workload;
+  };
+
+  /// A hedged query's two lives. First completion wins; the loser is
+  /// killed one instant later and its terminal events are swallowed.
+  struct Hedge {
+    int primary = 0;
+    int alternate = 0;
+    /// A copy completed; the race is decided.
+    bool done = false;
+    /// Unresolved copies (terminal not yet seen / orphan not yet
+    /// annihilated). The entry is erased when this reaches zero.
+    int outstanding = 2;
+  };
 
   Simulation* sim_;
   ClusterOptions options_;
   std::unique_ptr<PlacementPolicy> policy_;
   std::vector<std::unique_ptr<ClusterShard>> shards_;
   MetricsRegistry metrics_;
+  DispatchLinkModel link_;
+  EventLog event_log_;
   /// Pointer-stable cached counter handles, one per shard (label-set
   /// construction is off the submit path).
   std::vector<Counter*> routed_counters_;
   std::vector<Counter*> refused_counters_;
   std::vector<Counter*> redispatched_counters_;
+  std::vector<Counter*> heartbeat_counters_;
+  std::vector<Counter*> heartbeat_dropped_counters_;
+  std::vector<Counter*> down_counters_;
+  std::vector<Counter*> drained_counters_;
+  std::vector<Counter*> lost_counters_;
+  std::vector<Counter*> blackholed_counters_;
+  std::vector<Counter*> hedge_won_counters_;
   std::vector<RouteDecision> route_log_;
+  /// Work stranded on each dead shard, awaiting detection (or lost for
+  /// good when health is disabled).
+  std::vector<std::vector<Orphan>> orphans_;
+  std::map<QueryId, Hedge> hedges_;
   /// Cluster-level re-dispatch bookkeeping, keyed by query id (ordered
   /// maps: iteration feeds no emission, but determinism costs nothing).
   std::map<QueryId, int> redispatch_counts_;
@@ -192,6 +326,9 @@ class ClusterDispatcher {
   QueryId in_submit_query_ = 0;
   int64_t rejected_total_ = 0;
   int64_t redispatched_total_ = 0;
+  int64_t hedges_started_ = 0;
+  int64_t hedges_cancelled_ = 0;
+  int64_t orphans_lost_ = 0;
 };
 
 }  // namespace wlm

@@ -595,9 +595,58 @@ std::vector<const Request*> WorkloadManager::AllRequests() const {
   return out;
 }
 
+std::vector<WorkloadManager::DrainedQuery> WorkloadManager::CrashDrain(
+    const std::string& reason) {
+  std::vector<DrainedQuery> drained;
+  // Shed the whole wait queue before killing anything: the kill pass's
+  // finish callbacks re-enter TryDispatch, which must find an empty queue
+  // rather than promote doomed requests into the freed slots.
+  std::vector<QueryId> waiting;
+  waiting.swap(queue_);
+  for (QueryId id : waiting) {
+    Request* request = requests_.at(id).get();
+    drained.push_back({request->spec, request->workload});
+    ShedRequest(request, reason);
+  }
+  std::vector<QueryId> running(running_.begin(), running_.end());
+  std::sort(running.begin(), running.end());
+  for (QueryId id : running) {
+    Request* request = requests_.at(id).get();
+    drained.push_back({request->spec, request->workload});
+    (void)KillRequest(id, /*resubmit=*/false);
+  }
+  return drained;
+}
+
 Status WorkloadManager::KillRequest(QueryId id, bool resubmit) {
   auto it = requests_.find(id);
   if (it == requests_.end()) return Status::NotFound("unknown request");
+  Request* request = it->second.get();
+  // A queued (or suspended) victim never reached the engine, so the
+  // engine can't kill it; retire it here instead: close the open wait
+  // segment and drive the same kKilled terminal bookkeeping the engine's
+  // finish callback would have produced for a running victim.
+  if (request->state == RequestState::kQueued ||
+      request->state == RequestState::kSuspended) {
+    auto queued = std::find(queue_.begin(), queue_.end(), id);
+    if (queued != queue_.end()) queue_.erase(queued);
+    resumable_.erase(id);
+    RollWaitSegment(request, sim_->Now());
+    if (resubmit && request->resubmits < config_.max_resubmits) {
+      ++request->resubmits;
+      ++counters_[request->workload].resubmitted;
+      LogEvent(WlmEventType::kResubmitted, *request, "after kill");
+      Requeue(request);
+    } else {
+      QueryOutcome outcome;
+      outcome.id = id;
+      outcome.kind = OutcomeKind::kKilled;
+      outcome.dispatch_time = sim_->Now();
+      outcome.finish_time = sim_->Now();
+      FinishTerminal(request, RequestState::kKilled, outcome);
+    }
+    return Status::OK();
+  }
   if (resubmit) resubmit_on_kill_.insert(id);
   Status status = engine_->Kill(id);  // OnFinish fires synchronously
   if (!status.ok()) resubmit_on_kill_.erase(id);

@@ -192,6 +192,23 @@ class WorkloadManager : public FaultSink {
   [[nodiscard]] Status AbortRequestByFault(QueryId id,
                                            const std::string& reason) override;
 
+  /// One query orphaned by a shard crash: enough to resubmit it for a
+  /// second life on a surviving shard.
+  struct DrainedQuery {
+    QuerySpec spec;
+    std::string workload;
+  };
+
+  /// The process died: every waiting request is shed and every running
+  /// request killed, each reaching its terminal state (and conserving its
+  /// phase decomposition) at the instant of death. Returns the orphans in
+  /// deterministic order — queue order first, then running requests by
+  /// id — so a cluster dispatcher can grant them second lives elsewhere.
+  /// Fault-retry backoff limbo is deliberately untouched: those retries
+  /// are already charged and re-enter the (restarted) shard's queue on
+  /// their own schedule, like a durable retry queue surviving the crash.
+  std::vector<DrainedQuery> CrashDrain(const std::string& reason);
+
  private:
   void OnSample(const SystemIndicators& indicators);
   void OnFinish(const QueryOutcome& outcome);

@@ -21,6 +21,10 @@ Status FaultInjector::Arm(const FaultPlan& plan) {
     if (event.kind == FaultKind::kQueryAborts && event.period <= 0.0) {
       return Status::InvalidArgument("abort period must be > 0");
     }
+    if (IsShardFaultKind(event.kind)) {
+      return Status::InvalidArgument(
+          "shard-level fault kinds arm via ClusterDispatcher::ArmFaultPlan");
+    }
   }
   rng_ = Rng(plan.seed);
   // Plan order is the deterministic tie-break: the simulation executes
@@ -111,6 +115,9 @@ void FaultInjector::Begin(int index, const FaultEvent& event) {
     case FaultKind::kArrivalSurge:
       std::snprintf(detail, sizeof(detail), "surge=%.1fx", event.magnitude);
       break;
+    case FaultKind::kShardCrash:
+    case FaultKind::kShardRestart:
+      break;  // unreachable: Arm rejects shard-level kinds
   }
   NotifyBegin(event, detail);
 
@@ -162,6 +169,9 @@ void FaultInjector::Begin(int index, const FaultEvent& event) {
     case FaultKind::kArrivalSurge:
       if (surge_handler_) surge_handler_(event.magnitude, true);
       break;
+    case FaultKind::kShardCrash:
+    case FaultKind::kShardRestart:
+      break;  // unreachable: Arm rejects shard-level kinds
   }
 }
 
@@ -195,6 +205,9 @@ void FaultInjector::End(int index, const FaultEvent& event) {
     case FaultKind::kArrivalSurge:
       if (surge_handler_) surge_handler_(event.magnitude, false);
       break;
+    case FaultKind::kShardCrash:
+    case FaultKind::kShardRestart:
+      break;  // unreachable: Arm rejects shard-level kinds
   }
   NotifyEnd(event, started_at);
 }

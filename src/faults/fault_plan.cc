@@ -23,8 +23,16 @@ const char* FaultKindToString(FaultKind kind) {
       return "query_aborts";
     case FaultKind::kArrivalSurge:
       return "arrival_surge";
+    case FaultKind::kShardCrash:
+      return "shard_crash";
+    case FaultKind::kShardRestart:
+      return "shard_restart";
   }
   return "?";
+}
+
+bool IsShardFaultKind(FaultKind kind) {
+  return kind == FaultKind::kShardCrash || kind == FaultKind::kShardRestart;
 }
 
 FaultPlan& FaultPlan::Add(FaultEvent event) {
@@ -44,11 +52,17 @@ std::string FaultPlan::ToString() const {
   std::string out = "FaultPlan seed=" + std::to_string(seed) + "\n";
   for (const FaultEvent& event : events) {
     char line[160];
-    std::snprintf(line, sizeof(line),
-                  "  [%8.3fs .. %8.3fs] %-15s magnitude=%.3f period=%.3f "
-                  "hot_keys=%d\n",
-                  event.start, event.end(), FaultKindToString(event.kind),
-                  event.magnitude, event.period, event.hot_keys);
+    if (IsShardFaultKind(event.kind)) {
+      std::snprintf(line, sizeof(line),
+                    "  [%8.3fs .. %8.3fs] %-15s shard=%d\n", event.start,
+                    event.end(), FaultKindToString(event.kind), event.shard);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  [%8.3fs .. %8.3fs] %-15s magnitude=%.3f period=%.3f "
+                    "hot_keys=%d\n",
+                    event.start, event.end(), FaultKindToString(event.kind),
+                    event.magnitude, event.period, event.hot_keys);
+    }
     out += line;
   }
   return out;
@@ -61,8 +75,10 @@ FaultPlan FaultPlan::Random(uint64_t seed, double horizon, int num_events) {
   Rng rng(seed);
   for (int i = 0; i < num_events; ++i) {
     FaultEvent event;
+    // Engine kinds only: the shard-level kinds need a cluster to mean
+    // anything and are armed through ClusterDispatcher::ArmFaultPlan.
     event.kind = static_cast<FaultKind>(
-        rng.UniformInt(0, kFaultKindCount - 1));
+        rng.UniformInt(0, kEngineFaultKindCount - 1));
     event.duration = rng.Uniform(0.05 * horizon, 0.25 * horizon);
     event.start = rng.Uniform(0.0, horizon - event.duration);
     switch (event.kind) {
@@ -88,6 +104,9 @@ FaultPlan FaultPlan::Random(uint64_t seed, double horizon, int num_events) {
       case FaultKind::kArrivalSurge:
         event.magnitude = rng.Uniform(1.5, 4.0);
         break;
+      case FaultKind::kShardCrash:
+      case FaultKind::kShardRestart:
+        break;  // unreachable: the draw spans engine kinds only
     }
     plan.Add(event);
   }
@@ -113,6 +132,23 @@ FaultPlan FaultPlan::MetastableStorm(uint64_t seed, double start,
   aborts.magnitude = abort_magnitude;
   aborts.period = abort_period;
   plan.Add(aborts);
+  return plan;
+}
+
+FaultPlan FaultPlan::RollingRestart(uint64_t seed, int num_shards,
+                                    double start, double down_seconds,
+                                    double gap_seconds, bool announced) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (int shard = 0; shard < num_shards; ++shard) {
+    FaultEvent event;
+    event.kind =
+        announced ? FaultKind::kShardRestart : FaultKind::kShardCrash;
+    event.shard = shard;
+    event.start = start + static_cast<double>(shard) * gap_seconds;
+    event.duration = down_seconds;
+    plan.Add(event);
+  }
   return plan;
 }
 

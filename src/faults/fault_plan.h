@@ -30,10 +30,28 @@ enum class FaultKind {
   /// arrivals by `magnitude` for the window (the injector itself does
   /// not generate load).
   kArrivalSurge,
+  /// Cluster-level: shard `shard`'s process dies at `start` and comes
+  /// back at `end()`. Unannounced — the dispatcher only learns of the
+  /// death through its failure detector, and queries routed there in
+  /// the meantime are black-holed. Armed via
+  /// ClusterDispatcher::ArmFaultPlan, not FaultInjector.
+  kShardCrash,
+  /// Cluster-level: a *coordinated* restart of shard `shard` — the
+  /// dispatcher is told at `start` (no detection latency), drains the
+  /// shard immediately and re-admits it through the warm-up ramp at
+  /// `end()`. Armed via ClusterDispatcher::ArmFaultPlan.
+  kShardRestart,
 };
 
 const char* FaultKindToString(FaultKind kind);
-inline constexpr int kFaultKindCount = 7;
+inline constexpr int kFaultKindCount = 9;
+/// Kinds FaultInjector can arm against a single engine (the prefix of
+/// FaultKind before the cluster-level shard kinds).
+inline constexpr int kEngineFaultKindCount = 7;
+
+/// True for the cluster-level kinds only ClusterDispatcher::ArmFaultPlan
+/// understands (FaultInjector::Arm rejects them).
+bool IsShardFaultKind(FaultKind kind);
 
 /// One scripted fault window on the simulation clock.
 struct FaultEvent {
@@ -48,6 +66,8 @@ struct FaultEvent {
   double period = 0.5;
   /// kLockStorm: number of hottest keys seized.
   int hot_keys = 4;
+  /// kShardCrash / kShardRestart: the shard index the window targets.
+  int shard = 0;
 
   double end() const { return start + duration; }
 };
@@ -82,6 +102,15 @@ struct FaultPlan {
                                    double duration, double surge_factor,
                                    double abort_magnitude,
                                    double abort_period);
+
+  /// A rolling restart: each of `num_shards` shards crashes for
+  /// `down_seconds`, staggered `gap_seconds` apart starting at `start`
+  /// (shard 0 first). `announced` selects kShardRestart windows
+  /// (coordinated drain) over kShardCrash windows (the dispatcher must
+  /// detect each death itself). The chaos suite's crash scenario.
+  static FaultPlan RollingRestart(uint64_t seed, int num_shards, double start,
+                                  double down_seconds, double gap_seconds,
+                                  bool announced = false);
 };
 
 }  // namespace wlm

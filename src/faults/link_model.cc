@@ -1,0 +1,47 @@
+#include "faults/link_model.h"
+
+#include <algorithm>
+
+namespace wlm {
+
+DispatchLinkModel::DispatchLinkModel(const LinkOptions& options,
+                                     int num_shards)
+    : options_(options) {
+  links_.resize(static_cast<size_t>(std::max(0, num_shards)));
+  for (size_t shard = 0; shard < links_.size(); ++shard) {
+    // Independent streams: splitting one seed across shards with a large
+    // odd stride keeps the per-shard sequences uncorrelated while the
+    // whole model stays a pure function of (options.seed, shard).
+    links_[shard].rng =
+        Rng(options_.seed + 0x9E3779B97F4A7C15ULL * (shard + 1));
+  }
+}
+
+void DispatchLinkModel::SetShardQuality(int shard, double delay_factor,
+                                        double drop_factor) {
+  if (shard < 0 || static_cast<size_t>(shard) >= links_.size()) return;
+  links_[static_cast<size_t>(shard)].delay_factor =
+      std::max(0.0, delay_factor);
+  links_[static_cast<size_t>(shard)].drop_factor = std::max(0.0, drop_factor);
+}
+
+double DispatchLinkModel::Delay(int shard) const {
+  if (shard < 0 || static_cast<size_t>(shard) >= links_.size()) return 0.0;
+  return options_.delay_seconds *
+         links_[static_cast<size_t>(shard)].delay_factor;
+}
+
+double DispatchLinkModel::DropRate(int shard) const {
+  if (shard < 0 || static_cast<size_t>(shard) >= links_.size()) return 0.0;
+  return std::clamp(
+      options_.drop_rate * links_[static_cast<size_t>(shard)].drop_factor,
+      0.0, 1.0);
+}
+
+bool DispatchLinkModel::DropHeartbeat(int shard) {
+  const double rate = DropRate(shard);
+  if (rate <= 0.0) return false;  // lossless links never consume the stream
+  return links_[static_cast<size_t>(shard)].rng.Bernoulli(rate);
+}
+
+}  // namespace wlm

@@ -1,0 +1,60 @@
+#ifndef WLM_FAULTS_LINK_MODEL_H_
+#define WLM_FAULTS_LINK_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wlm {
+
+/// Baseline quality of the dispatcher <-> shard links. Per-shard factors
+/// scale these (SetShardQuality), so a fault script can degrade one
+/// shard's link without touching the others.
+struct LinkOptions {
+  /// One-way message delay, seconds (heartbeats and deferred dispatches).
+  double delay_seconds = 0.0;
+  /// Probability an individual heartbeat is dropped in transit.
+  double drop_rate = 0.0;
+  /// Seeds the per-shard drop streams; part of the determinism contract.
+  uint64_t seed = 0x11CEu;
+};
+
+/// Deterministic model of the dispatch fabric between the dispatcher and
+/// its shards. Each shard gets an independent seeded RNG stream, so
+/// degrading (or even querying) one shard's link never perturbs the drop
+/// sequence another shard observes — adding a fault window to shard 2
+/// leaves shards 0/1/3 bit-identical.
+///
+/// Drops are only drawn while the shard's effective drop rate is
+/// positive: with a zero rate the stream is never consulted, so runs with
+/// lossless links stay byte-identical to runs predating the link model.
+class DispatchLinkModel {
+ public:
+  DispatchLinkModel(const LinkOptions& options, int num_shards);
+
+  /// Scales shard `shard`'s delay and drop rate (factors >= 0, both 1.0
+  /// at construction). A fault script degrades a link by raising them.
+  void SetShardQuality(int shard, double delay_factor, double drop_factor);
+
+  /// Effective one-way delay to `shard`, seconds.
+  double Delay(int shard) const;
+  /// Effective heartbeat drop probability for `shard`.
+  double DropRate(int shard) const;
+  /// Draws from shard `shard`'s stream: true when this heartbeat is lost.
+  [[nodiscard]] bool DropHeartbeat(int shard);
+
+ private:
+  LinkOptions options_;
+  struct ShardLink {
+    double delay_factor = 1.0;
+    double drop_factor = 1.0;
+    Rng rng;
+    ShardLink() : rng(1) {}
+  };
+  std::vector<ShardLink> links_;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_FAULTS_LINK_MODEL_H_

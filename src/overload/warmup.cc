@@ -1,0 +1,26 @@
+#include "overload/warmup.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wlm {
+
+double WarmupGovernor::AdmitFraction(double now) const {
+  if (!warming(now)) return 1.0;
+  const double progress =
+      options_.warmup_seconds <= 0.0
+          ? 1.0
+          : std::clamp((now - started_) / options_.warmup_seconds, 0.0, 1.0);
+  const double floor = std::clamp(options_.min_fraction, 0.0, 1.0);
+  return floor + (1.0 - floor) * progress;
+}
+
+bool WarmupGovernor::AdmitAllowed(double now, int outstanding) const {
+  if (!warming(now)) return true;
+  const int cap = std::max(
+      1, static_cast<int>(std::ceil(AdmitFraction(now) *
+                                    static_cast<double>(options_.capacity))));
+  return outstanding < cap;
+}
+
+}  // namespace wlm

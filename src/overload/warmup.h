@@ -1,0 +1,61 @@
+#ifndef WLM_OVERLOAD_WARMUP_H_
+#define WLM_OVERLOAD_WARMUP_H_
+
+namespace wlm {
+
+/// Ramp shape for post-restart re-admission.
+struct WarmupOptions {
+  /// Length of the ramp after BeginWarmup, seconds.
+  double warmup_seconds = 2.0;
+  /// Admission fraction at the start of the ramp (linear up to 1.0).
+  double min_fraction = 0.25;
+  /// Outstanding-work cap at full admission; during the ramp the cap is
+  /// ceil(fraction * capacity), floor 1.
+  int capacity = 16;
+};
+
+/// Restart-storm defense: after a component comes back from a crash or
+/// restart it is re-admitted on a linear ramp rather than all at once. A
+/// freshly restarted shard reports zero outstanding work, so load-aware
+/// placement would instantly funnel the whole cluster's backlog at it —
+/// the multi-node analogue of the retry-driven metastable collapse the
+/// single-node overload controls defend against. The governor caps how
+/// much may be outstanding on the warming component as a function of
+/// elapsed warm-up time; purely passive and clockless (callers pass the
+/// sim time), so it stays deterministic and multi-instantiates per shard.
+class WarmupGovernor {
+ public:
+  WarmupGovernor() = default;
+  explicit WarmupGovernor(WarmupOptions options) : options_(options) {}
+
+  /// Starts (or restarts) the ramp at `now`.
+  void BeginWarmup(double now) { started_ = now; }
+
+  /// True while the ramp is in progress at `now`.
+  [[nodiscard]] bool warming(double now) const {
+    return started_ >= 0.0 && now < started_ + options_.warmup_seconds;
+  }
+
+  /// Fraction of full admission allowed at `now`: min_fraction at the
+  /// start of the ramp, rising linearly to 1.0 at its end (and 1.0
+  /// whenever no ramp is active).
+  double AdmitFraction(double now) const;
+
+  /// The ramped admission gate: may another unit of work land when
+  /// `outstanding` are already queued or running?
+  [[nodiscard]] bool AdmitAllowed(double now, int outstanding) const;
+
+  const WarmupOptions& options() const { return options_; }
+  /// Sim time the current ramp ends (negative before any BeginWarmup).
+  double warmup_ends() const {
+    return started_ < 0.0 ? -1.0 : started_ + options_.warmup_seconds;
+  }
+
+ private:
+  WarmupOptions options_;
+  double started_ = -1.0;
+};
+
+}  // namespace wlm
+
+#endif  // WLM_OVERLOAD_WARMUP_H_

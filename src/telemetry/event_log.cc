@@ -49,6 +49,12 @@ const char* WlmEventTypeToString(WlmEventType type) {
       return "breaker_closed";
     case WlmEventType::kBrownoutStepped:
       return "brownout_stepped";
+    case WlmEventType::kShardDown:
+      return "shard_down";
+    case WlmEventType::kShardRecovered:
+      return "shard_recovered";
+    case WlmEventType::kHedged:
+      return "hedged";
   }
   return "?";
 }

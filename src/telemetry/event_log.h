@@ -39,10 +39,13 @@ enum class WlmEventType {
   kBreakerHalfOpen,// breaker admitting probes after cool-down
   kBreakerClosed,  // breaker closed after healthy probes
   kBrownoutStepped,// brownout shed level changed
+  kShardDown,      // cluster failure detector declared a shard dead
+  kShardRecovered, // dead shard heartbeating again; warm-up ramp begins
+  kHedged,         // deadline-critical query duplicated to a second shard
 };
 
 /// Number of WlmEventType values (keep in sync with the enum).
-inline constexpr size_t kWlmEventTypeCount = 21;
+inline constexpr size_t kWlmEventTypeCount = 24;
 
 const char* WlmEventTypeToString(WlmEventType type);
 

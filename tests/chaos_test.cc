@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -296,6 +297,163 @@ TEST(MetastableTest, DefendedAndUndefendedRunsAreBitReproducible) {
   MetastableRun off_a = RunMetastableScenario(7, /*defended=*/false);
   MetastableRun off_b = RunMetastableScenario(7, /*defended=*/false);
   EXPECT_EQ(off_a.event_log, off_b.event_log);
+}
+
+// ------------------------------------------------- Rolling restart storm
+
+// Shard-level chaos: every shard of a 4-shard cluster is crashed in
+// sequence (unannounced) while deadline-carrying OLTP keeps arriving.
+// Least-outstanding routing makes an undetected dead shard a traffic
+// magnet — its outstanding count is pinned at zero, so arrivals pour
+// into the black hole until something notices. The failure-detection
+// stack (phi-accrual detection, crash drain, hedging, warm-up ramp) is
+// the defense; with it off, the same fault plan collapses goodput.
+
+constexpr double kRollArrivalEnd = 24.0;
+constexpr double kRollDeadline = 2.5;
+constexpr double kRollOltpRate = 40.0;
+constexpr double kRollBiRate = 4.0;
+
+struct RollingRestartRun {
+  int64_t submitted_oltp = 0;
+  int64_t good = 0;  // distinct OLTP queries completed within deadline
+  int64_t blackholed = 0;
+  int64_t redispatched = 0;
+  int64_t orphans_lost = 0;
+  std::string transcript;
+};
+
+RollingRestartRun RunRollingRestartScenario(uint64_t seed, bool defended,
+                                            bool with_faults) {
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(4);
+  options.placement = PlacementPolicyKind::kLeastOutstanding;
+  options.redispatch = true;
+  options.wlm.overload.codel.queue_capacity = 32;
+  // Crash drains arrive in bursts; budget the second lives generously so
+  // retry-rationing is not what this scenario measures.
+  options.wlm.overload.retry_budget.capacity = 64.0;
+  options.wlm.overload.retry_budget.refill_per_second = 16.0;
+  options.health.enabled = defended;
+
+  RollingRestartRun result;
+  std::set<QueryId> good_ids;
+  ClusterDispatcher cluster(
+      &sim, options, [&](int shard, WorkloadManager& manager) {
+        (void)shard;
+        DefineTestWorkloads(manager);
+        // A hedge can in principle complete on both shards in the same
+        // instant, so dedupe goodput by query id.
+        manager.AddCompletionListener([&](const Request& r) {
+          if (r.state == RequestState::kCompleted &&
+              r.spec.kind == QueryKind::kOltpTransaction &&
+              r.ResponseTime() <= kRollDeadline &&
+              good_ids.insert(r.spec.id).second) {
+            ++result.good;
+          }
+        });
+      });
+  if (with_faults) {
+    // Windows overlap (down 4.5s, gap 3.0s): the tail of each
+    // outage meets the head of the next, like a restart storm sweeping
+    // the cluster.
+    FaultPlan plan = FaultPlan::RollingRestart(
+        seed, /*num_shards=*/4, /*start=*/4.0, /*down_seconds=*/4.5,
+        /*gap_seconds=*/3.0, /*announced=*/false);
+    EXPECT_TRUE(cluster.ArmFaultPlan(plan).ok());
+  }
+
+  WorkloadGenerator gen(seed);
+  Rng oltp_gaps(seed ^ 0x0c1a05f1ULL);
+  Rng bi_gaps(seed ^ 0x00b5e55eULL);
+  OltpWorkloadConfig oltp_cfg;
+  BiWorkloadConfig bi_cfg;
+  bi_cfg.cpu_mu = 0.0;  // median ~1 cpu-second: ballast, not an anchor
+  // Deadline-carrying OLTP: the goodput population.
+  std::function<void()> pump_oltp = [&] {
+    double t = sim.Now() + oltp_gaps.Exponential(1.0 / kRollOltpRate);
+    if (t >= kRollArrivalEnd) return;
+    sim.ScheduleAt(t, [&] {
+      QuerySpec spec = gen.NextOltp(oltp_cfg);
+      spec.deadline_seconds = kRollDeadline;
+      ++result.submitted_oltp;
+      (void)cluster.Submit(std::move(spec));
+      pump_oltp();
+    });
+  };
+  // BI ballast keeps the live shards' outstanding counts above zero, so
+  // least-outstanding tie-breaks resolve toward an undetected dead shard
+  // (the black-hole magnet this scenario is about).
+  std::function<void()> pump_bi = [&] {
+    double t = sim.Now() + bi_gaps.Exponential(1.0 / kRollBiRate);
+    if (t >= kRollArrivalEnd) return;
+    sim.ScheduleAt(t, [&] {
+      (void)cluster.Submit(gen.NextBi(bi_cfg));
+      pump_bi();
+    });
+  };
+  pump_oltp();
+  pump_bi();
+  sim.RunUntil(kRollArrivalEnd + 16.0);  // generous drain window
+
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    result.blackholed += cluster.shard(s).blackholed();
+    result.transcript += SerializeEventLog(cluster.shard(s).wlm().event_log());
+  }
+  result.transcript += SerializeEventLog(cluster.event_log());
+  result.redispatched = cluster.redispatched_total();
+  result.orphans_lost = cluster.orphans_lost();
+  return result;
+}
+
+TEST(RollingRestartTest, DefendedClusterSustainsGoodputThroughTheStorm) {
+  RollingRestartRun baseline =
+      RunRollingRestartScenario(11, /*defended=*/true, /*with_faults=*/false);
+  RollingRestartRun defended =
+      RunRollingRestartScenario(11, /*defended=*/true, /*with_faults=*/true);
+  ASSERT_GT(baseline.good, 0);
+  ASSERT_EQ(baseline.submitted_oltp, defended.submitted_oltp);
+  // Every shard died once, yet detection + crash drain + hedging keep
+  // ≥90% of the no-fault goodput.
+  EXPECT_GE(static_cast<double>(defended.good),
+            0.9 * static_cast<double>(baseline.good));
+  // The defense actually fired: arrivals hit undetected dead shards and
+  // were drained back out as second lives.
+  EXPECT_GT(defended.blackholed, 0);
+  EXPECT_GT(defended.redispatched, 0);
+}
+
+TEST(RollingRestartTest, UndefendedClusterCollapsesUnderTheSameStorm) {
+  RollingRestartRun baseline =
+      RunRollingRestartScenario(11, /*defended=*/true, /*with_faults=*/false);
+  RollingRestartRun undefended =
+      RunRollingRestartScenario(11, /*defended=*/false, /*with_faults=*/true);
+  ASSERT_EQ(baseline.submitted_oltp, undefended.submitted_oltp);
+  // No detector, no drain: every arrival routed into a dead shard is
+  // gone, and least-outstanding keeps feeding it. Goodput collapses
+  // below 60% of baseline under the identical fault plan.
+  EXPECT_LT(static_cast<double>(undefended.good),
+            0.6 * static_cast<double>(baseline.good));
+  EXPECT_GT(undefended.blackholed, 0);
+}
+
+TEST(RollingRestartTest, StormRunsAreBitReproducible) {
+  RollingRestartRun on_a =
+      RunRollingRestartScenario(11, /*defended=*/true, /*with_faults=*/true);
+  RollingRestartRun on_b =
+      RunRollingRestartScenario(11, /*defended=*/true, /*with_faults=*/true);
+  ASSERT_FALSE(on_a.transcript.empty());
+  EXPECT_EQ(on_a.transcript, on_b.transcript);
+  EXPECT_EQ(on_a.good, on_b.good);
+  EXPECT_EQ(on_a.blackholed, on_b.blackholed);
+  EXPECT_EQ(on_a.redispatched, on_b.redispatched);
+  EXPECT_EQ(on_a.orphans_lost, on_b.orphans_lost);
+
+  RollingRestartRun off_a =
+      RunRollingRestartScenario(11, /*defended=*/false, /*with_faults=*/true);
+  RollingRestartRun off_b =
+      RunRollingRestartScenario(11, /*defended=*/false, /*with_faults=*/true);
+  EXPECT_EQ(off_a.transcript, off_b.transcript);
 }
 
 }  // namespace

@@ -330,6 +330,353 @@ TEST(ClusterDispatcherTest, ImbalanceCoefficientTracksSkew) {
   EXPECT_GT(cluster.ImbalanceCoefficient(), 0.0);
 }
 
+// ------------------------------------------------- crash / recovery
+
+ClusterOptions HealthClusterOptions(int num_shards) {
+  ClusterOptions options = TestClusterOptions(num_shards);
+  options.placement = PlacementPolicyKind::kLeastOutstanding;
+  options.redispatch = true;
+  options.health.enabled = true;
+  return options;
+}
+
+TEST(ClusterHealthTest, DetectorDeclaresCrashedShardDownWithinBound) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, HealthClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  sim.RunUntil(2.0);
+  EXPECT_EQ(cluster.shard(1).lifecycle(), ShardLifecycle::kHealthy);
+  cluster.CrashShard(1);
+  EXPECT_TRUE(cluster.shard(1).crashed());
+  // Ground truth is invisible to routing: the lifecycle only moves once
+  // heartbeat silence accrues.
+  EXPECT_EQ(cluster.shard(1).lifecycle(), ShardLifecycle::kHealthy);
+  const double interval = cluster.options().health.heartbeat_interval;
+  // One missed evaluation: suspected, not yet down.
+  sim.RunUntil(2.0 + 2.0 * interval + 1e-9);
+  EXPECT_EQ(cluster.shard(1).lifecycle(), ShardLifecycle::kSuspected);
+  // Within four intervals the detector must declare it dead.
+  sim.RunUntil(2.0 + 4.0 * interval + 1e-9);
+  EXPECT_EQ(cluster.shard(1).lifecycle(), ShardLifecycle::kDown);
+  EXPECT_EQ(cluster.shard(1).down_transitions(), 1);
+  ASSERT_EQ(cluster.event_log().CountOf(WlmEventType::kShardDown), 1);
+  // The dead shard's flight recorder captured a shard_down post-mortem.
+  const auto& postmortems =
+      cluster.shard(1).wlm().telemetry().flight_recorder().postmortems();
+  ASSERT_EQ(postmortems.size(), 1u);
+  EXPECT_EQ(postmortems.front().reason, "shard_down");
+}
+
+TEST(ClusterHealthTest, CrashDrainGrantsSecondLivesAndConservesWork) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, HealthClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  // Load both shards, then kill shard 0 with work queued and running.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1), 0.5)).ok());
+  }
+  ASSERT_GT(cluster.shard(0).wlm().queue_depth() +
+                cluster.shard(0).wlm().running_count(),
+            0u);
+  cluster.CrashShard(0);
+  sim.RunUntil(30.0);
+  // Every victim re-dispatched to shard 1 and completed there.
+  bool saw_crash_drain = false;
+  for (const auto& decision : cluster.route_log()) {
+    if (decision.cause == RouteCause::kCrashDrain) {
+      saw_crash_drain = true;
+      EXPECT_EQ(decision.shard, 1);
+      EXPECT_TRUE(decision.redispatch);
+    }
+  }
+  EXPECT_TRUE(saw_crash_drain);
+  EXPECT_EQ(cluster.orphans_lost(), 0);
+  const int64_t completed_total =
+      cluster.shard(0).wlm().event_log().CountOf(WlmEventType::kCompleted) +
+      cluster.shard(1).wlm().event_log().CountOf(WlmEventType::kCompleted);
+  EXPECT_EQ(completed_total, 12);
+}
+
+TEST(ClusterHealthTest, BlackholedArrivalsDrainOnceDetected) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, HealthClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  sim.RunUntil(1.0);
+  cluster.CrashShard(0);
+  // Least-outstanding now PREFERS the black hole: the dead shard shows
+  // zero outstanding. These arrivals vanish into it...
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1))).ok());
+  }
+  EXPECT_GT(cluster.shard(0).blackholed(), 0);
+  // ... until detection drains them onto the survivor.
+  sim.RunUntil(20.0);
+  EXPECT_EQ(cluster.shard(1).wlm().event_log().CountOf(WlmEventType::kCompleted),
+            4);
+  EXPECT_EQ(cluster.orphans_lost(), 0);
+}
+
+TEST(ClusterHealthTest, UndefendedCrashLosesBlackholedQueriesForever) {
+  Simulation sim;
+  ClusterOptions options = HealthClusterOptions(2);
+  options.health.enabled = false;  // the undefended baseline
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  sim.RunUntil(1.0);
+  cluster.CrashShard(0);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1))).ok());
+  }
+  cluster.RestartShard(0);
+  sim.RunUntil(20.0);
+  EXPECT_EQ(cluster.shard(0).blackholed(), 4);
+  // Nobody ever drained them: nothing completed anywhere.
+  EXPECT_EQ(cluster.shard(0).wlm().event_log().CountOf(WlmEventType::kCompleted),
+            0);
+  EXPECT_EQ(cluster.shard(1).wlm().event_log().CountOf(WlmEventType::kCompleted),
+            0);
+}
+
+TEST(ClusterHealthTest, RecoveryWalksWarmingThenHealthy) {
+  Simulation sim;
+  ClusterOptions options = HealthClusterOptions(2);
+  options.health.warmup.warmup_seconds = 2.0;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  sim.RunUntil(1.0);
+  cluster.CrashShard(1);
+  sim.RunUntil(4.0);
+  ASSERT_EQ(cluster.shard(1).lifecycle(), ShardLifecycle::kDown);
+  cluster.RestartShard(1);
+  // The next heartbeat revives it into warming...
+  sim.RunUntil(4.0 + cluster.options().health.heartbeat_interval + 1e-9);
+  EXPECT_EQ(cluster.shard(1).lifecycle(), ShardLifecycle::kWarming);
+  EXPECT_EQ(cluster.event_log().CountOf(WlmEventType::kShardRecovered), 1);
+  // ... and the ramp's end restores full health.
+  sim.RunUntil(7.0);
+  EXPECT_EQ(cluster.shard(1).lifecycle(), ShardLifecycle::kHealthy);
+}
+
+TEST(ClusterHealthTest, WarmupGovernorCapsReadmissionDuringRamp) {
+  Simulation sim;
+  ClusterOptions options = HealthClusterOptions(2);
+  options.health.warmup.warmup_seconds = 4.0;
+  options.health.warmup.min_fraction = 0.125;
+  options.health.warmup.capacity = 8;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  sim.RunUntil(1.0);
+  cluster.CrashShard(0);
+  sim.RunUntil(4.0);
+  ASSERT_EQ(cluster.shard(0).lifecycle(), ShardLifecycle::kDown);
+  cluster.RestartShard(0);
+  sim.RunUntil(4.5);
+  ASSERT_EQ(cluster.shard(0).lifecycle(), ShardLifecycle::kWarming);
+  // A restarted shard shows zero outstanding, so least-outstanding would
+  // funnel this whole burst at it. 0.25 s into the 4 s ramp the admit
+  // fraction is 0.125 + 0.875 * 0.0625, so the cap is ceil(0.18 * 8) = 2:
+  // exactly two queries land there, the rest go to the survivor.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(100 + i), 0.5)).ok());
+  }
+  EXPECT_EQ(cluster.shard(0).wlm().queue_depth() +
+                cluster.shard(0).wlm().running_count(),
+            2u);
+  EXPECT_EQ(cluster.shard(1).wlm().queue_depth() +
+                cluster.shard(1).wlm().running_count(),
+            4u);
+  sim.RunUntil(30.0);
+  EXPECT_EQ(cluster.shard(0).wlm().event_log().CountOf(WlmEventType::kCompleted) +
+                cluster.shard(1).wlm().event_log().CountOf(
+                    WlmEventType::kCompleted),
+            6);
+}
+
+TEST(ClusterHealthTest, HedgedDispatchRacesASuspectedShard) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, HealthClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  // Crash shard 0 just after a heartbeat: one evaluation later it is
+  // suspected (not yet down) — and, being "empty", least-outstanding
+  // still prefers it.
+  sim.ScheduleAt(1.01, [&] { cluster.CrashShard(0); });
+  QuerySpec critical = OltpSpec(77);
+  critical.deadline_seconds = 5.0;
+  sim.ScheduleAt(1.6, [&] {
+    ASSERT_EQ(cluster.shard(0).lifecycle(), ShardLifecycle::kSuspected);
+    ASSERT_TRUE(cluster.Submit(critical).ok());
+  });
+  sim.RunUntil(20.0);
+  // The primary copy black-holed on the dead shard; the hedge won.
+  EXPECT_EQ(cluster.hedges_started(), 1);
+  EXPECT_EQ(cluster.event_log().CountOf(WlmEventType::kHedged), 1);
+  bool saw_hedge_route = false;
+  for (const auto& decision : cluster.route_log()) {
+    if (decision.cause == RouteCause::kHedge) {
+      saw_hedge_route = true;
+      EXPECT_EQ(decision.shard, 1);
+    }
+  }
+  EXPECT_TRUE(saw_hedge_route);
+  EXPECT_EQ(cluster.shard(1).wlm().event_log().CountOf(WlmEventType::kCompleted),
+            1);
+}
+
+TEST(ClusterHealthTest, HedgeLoserIsCancelledWhenBothCopiesRun) {
+  Simulation sim;
+  ClusterOptions options = HealthClusterOptions(3);
+  // First-choice placement cycles from shard 0, so the hedged query's
+  // primary is the suspected shard even while it looks busy.
+  options.placement = PlacementPolicyKind::kRoundRobin;
+  // Per-shard drop factors scale this base rate; start every link
+  // lossless and degrade only shard 0's below.
+  options.health.link.drop_rate = 1.0;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    cluster.link().SetShardQuality(s, 1.0, 0.0);
+  }
+  // Make shard 0 suspected WITHOUT killing it: drop its heartbeats on
+  // the link, so both hedge copies genuinely execute and race.
+  sim.ScheduleAt(1.01, [&] { cluster.link().SetShardQuality(0, 1.0, 1.0); });
+  // Fill shard 0's scheduler slots (mpl 4) with CPU-heavy work straight
+  // into its manager: its hedge copy then waits in queue, so the race
+  // has a deterministic winner (the idle alternate).
+  sim.ScheduleAt(1.55, [&] {
+    for (QueryId id = 900; id < 904; ++id) {
+      ASSERT_TRUE(
+          cluster.shard(0).wlm().Submit(BiSpec(id, /*cpu=*/4.0, /*io=*/10.0))
+              .ok());
+    }
+  });
+  QuerySpec critical = OltpSpec(99, /*cpu=*/0.5);
+  critical.deadline_seconds = 10.0;
+  bool submitted = false;
+  sim.ScheduleAt(1.6, [&] {
+    ASSERT_EQ(cluster.shard(0).lifecycle(), ShardLifecycle::kSuspected);
+    submitted = true;
+    ASSERT_TRUE(cluster.Submit(critical).ok());
+    // Restore the link so shard 0 is not declared down mid-race.
+    cluster.link().SetShardQuality(0, 1.0, 0.0);
+  });
+  sim.RunUntil(30.0);
+  ASSERT_TRUE(submitted);
+  EXPECT_EQ(cluster.hedges_started(), 1);
+  EXPECT_EQ(cluster.hedges_cancelled(), 1);
+  // The idle alternate's copy won; the primary's copy was killed, not
+  // double-run: query 99 completed exactly once, on the alternate.
+  EXPECT_EQ(cluster.shard(1).wlm().event_log().CountOf(WlmEventType::kCompleted),
+            1);
+  EXPECT_EQ(cluster.shard(0).wlm().event_log().CountOf(WlmEventType::kKilled),
+            1);
+  int64_t completions_of_99 = 0;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    for (const WlmEvent& event :
+         cluster.shard(s).wlm().event_log().ForQuery(99)) {
+      if (event.type == WlmEventType::kCompleted) ++completions_of_99;
+    }
+  }
+  EXPECT_EQ(completions_of_99, 1);
+}
+
+TEST(ClusterHealthTest, AnnouncedRestartDrainsWithoutDetectionLatency) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, HealthClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  FaultPlan plan;
+  FaultEvent restart;
+  restart.kind = FaultKind::kShardRestart;
+  restart.start = 2.0;
+  restart.duration = 3.0;
+  restart.shard = 0;
+  plan.Add(restart);
+  ASSERT_TRUE(cluster.ArmFaultPlan(plan).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1), 0.6)).ok());
+  }
+  sim.RunUntil(2.0 + 1e-9);
+  // Announced: down at the window start, before any heartbeat silence.
+  EXPECT_EQ(cluster.shard(0).lifecycle(), ShardLifecycle::kDown);
+  sim.RunUntil(30.0);
+  // Nothing was black-holed — the coordinated drain beat the crash.
+  EXPECT_EQ(cluster.shard(0).blackholed(), 0);
+  const int64_t completed_total =
+      cluster.shard(0).wlm().event_log().CountOf(WlmEventType::kCompleted) +
+      cluster.shard(1).wlm().event_log().CountOf(WlmEventType::kCompleted);
+  EXPECT_EQ(completed_total, 8);
+  // And the shard came back through warming.
+  EXPECT_EQ(cluster.event_log().CountOf(WlmEventType::kShardRecovered), 1);
+  EXPECT_NE(cluster.shard(0).lifecycle(), ShardLifecycle::kDown);
+}
+
+TEST(ClusterHealthTest, ArmFaultPlanRejectsBadPlans) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, HealthClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  FaultPlan engine_kind;
+  FaultEvent stall;
+  stall.kind = FaultKind::kIoStall;
+  stall.start = 1.0;
+  stall.duration = 1.0;
+  engine_kind.Add(stall);
+  EXPECT_FALSE(cluster.ArmFaultPlan(engine_kind).ok());
+
+  FaultPlan bad_shard;
+  FaultEvent crash;
+  crash.kind = FaultKind::kShardCrash;
+  crash.start = 1.0;
+  crash.duration = 1.0;
+  crash.shard = 7;
+  bad_shard.Add(crash);
+  EXPECT_FALSE(cluster.ArmFaultPlan(bad_shard).ok());
+
+  FaultPlan bad_window;
+  crash.shard = 1;
+  crash.duration = 0.0;
+  bad_window.Add(crash);
+  EXPECT_FALSE(cluster.ArmFaultPlan(bad_window).ok());
+}
+
+TEST(ClusterHealthTest, HealthMetricFamiliesExport) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, HealthClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  sim.RunUntil(1.0);
+  cluster.CrashShard(0);
+  sim.RunUntil(10.0);
+  std::ostringstream out;
+  cluster.ExportMetrics(out);
+  const std::string text = out.str();
+  for (const char* family :
+       {"wlm_cluster_health_state", "wlm_cluster_health_phi",
+        "wlm_cluster_health_heartbeats_total",
+        "wlm_cluster_health_heartbeats_dropped_total",
+        "wlm_cluster_health_down_total", "wlm_cluster_health_drained_total",
+        "wlm_cluster_health_lost_total", "wlm_cluster_health_blackholed_total",
+        "wlm_cluster_hedge_started_total", "wlm_cluster_hedge_won_total",
+        "wlm_cluster_hedge_cancelled_total"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+}
+
 // ------------------------------------------------- determinism regressions
 
 struct ClusterRunResult {

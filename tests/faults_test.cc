@@ -7,6 +7,7 @@
 #include "execution/timeout_escalation.h"
 #include "faults/fault_injector.h"
 #include "faults/fault_plan.h"
+#include "faults/link_model.h"
 #include "scheduling/queue_schedulers.h"
 #include "telemetry/event_log.h"
 #include "tests/wlm_test_util.h"
@@ -257,6 +258,98 @@ TEST(FaultInjectorTest, ArmRejectsMalformedWindows) {
   FaultPlan negative;
   negative.Add({FaultKind::kIoStall, -1.0, 1.0});
   EXPECT_FALSE(injector.Arm(negative).ok());
+}
+
+TEST(FaultInjectorTest, ArmRejectsShardLevelKinds) {
+  // Shard crash/restart windows target the cluster layer; the
+  // single-engine injector must refuse them rather than no-op.
+  TestRig rig;
+  FaultInjector injector(&rig.sim, &rig.engine, &rig.wlm);
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kShardCrash;
+  crash.start = 1.0;
+  crash.duration = 1.0;
+  crash.shard = 0;
+  plan.Add(crash);
+  EXPECT_FALSE(injector.Arm(plan).ok());
+}
+
+TEST(FaultPlanTest, RollingRestartStaggersOneWindowPerShard) {
+  FaultPlan plan = FaultPlan::RollingRestart(
+      /*seed=*/7, /*num_shards=*/4, /*start=*/2.0, /*down_seconds=*/1.5,
+      /*gap_seconds=*/3.0, /*announced=*/false);
+  ASSERT_EQ(plan.events.size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    const FaultEvent& event = plan.events[s];
+    EXPECT_EQ(event.kind, FaultKind::kShardCrash);
+    EXPECT_EQ(event.shard, s);
+    EXPECT_DOUBLE_EQ(event.start, 2.0 + 3.0 * s);
+    EXPECT_DOUBLE_EQ(event.duration, 1.5);
+  }
+  FaultPlan announced = FaultPlan::RollingRestart(7, 2, 0.0, 1.0, 2.0,
+                                                  /*announced=*/true);
+  for (const FaultEvent& event : announced.events) {
+    EXPECT_EQ(event.kind, FaultKind::kShardRestart);
+  }
+}
+
+// --- dispatch link model ---------------------------------------------------
+
+TEST(LinkModelTest, FactorsScaleBaselineMultiplicatively) {
+  LinkOptions options;
+  options.delay_seconds = 0.1;
+  options.drop_rate = 0.2;
+  DispatchLinkModel link(options, 3);
+  EXPECT_DOUBLE_EQ(link.Delay(1), 0.1);
+  EXPECT_DOUBLE_EQ(link.DropRate(1), 0.2);
+  link.SetShardQuality(1, /*delay_factor=*/3.0, /*drop_factor=*/2.0);
+  EXPECT_DOUBLE_EQ(link.Delay(1), 0.3);
+  EXPECT_DOUBLE_EQ(link.DropRate(1), 0.4);
+  // Untouched shards keep the baseline.
+  EXPECT_DOUBLE_EQ(link.Delay(0), 0.1);
+  EXPECT_DOUBLE_EQ(link.DropRate(0), 0.2);
+  // The effective rate clamps to a probability.
+  link.SetShardQuality(2, 1.0, 100.0);
+  EXPECT_DOUBLE_EQ(link.DropRate(2), 1.0);
+  // A zero baseline cannot be degraded into lossiness by factors alone.
+  DispatchLinkModel lossless(LinkOptions(), 1);
+  lossless.SetShardQuality(0, 1.0, 1e9);
+  EXPECT_DOUBLE_EQ(lossless.DropRate(0), 0.0);
+  EXPECT_FALSE(lossless.DropHeartbeat(0));
+}
+
+TEST(LinkModelTest, PerShardDropStreamsAreIndependent) {
+  LinkOptions options;
+  options.drop_rate = 0.5;
+  // Degrading shard 2 in one model must leave the other shards'
+  // drop sequences bit-identical to an undisturbed twin.
+  DispatchLinkModel a(options, 4);
+  DispatchLinkModel b(options, 4);
+  b.SetShardQuality(2, 1.0, 1.6);
+  std::vector<bool> a_seq, b_seq;
+  for (int i = 0; i < 64; ++i) {
+    for (int s = 0; s < 4; ++s) {
+      if (s == 2) {
+        (void)a.DropHeartbeat(s);
+        (void)b.DropHeartbeat(s);
+        continue;
+      }
+      a_seq.push_back(a.DropHeartbeat(s));
+      b_seq.push_back(b.DropHeartbeat(s));
+    }
+  }
+  EXPECT_EQ(a_seq, b_seq);
+  // And a different link seed reshuffles the drops.
+  LinkOptions reseeded = options;
+  reseeded.seed = 0xBEEF;
+  DispatchLinkModel c(options, 1);
+  DispatchLinkModel d(reseeded, 1);
+  int diverged = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (c.DropHeartbeat(0) != d.DropHeartbeat(0)) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);
 }
 
 // --- resilience: retry with backoff ---------------------------------------

@@ -22,6 +22,7 @@
 #include "overload/codel_queue.h"
 #include "overload/overload_controller.h"
 #include "overload/retry_budget.h"
+#include "overload/warmup.h"
 #include "scheduling/queue_schedulers.h"
 #include "tests/wlm_test_util.h"
 
@@ -677,6 +678,64 @@ TEST(DeadlineKillTest, EscalationKillsPastDeadlineWorkWithoutResubmit) {
   EXPECT_EQ(raw->deadline_kills(), 1);
   // No resubmit: a past-deadline rerun would be pure waste.
   EXPECT_EQ(rig.wlm.counters("default").resubmitted, 0);
+}
+
+// ------------------------------------------------------- WarmupGovernor
+
+TEST(WarmupGovernorTest, InertBeforeAnyRampAdmitsEverything) {
+  WarmupGovernor governor;
+  EXPECT_FALSE(governor.warming(0.0));
+  EXPECT_DOUBLE_EQ(governor.AdmitFraction(0.0), 1.0);
+  EXPECT_TRUE(governor.AdmitAllowed(0.0, 1000));
+  EXPECT_LT(governor.warmup_ends(), 0.0);
+}
+
+TEST(WarmupGovernorTest, FractionRampsLinearlyFromMinToFull) {
+  WarmupOptions options;
+  options.warmup_seconds = 4.0;
+  options.min_fraction = 0.25;
+  options.capacity = 16;
+  WarmupGovernor governor(options);
+  governor.BeginWarmup(10.0);
+  EXPECT_TRUE(governor.warming(10.0));
+  EXPECT_DOUBLE_EQ(governor.AdmitFraction(10.0), 0.25);
+  // Halfway through the ramp: 0.25 + 0.75 * 0.5.
+  EXPECT_DOUBLE_EQ(governor.AdmitFraction(12.0), 0.625);
+  EXPECT_DOUBLE_EQ(governor.AdmitFraction(14.0), 1.0);
+  EXPECT_FALSE(governor.warming(14.0));
+  EXPECT_DOUBLE_EQ(governor.warmup_ends(), 14.0);
+}
+
+TEST(WarmupGovernorTest, CapGatesOutstandingWorkDuringTheRamp) {
+  WarmupOptions options;
+  options.warmup_seconds = 4.0;
+  options.min_fraction = 0.25;
+  options.capacity = 8;
+  WarmupGovernor governor(options);
+  governor.BeginWarmup(0.0);
+  // Ramp start: cap = ceil(0.25 * 8) = 2.
+  EXPECT_TRUE(governor.AdmitAllowed(0.0, 1));
+  EXPECT_FALSE(governor.AdmitAllowed(0.0, 2));
+  // Halfway: cap = ceil(0.625 * 8) = 5.
+  EXPECT_TRUE(governor.AdmitAllowed(2.0, 4));
+  EXPECT_FALSE(governor.AdmitAllowed(2.0, 5));
+  // Past the ramp: unbounded again.
+  EXPECT_TRUE(governor.AdmitAllowed(4.0, 1000));
+}
+
+TEST(WarmupGovernorTest, CapNeverDropsBelowOneAndRampRestarts) {
+  WarmupOptions options;
+  options.warmup_seconds = 2.0;
+  options.min_fraction = 0.0;  // fraction 0 still admits one unit
+  options.capacity = 16;
+  WarmupGovernor governor(options);
+  governor.BeginWarmup(0.0);
+  EXPECT_TRUE(governor.AdmitAllowed(0.0, 0));
+  EXPECT_FALSE(governor.AdmitAllowed(0.0, 1));
+  // A second crash mid-ramp restarts the ramp from its beginning.
+  governor.BeginWarmup(1.0);
+  EXPECT_TRUE(governor.warming(2.5));
+  EXPECT_DOUBLE_EQ(governor.warmup_ends(), 3.0);
 }
 
 }  // namespace

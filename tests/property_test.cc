@@ -631,6 +631,68 @@ TEST_P(ClusterMetamorphicSweep, PhaseSumConservesForRedispatchedQueries) {
   EXPECT_GE(second_lives, cluster.redispatched_total());
 }
 
+// (d) Phase-sum conservation survives crash drain: when a shard dies
+// unannounced (or drains for an announced restart), its queued and
+// running work is retired and granted second lives elsewhere — every
+// terminal profile left behind, on the dead shard and on the rescuing
+// ones, still decomposes its wall time exactly.
+TEST_P(ClusterMetamorphicSweep, PhaseSumConservesForCrashDrainedQueries) {
+  const uint64_t seed = GetParam();
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(4);
+  options.placement = PlacementPolicyKind::kLeastOutstanding;
+  options.redispatch = true;
+  options.health.enabled = true;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  FaultPlan plan;
+  FaultEvent crash;  // unannounced: detector latency, black holes
+  crash.kind = FaultKind::kShardCrash;
+  crash.shard = 1;
+  crash.start = 3.0;
+  crash.duration = 3.0;
+  plan.Add(crash);
+  FaultEvent restart;  // announced: live drain, no detection latency
+  restart.kind = FaultKind::kShardRestart;
+  restart.shard = 2;
+  restart.start = 8.0;
+  restart.duration = 2.0;
+  plan.Add(restart);
+  ASSERT_TRUE(cluster.ArmFaultPlan(plan).ok());
+
+  WorkloadGenerator gen(seed);
+  Rng arrivals(seed ^ 0x5a5a5a5aULL);
+  OpenLoopDriver oltp(
+      &sim, &arrivals, 25.0,
+      [&gen] { return gen.NextOltp(OltpWorkloadConfig()); },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  OpenLoopDriver bi(
+      &sim, &arrivals, 2.0,
+      [&gen] { return gen.NextBi(BiWorkloadConfig()); },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  oltp.Start(14.0);
+  bi.Start(14.0);
+  sim.RunUntil(40.0);
+
+  int64_t crash_drained = 0;
+  for (const ClusterDispatcher::RouteDecision& d : cluster.route_log()) {
+    if (d.cause == RouteCause::kCrashDrain) ++crash_drained;
+  }
+  ASSERT_GT(crash_drained, 0) << "faults too mild to exercise crash drain";
+  int64_t checked = 0;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    for (const QueryProfile* p :
+         cluster.shard(s).wlm().telemetry().profiles().Profiles()) {
+      if (!p->terminal()) continue;
+      ++checked;
+      EXPECT_NEAR(p->PhaseSum(), p->WallSeconds(), 1e-6)
+          << "shard " << s << " query " << p->id << " (" << p->outcome << ")";
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ClusterMetamorphicSweep,
                          ::testing::Values(11, 23, 42));
 

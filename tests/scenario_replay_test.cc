@@ -82,6 +82,23 @@ wlm::ScenarioOptions FourShards() {
   return options;
 }
 
+/// Four shards with the full failure stack on and shard 2 crashing
+/// unannounced mid-run: the transcript pins down detection timing,
+/// crash-drain routing causes and the recovery ramp.
+wlm::ScenarioOptions FourShardsCrash() {
+  wlm::ScenarioOptions options;
+  options.num_shards = 4;
+  options.placement = wlm::PlacementPolicyKind::kLeastOutstanding;
+  options.health = true;
+  wlm::FaultEvent crash;
+  crash.kind = wlm::FaultKind::kShardCrash;
+  crash.start = 4.0;
+  crash.duration = 4.0;
+  crash.shard = 2;
+  options.shard_faults.Add(crash);
+  return options;
+}
+
 TEST(ScenarioReplayTest, OneShardMatchesGolden) {
   CheckGolden(OneShard(), "scenario_1shard.jsonl");
 }
@@ -90,12 +107,18 @@ TEST(ScenarioReplayTest, FourShardMatchesGolden) {
   CheckGolden(FourShards(), "scenario_4shard.jsonl");
 }
 
+TEST(ScenarioReplayTest, FourShardCrashMatchesGolden) {
+  CheckGolden(FourShardsCrash(), "scenario_4shard_crash.jsonl");
+}
+
 TEST(ScenarioReplayTest, ReplayIsByteStable) {
   // Two in-process runs of the same seed must agree byte for byte —
   // catches nondeterminism without involving the checked-in goldens.
   EXPECT_EQ(wlm::RunScenarioJsonl(OneShard()), wlm::RunScenarioJsonl(OneShard()));
   EXPECT_EQ(wlm::RunScenarioJsonl(FourShards()),
             wlm::RunScenarioJsonl(FourShards()));
+  EXPECT_EQ(wlm::RunScenarioJsonl(FourShardsCrash()),
+            wlm::RunScenarioJsonl(FourShardsCrash()));
 }
 
 TEST(ScenarioReplayTest, SeedChangesTheTranscript) {

@@ -14,6 +14,7 @@
 #include "core/workload_manager.h"
 #include "engine/engine.h"
 #include "engine/monitor.h"
+#include "faults/fault_plan.h"
 #include "scheduling/queue_schedulers.h"
 #include "sim/simulation.h"
 #include "workloads/generators.h"
@@ -149,6 +150,11 @@ struct ScenarioOptions {
   PlacementPolicyKind placement = PlacementPolicyKind::kLeastOutstanding;
   bool redispatch = true;
   int queue_capacity = 16;
+  /// Shard-level fault plan (kShardCrash / kShardRestart windows) armed
+  /// on the dispatcher. Empty = no faults.
+  FaultPlan shard_faults;
+  /// Enables the failure detector / crash drain / hedging stack.
+  bool health = false;
 };
 
 namespace scenario_internal {
@@ -184,12 +190,17 @@ inline std::string RunScenarioJsonl(const ScenarioOptions& options) {
   cluster_options.wlm.overload.codel.queue_capacity = options.queue_capacity;
   cluster_options.placement = options.placement;
   cluster_options.redispatch = options.redispatch;
+  cluster_options.health.enabled = options.health;
   ClusterDispatcher cluster(
       &sim, cluster_options,
       [](int shard, WorkloadManager& manager) {
         (void)shard;
         DefineTestWorkloads(manager);
       });
+  if (!options.shard_faults.events.empty()) {
+    const Status armed = cluster.ArmFaultPlan(options.shard_faults);
+    if (!armed.ok()) return "arm failed: " + armed.message() + "\n";
+  }
 
   WorkloadGenerator generator(options.seed);
   Rng arrivals(options.seed ^ 0x5a5a5a5aULL);
@@ -206,8 +217,22 @@ inline std::string RunScenarioJsonl(const ScenarioOptions& options) {
   sim.RunUntil(options.duration + options.drain);
 
   // Merge the shards' control-plane logs: (time, shard, per-shard index)
-  // is a total order because each log is already time-ordered.
+  // is a total order because each log is already time-ordered. The
+  // dispatcher's own log (shard_down / shard_recovered / hedged) merges
+  // in as shard -1.
   std::vector<std::tuple<double, int, int64_t, std::string>> entries;
+  {
+    int64_t index = 0;
+    for (const WlmEvent& event : cluster.event_log().events()) {
+      std::string line = "{\"t\":" + F6(event.time) +
+                         ",\"shard\":-1,\"type\":\"" +
+                         WlmEventTypeToString(event.type) +
+                         "\",\"query\":" + std::to_string(event.query) +
+                         ",\"workload\":\"" + JsonEscape(event.workload) +
+                         "\",\"detail\":\"" + JsonEscape(event.detail) + "\"}";
+      entries.emplace_back(event.time, -1, index++, std::move(line));
+    }
+  }
   for (int s = 0; s < cluster.num_shards(); ++s) {
     int64_t index = 0;
     for (const WlmEvent& event : cluster.shard(s).wlm().event_log().events()) {
@@ -231,7 +256,8 @@ inline std::string RunScenarioJsonl(const ScenarioOptions& options) {
     out += "{\"t\":" + F6(d.time) + ",\"type\":\"route\",\"query\":" +
            std::to_string(d.query) + ",\"shard\":" + std::to_string(d.shard) +
            ",\"attempt\":" + std::to_string(d.attempt) +
-           ",\"redispatch\":" + (d.redispatch ? "1" : "0") + "}\n";
+           ",\"redispatch\":" + (d.redispatch ? "1" : "0") + ",\"cause\":\"" +
+           RouteCauseToString(d.cause) + "\"}\n";
   }
   for (int s = 0; s < cluster.num_shards(); ++s) {
     const ClusterShard& shard = cluster.shard(s);
@@ -243,11 +269,14 @@ inline std::string RunScenarioJsonl(const ScenarioOptions& options) {
            ",\"completed\":" +
            std::to_string(log.CountOf(WlmEventType::kCompleted)) +
            ",\"shed\":" + std::to_string(log.CountOf(WlmEventType::kShed)) +
-           "}\n";
+           ",\"blackholed\":" + std::to_string(shard.blackholed()) +
+           ",\"down\":" + std::to_string(shard.down_transitions()) + "}\n";
   }
   out += "{\"type\":\"cluster\",\"rejected\":" +
          std::to_string(cluster.rejected_total()) + ",\"redispatched\":" +
-         std::to_string(cluster.redispatched_total()) + ",\"imbalance\":" +
+         std::to_string(cluster.redispatched_total()) + ",\"hedged\":" +
+         std::to_string(cluster.hedges_started()) + ",\"orphans_lost\":" +
+         std::to_string(cluster.orphans_lost()) + ",\"imbalance\":" +
          F6(cluster.ImbalanceCoefficient()) + "}\n";
   return out;
 }
