@@ -136,10 +136,39 @@ int main() {
               static_cast<long long>(cluster.redispatched_total()),
               cluster.ImbalanceCoefficient());
 
+  // The shard_down post-mortem: cluster-level time series around the
+  // moment the detector declared shard 1 dead.
+  for (const ClusterDispatcher::ClusterPostMortem& dump :
+       cluster.post_mortems()) {
+    std::printf("\npost-mortem @ t=%.2fs (%s):\n%s", dump.time,
+                dump.reason.c_str(), dump.rendering.c_str());
+  }
+
   {
     std::ofstream out("cluster_drill_metrics.prom");
     cluster.ExportMetrics(out);
   }
-  std::printf("wrote cluster_drill_metrics.prom (wlm_cluster_* families)\n");
+  {
+    // One registry for the whole cluster: per-shard wlm_* families merged
+    // into wlm_cluster_* (counters summed, gauges labeled per shard with
+    // min/max/sum rollups, histograms merged bucket-wise).
+    std::ofstream out("cluster_drill_federated.prom");
+    cluster.ExportFederatedMetrics(out);
+  }
+  {
+    std::ofstream out("cluster_drill_journeys.jsonl");
+    cluster.WriteJourneys(out);
+  }
+  {
+    // chrome://tracing / Perfetto: one row per journey, flow arrows for
+    // shed/crash-drain/hedge hops between shards.
+    std::ofstream out("cluster_drill_journeys.trace.json");
+    cluster.WriteJourneyTrace(out);
+  }
+  std::printf("\nwrote cluster_drill_metrics.prom (dispatcher families), "
+              "cluster_drill_federated.prom (federated cluster registry),\n"
+              "      cluster_drill_journeys.jsonl and "
+              "cluster_drill_journeys.trace.json (%zu journeys)\n",
+              cluster.journeys().journeys().size());
   return 0;
 }

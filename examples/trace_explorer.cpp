@@ -131,10 +131,22 @@ int main() {
     WriteEventLogJsonl(manager.event_log(), out);
   }
 
-  std::size_t traces = telemetry.tracer().Traces().size();
-  std::printf("wrote trace.json (%zu query threads), metrics.prom (%zu "
-              "families / %zu series), series.csv, events.jsonl\n",
-              traces, telemetry.metrics().family_count(),
+  // Synthetic tracks (fault windows, overload-control actions) live in a
+  // reserved id block above every real QueryId — count them separately
+  // so "query threads" means queries.
+  std::size_t query_traces = 0, synthetic_tracks = 0;
+  for (const QueryTrace* trace : telemetry.tracer().Traces()) {
+    if (IsSyntheticQueryId(trace->id)) {
+      ++synthetic_tracks;
+    } else {
+      ++query_traces;
+    }
+  }
+  std::printf("wrote trace.json (%zu query threads + %zu synthetic tracks), "
+              "metrics.prom (%zu families / %zu series), series.csv, "
+              "events.jsonl\n",
+              query_traces, synthetic_tracks,
+              telemetry.metrics().family_count(),
               telemetry.metrics().series_count());
   std::printf("oltp completed %lld, bi completed %lld, slo violations %zu\n",
               static_cast<long long>(monitor.tag_stats("oltp").completed),

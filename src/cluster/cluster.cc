@@ -73,7 +73,9 @@ ClusterDispatcher::ClusterDispatcher(Simulation* sim, ClusterOptions options,
       options_(std::move(options)),
       policy_(MakePlacementPolicy(options_.placement)),
       link_(options_.health.link,
-            options_.num_shards < 1 ? 1 : options_.num_shards) {
+            options_.num_shards < 1 ? 1 : options_.num_shards),
+      journeys_(options_.observability.max_journeys),
+      timeseries_(options_.observability.retention_points) {
   if (options_.num_shards < 1) options_.num_shards = 1;
   metrics_.SetHelp("wlm_cluster_routed_total",
                    "Queries the dispatcher placed on each shard.");
@@ -119,6 +121,19 @@ ClusterDispatcher::ClusterDispatcher(Simulation* sim, ClusterOptions options,
                    "Hedge races each shard's copy completed first.");
   metrics_.SetHelp("wlm_cluster_hedge_cancelled_total",
                    "Losing hedge copies retired after the race resolved.");
+  metrics_.SetHelp("wlm_cluster_journeys",
+                   "Query journeys tracked by the dispatcher.");
+  metrics_.SetHelp("wlm_cluster_journeys_dropped",
+                   "Arrivals not tracked because the journey log was full.");
+  metrics_.SetHelp("wlm_cluster_slo_burn_rate",
+                   "Cluster error-budget burn rate per window (1.0 = "
+                   "burning exactly the SLO's budget).");
+  metrics_.SetHelp("wlm_cluster_federation_sources",
+                   "Shard registries merged into the federated exposition.");
+  metrics_.SetHelp("wlm_cluster_federation_series",
+                   "Series produced by the last federation pass.");
+  metrics_.SetHelp("wlm_cluster_federation_bound_mismatches",
+                   "Histogram series dropped for disagreeing bucket bounds.");
   // Instantiate up front so the families export even before the first
   // reject / hedge.
   metrics_.GetCounter("wlm_cluster_rejected_total");
@@ -154,9 +169,15 @@ ClusterDispatcher::ClusterDispatcher(Simulation* sim, ClusterOptions options,
         [this, i](const Request& request) { OnShardCompletion(i, request); });
   }
   StartHealthLoop();
+  StartObservabilityLoop();
 }
 
 Status ClusterDispatcher::Submit(QuerySpec spec) {
+  if (options_.observability.journeys) {
+    // The journey id rides the spec through every life (observability
+    // only: no control decision reads it). 0 = log full, untracked.
+    spec.journey = journeys_.Begin(spec.id, std::string(), sim_->Now());
+  }
   return SubmitToShards(std::move(spec), /*is_redispatch=*/false, {},
                         RouteCause::kPlace);
 }
@@ -212,13 +233,16 @@ std::vector<ShardSnapshot> ClusterDispatcher::Snapshots(
 
 Status ClusterDispatcher::SubmitToShards(QuerySpec spec, bool is_redispatch,
                                          const std::set<int>& exclude,
-                                         RouteCause cause) {
+                                         RouteCause cause, int parent_life) {
   std::set<int> tried = exclude;
   const QueryId previous_in_submit = in_submit_query_;
   in_submit_query_ = spec.id;
   Status result = Status::Overloaded("every eligible shard refused");
   int landed = -1;
   int attempt = 0;
+  // Failover attempts chain: attempt N's life descends from attempt
+  // N-1's; the first landing descends from `parent_life`.
+  int prev_life = parent_life;
   while (true) {
     std::vector<int> eligible = EligibleShards(tried);
     if (eligible.empty()) {
@@ -229,6 +253,9 @@ Status ClusterDispatcher::SubmitToShards(QuerySpec spec, bool is_redispatch,
     const int pick = policy_->Pick(spec, Snapshots(eligible));
     route_log_.push_back(
         {sim_->Now(), spec.id, pick, attempt, is_redispatch, cause});
+    const int life = journeys_.OpenLife(spec.id, pick, cause, attempt,
+                                        is_redispatch, sim_->Now(), prev_life);
+    if (life >= 0) prev_life = life;
     ClusterShard& shard = *shards_[static_cast<size_t>(pick)];
     if (shard.crashed_) {
       // The placement landed on a dead process the detector has not yet
@@ -240,6 +267,7 @@ Status ClusterDispatcher::SubmitToShards(QuerySpec spec, bool is_redispatch,
       ++shard.blackholed_;
       blackholed_counters_[static_cast<size_t>(pick)]->Increment();
       orphans_[static_cast<size_t>(pick)].push_back({spec, std::string()});
+      journeys_.CloseLife(spec.id, pick, sim_->Now(), "blackholed");
       if (options_.redispatch) shards_tried_[spec.id].insert(pick);
       if (is_redispatch) {
         ++shard.redispatched_in_;
@@ -257,6 +285,13 @@ Status ClusterDispatcher::SubmitToShards(QuerySpec spec, bool is_redispatch,
       // on one shard would reject on every identically configured shard.)
       ++shard.refused_;
       refused_counters_[static_cast<size_t>(pick)]->Increment();
+      // The arrival-time shed already closed this life through the
+      // completion listener; relabel it as a placement refusal.
+      journeys_.MarkOutcome(spec.id, pick, sim_->Now(), "refused");
+      // The refusing shard keeps the shed record, so it can never accept
+      // this id again — record it as tried so later re-dispatches and
+      // crash drains route elsewhere instead of bouncing off it.
+      if (options_.redispatch) shards_tried_[spec.id].insert(pick);
       tried.insert(pick);
       ++attempt;
       continue;
@@ -271,6 +306,13 @@ Status ClusterDispatcher::SubmitToShards(QuerySpec spec, bool is_redispatch,
     }
     if (status.ok()) landed = pick;
     result = status;
+    if (!status.ok()) {
+      // A final refusal that raised no shard terminal — e.g. the shard
+      // already retired this query's record — would otherwise leak the
+      // life opened above. CloseLife only touches open lives, so this
+      // is a no-op when a reject terminal already closed it.
+      journeys_.CloseLife(spec.id, pick, sim_->Now(), "refused");
+    }
     break;
   }
   // Hedge before releasing the in-submit guard, so an arrival-time shed
@@ -309,6 +351,10 @@ void ClusterDispatcher::MaybeHedge(const QuerySpec& spec, int primary) {
   ClusterShard& shard = *shards_[static_cast<size_t>(alt)];
   route_log_.push_back(
       {sim_->Now(), spec.id, alt, 0, false, RouteCause::kHedge});
+  // The duplicate's life descends from the primary copy's via a `hedge`
+  // edge — the journey shows both the winner and the cancelled loser.
+  journeys_.OpenLife(spec.id, alt, RouteCause::kHedge, 0, false, sim_->Now(),
+                     journeys_.LatestLifeOnShard(spec.id, primary));
   if (shard.crashed_) {
     // The trusted alternate just died undetected: the duplicate
     // black-holes like any other dispatch, and the primary copy (or the
@@ -318,14 +364,25 @@ void ClusterDispatcher::MaybeHedge(const QuerySpec& spec, int primary) {
     ++shard.blackholed_;
     blackholed_counters_[static_cast<size_t>(alt)]->Increment();
     orphans_[static_cast<size_t>(alt)].push_back({spec, std::string()});
+    journeys_.CloseLife(spec.id, alt, sim_->Now(), "blackholed");
   } else {
     const Status status = shard.wlm().Submit(spec);
     if (status.IsOverloaded()) {
       ++shard.refused_;
       refused_counters_[static_cast<size_t>(alt)]->Increment();
+      journeys_.MarkOutcome(spec.id, alt, sim_->Now(), "refused");
+      // The alternate holds the shed record now; keep re-dispatch and
+      // drains away from it.
+      if (options_.redispatch) shards_tried_[spec.id].insert(alt);
       return;  // no room for a duplicate: the primary keeps its one life
     }
-    if (!status.ok()) return;  // admission-policy reject: same
+    if (!status.ok()) {
+      // Admission-policy reject (or duplicate id on a shard that already
+      // saw this query): same — close the duplicate's life where it died.
+      journeys_.MarkOutcome(spec.id, alt, sim_->Now(), "rejected");
+      if (options_.redispatch) shards_tried_[spec.id].insert(alt);
+      return;
+    }
     ++shard.routed_;
     routed_counters_[static_cast<size_t>(alt)]->Increment();
   }
@@ -349,6 +406,8 @@ void ClusterDispatcher::CancelHedgeLoser(int loser, QueryId id) {
         orphans.erase(it);
         ++hedges_cancelled_;
         metrics_.GetCounter("wlm_cluster_hedge_cancelled_total").Increment();
+        // The life already closed as "blackholed" when the copy hit the
+        // dead shard — that label stays; only the orphan record dies.
         break;
       }
     }
@@ -361,12 +420,23 @@ void ClusterDispatcher::CancelHedgeLoser(int loser, QueryId id) {
   if (shard.wlm().KillRequest(id, /*resubmit=*/false).ok()) {
     ++hedges_cancelled_;
     metrics_.GetCounter("wlm_cluster_hedge_cancelled_total").Increment();
+    // The kill's terminal closed the life as "killed"; what it means
+    // here is that the race was already won elsewhere.
+    journeys_.MarkOutcome(id, loser, sim_->Now(), "hedge_cancelled");
   }
 }
 
 void ClusterDispatcher::OnShardCompletion(int shard_index,
                                           const Request& request) {
   ClusterShard& shard = *shards_[static_cast<size_t>(shard_index)];
+  // Every terminal — including crash-drain kills and swallowed hedge
+  // losers below — closes the query's life on this shard first, so the
+  // journey never leaks an open life.
+  journeys_.CloseLife(request.spec.id, shard_index, sim_->Now(),
+                      RequestStateToString(request.state));
+  if (Journey* journey = journeys_.FindMutable(request.spec.id)) {
+    if (journey->workload.empty()) journey->workload = request.workload;
+  }
   auto hit = hedges_.find(request.spec.id);
   if (hit != hedges_.end()) {
     Hedge& hedge = hit->second;
@@ -418,7 +488,6 @@ void ClusterDispatcher::OnShardCompletion(int shard_index,
 
 void ClusterDispatcher::MaybeRedispatch(int from_shard,
                                         const Request& request) {
-  (void)from_shard;
   // Arrival-time sheds surface while the failover loop is still running
   // this query; that loop already retries other shards synchronously.
   if (request.spec.id == in_submit_query_) return;
@@ -435,8 +504,13 @@ void ClusterDispatcher::MaybeRedispatch(int from_shard,
   // simulated coordination delay.
   QuerySpec spec = request.spec;
   const std::string workload = request.workload;
+  // Life indexes are append-only, so the parent link stays valid across
+  // the coordination delay.
+  const int parent_life =
+      journeys_.LatestLifeOnShard(request.spec.id, from_shard);
   sim_->Schedule(options_.redispatch_delay_seconds,
-                 [this, spec = std::move(spec), workload, cause]() {
+                 [this, spec = std::move(spec), workload, cause,
+                  parent_life]() {
                    const std::set<int>& tried = shards_tried_[spec.id];
                    std::vector<int> eligible = EligibleShards(tried);
                    if (eligible.empty()) return;
@@ -461,7 +535,7 @@ void ClusterDispatcher::MaybeRedispatch(int from_shard,
                      }
                    }
                    (void)SubmitToShards(spec, /*is_redispatch=*/true, exclude,
-                                        cause);
+                                        cause, parent_life);
                  });
 }
 
@@ -611,6 +685,10 @@ void ClusterDispatcher::MarkShardDown(int shard_index,
   down_counters_[static_cast<size_t>(shard_index)]->Increment();
   LogClusterEvent(WlmEventType::kShardDown, 0,
                   "shard=" + std::to_string(shard_index) + " cause=" + why);
+  // Cluster-level post-mortem: what the federated series looked like
+  // around the trigger (per-shard black boxes dump below).
+  CapturePostMortem("shard_down shard=" + std::to_string(shard_index) +
+                    " cause=" + why);
   // Post-mortem from the dead shard's own black box: what it was doing
   // when the detector lost it (cooldown and dump budget apply inside).
   Telemetry& telemetry = shard.wlm().telemetry();
@@ -648,6 +726,9 @@ void ClusterDispatcher::DrainOrphans(int shard_index) {
       const bool last = --hedge.outstanding <= 0;
       const bool salvage = last && !hedge.done;
       if (last) hedges_.erase(hit);
+      // Annihilated copies keep their "blackholed" life label — the
+      // sibling's win is what retired them, and the hedge edge already
+      // records the race.
       if (!salvage) continue;
     }
     std::set<int> exclude;
@@ -684,9 +765,10 @@ void ClusterDispatcher::DrainOrphans(int shard_index) {
     for (const auto& other : shards_) {
       if (other->index() != best->shard) submit_exclude.insert(other->index());
     }
-    const Status status = SubmitToShards(orphan.spec, /*is_redispatch=*/true,
-                                         submit_exclude,
-                                         RouteCause::kCrashDrain);
+    const Status status = SubmitToShards(
+        orphan.spec, /*is_redispatch=*/true, submit_exclude,
+        RouteCause::kCrashDrain,
+        journeys_.LatestLifeOnShard(orphan.spec.id, shard_index));
     if (status.ok()) {
       drained_counters_[static_cast<size_t>(shard_index)]->Increment();
     } else {
@@ -701,8 +783,10 @@ void ClusterDispatcher::LogClusterEvent(WlmEventType type, QueryId query,
   WlmEvent event;
   event.time = sim_->Now();
   event.type = type;
-  event.query = query;
-  event.workload = "cluster";
+  // Shard-lifecycle events carry no query: they ride the synthetic
+  // cluster track, which cannot alias a real QueryId.
+  event.query = query != 0 ? query : SyntheticTrackId(SyntheticTrack::kCluster);
+  event.workload = SyntheticTrackName(SyntheticTrack::kCluster);
   event.detail = std::move(detail);
   event_log_.Append(std::move(event));
 }
@@ -761,11 +845,141 @@ void ClusterDispatcher::RefreshGauges() {
     metrics_.GetGauge("wlm_cluster_health_phi", labels)
         .Set(options_.health.enabled ? shard->Phi(now) : 0.0);
   }
+  metrics_.GetGauge("wlm_cluster_journeys")
+      .Set(static_cast<double>(journeys_.journeys().size()));
+  metrics_.GetGauge("wlm_cluster_journeys_dropped")
+      .Set(static_cast<double>(journeys_.dropped()));
 }
 
 void ClusterDispatcher::ExportMetrics(std::ostream& out) {
   RefreshGauges();
   metrics_.WritePrometheus(out);
+}
+
+void ClusterDispatcher::StartObservabilityLoop() {
+  if (!options_.observability.federation) return;
+  if (options_.observability.sample_interval <= 0.0) return;
+  sim_->Schedule(options_.observability.sample_interval,
+                 [this] { ObservabilityTick(); });
+}
+
+void ClusterDispatcher::ObservabilityTick() {
+  const double now = sim_->Now();
+  const ClusterObservabilityOptions& obs = options_.observability;
+  // Sample the cluster series the SLO burn windows and post-mortems
+  // consume. Only the handful of families the tick needs are summed
+  // directly off the shard registries — a full Federate() per tick costs
+  // an order of magnitude more and is only built on demand for export.
+  double submitted = static_cast<double>(rejected_total_);
+  double bad = static_cast<double>(rejected_total_);
+  double completed = 0.0;
+  double queued = 0.0;
+  double running = 0.0;
+  for (const auto& shard : shards_) {
+    const MetricsRegistry& metrics = shard->wlm().telemetry().metrics();
+    submitted += FamilyValueSum(metrics, "wlm_requests_submitted_total");
+    completed += FamilyValueSum(metrics, "wlm_requests_completed_total");
+    bad += FamilyValueSum(metrics, "wlm_overload_shed_total") +
+           FamilyValueSum(metrics, "wlm_requests_killed_total") +
+           FamilyValueSum(metrics, "wlm_requests_aborted_total");
+    queued += static_cast<double>(shard->wlm().queue_depth());
+    running += static_cast<double>(shard->wlm().running_count());
+  }
+  timeseries_.Sample("wlm_cluster_requests_total", now, submitted);
+  timeseries_.Sample("wlm_cluster_requests_completed_total", now, completed);
+  timeseries_.Sample("wlm_cluster_requests_bad_total", now, bad);
+  timeseries_.Sample("wlm_cluster_queue_depth", now, queued);
+  timeseries_.Sample("wlm_cluster_running", now, running);
+  // Burn rate over a window: the fraction of traffic that violated the
+  // objective, normalized by the error budget — 1.0 burns the budget
+  // exactly, >1.0 is an incident.
+  const double budget = std::max(1.0 - obs.slo_target, 1e-9);
+  auto burn_rate = [&](double window) {
+    const double from = now - window;
+    const double d_total =
+        timeseries_.DeltaSince("wlm_cluster_requests_total", from);
+    if (d_total <= 0.0) return 0.0;
+    const double d_bad =
+        timeseries_.DeltaSince("wlm_cluster_requests_bad_total", from);
+    return (d_bad / d_total) / budget;
+  };
+  const double burn_short = burn_rate(obs.burn_window_short_seconds);
+  const double burn_long = burn_rate(obs.burn_window_long_seconds);
+  metrics_.GetGauge("wlm_cluster_slo_burn_rate", {{"window", "short"}})
+      .Set(burn_short);
+  metrics_.GetGauge("wlm_cluster_slo_burn_rate", {{"window", "long"}})
+      .Set(burn_long);
+  timeseries_.Sample("wlm_cluster_slo_burn_rate_short", now, burn_short);
+  timeseries_.Sample("wlm_cluster_slo_burn_rate_long", now, burn_long);
+  sim_->Schedule(obs.sample_interval, [this] { ObservabilityTick(); });
+}
+
+void ClusterDispatcher::CapturePostMortem(const std::string& reason) {
+  ClusterPostMortem pm;
+  pm.time = sim_->Now();
+  pm.reason = reason;
+  const double from =
+      pm.time - options_.observability.postmortem_window_seconds;
+  for (const std::string& name : timeseries_.SeriesNames()) {
+    pm.rendering +=
+        name + " |" + timeseries_.FormatAscii(name, from, pm.time) + "|\n";
+  }
+  if (pm.rendering.empty()) pm.rendering = "(no samples yet)\n";
+  post_mortems_.push_back(std::move(pm));
+}
+
+FederationStats ClusterDispatcher::BuildFederatedRegistry(
+    MetricsRegistry* out) {
+  // The dispatcher's own cluster-scope families ride along verbatim;
+  // per-shard families merge under the federation rules.
+  CopyRegistry(metrics_, out);
+  std::vector<FederationSource> sources;
+  sources.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    sources.push_back({shard->index(), &shard->wlm().telemetry().metrics()});
+  }
+  FederationStats stats = federator_.Federate(std::move(sources), out);
+  out->GetGauge("wlm_cluster_federation_sources")
+      .Set(static_cast<double>(stats.sources));
+  out->GetGauge("wlm_cluster_federation_series")
+      .Set(static_cast<double>(stats.series_merged));
+  out->GetGauge("wlm_cluster_federation_bound_mismatches")
+      .Set(static_cast<double>(stats.histogram_bound_mismatches));
+  return stats;
+}
+
+void ClusterDispatcher::ExportFederatedMetrics(std::ostream& out) {
+  RefreshGauges();
+  MetricsRegistry federated;
+  BuildFederatedRegistry(&federated);
+  federated.WritePrometheus(out);
+}
+
+void ClusterDispatcher::StitchJourneys() {
+  for (Journey& journey : journeys_.MutableJourneys()) {
+    for (JourneyLife& life : journey.lives) {
+      const ClusterShard& shard = *shards_[static_cast<size_t>(life.shard)];
+      const QueryProfile* profile =
+          shard.wlm().telemetry().profiles().Find(journey.query);
+      if (profile == nullptr || !profile->terminal()) continue;
+      // A life and its profile share the submit instant; the match
+      // filters out lives on this shard that never reached its manager
+      // (blackholed, duplicate-refused).
+      if (std::abs(profile->arrival_time - life.start) > 1e-9) continue;
+      life.phase_seconds = profile->phase_seconds;
+      life.profile_wall_seconds = profile->WallSeconds();
+    }
+  }
+}
+
+void ClusterDispatcher::WriteJourneys(std::ostream& out) {
+  StitchJourneys();
+  WriteJourneysJsonl(journeys_.journeys(), out);
+}
+
+void ClusterDispatcher::WriteJourneyTrace(std::ostream& out) {
+  StitchJourneys();
+  WriteJourneysChromeTrace(journeys_.journeys(), out);
 }
 
 }  // namespace wlm

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cluster/health.h"
+#include "cluster/journey.h"
 #include "cluster/placement.h"
 #include "common/status.h"
 #include "core/workload_manager.h"
@@ -20,9 +21,35 @@
 #include "faults/link_model.h"
 #include "sim/simulation.h"
 #include "telemetry/event_log.h"
+#include "telemetry/federation/federation.h"
+#include "telemetry/federation/timeseries_store.h"
 #include "telemetry/metrics.h"
 
 namespace wlm {
+
+/// Cluster-wide observability: metric federation, per-query journeys and
+/// the bounded time-series ring feeding SLO burn rates and post-mortems.
+/// Passive by contract — nothing here reads into a control decision, so
+/// flipping any switch cannot change a run's routing or outcomes.
+struct ClusterObservabilityOptions {
+  /// Track every arrival's lives across shards in a JourneyLog.
+  bool journeys = true;
+  size_t max_journeys = 65536;
+  /// Periodically federate the per-shard registries and sample cluster
+  /// series into the time-series ring.
+  bool federation = true;
+  /// Sim-seconds between federation samples; <= 0 disables sampling.
+  double sample_interval = 1.0;
+  /// Ring capacity per tracked series (fixed retention).
+  size_t retention_points = 600;
+  /// Cluster success-rate objective the burn-rate windows measure
+  /// against (0.999 = 0.1% error budget).
+  double slo_target = 0.999;
+  double burn_window_short_seconds = 5.0;
+  double burn_window_long_seconds = 30.0;
+  /// Seconds of cluster series rendered around a shard_down trigger.
+  double postmortem_window_seconds = 10.0;
+};
 
 /// Configuration of a deterministic multi-shard cluster. Every shard is
 /// an independent engine + monitor + WorkloadManager stack built from the
@@ -54,6 +81,8 @@ struct ClusterOptions {
   /// drain, hedged dispatch and the restart warm-up ramp. Off by default
   /// (crashed shards then silently black-hole — the undefended baseline).
   ClusterHealthOptions health;
+  /// Cluster-wide observability (federation, journeys, time series).
+  ClusterObservabilityOptions observability;
 };
 
 /// Why a routing decision was made — golden route logs distinguish a
@@ -242,6 +271,39 @@ class ClusterDispatcher {
   /// writes the Prometheus exposition; byte-stable across same-seed runs.
   void ExportMetrics(std::ostream& out);
 
+  // --- cluster-wide observability ------------------------------------------
+  /// The journey log (every arrival's lives across shards).
+  const JourneyLog& journeys() const { return journeys_; }
+  /// Copies each life's phase decomposition and wall time from the
+  /// landing shard's QueryProfile into the journey DAG. Call after the
+  /// run (or any time); idempotent.
+  void StitchJourneys();
+  /// Stitches, then writes the journey JSONL (byte-stable).
+  void WriteJourneys(std::ostream& out);
+  /// Stitches, then writes the journey Chrome-trace flow JSON.
+  void WriteJourneyTrace(std::ostream& out);
+  /// Builds the federated cluster registry: the dispatcher's own
+  /// families plus every shard registry merged under the federation
+  /// rules (wlm_* -> wlm_cluster_*). Byte-stable across same-seed runs
+  /// and independent of shard enumeration order.
+  FederationStats BuildFederatedRegistry(MetricsRegistry* out);
+  /// Refreshes gauges and writes the federated Prometheus exposition.
+  void ExportFederatedMetrics(std::ostream& out);
+  /// The sampled cluster series ring (populated by the federation
+  /// sampling loop).
+  const TimeSeriesStore& timeseries() const { return timeseries_; }
+  /// Cluster-level post-mortem captured when a shard is declared down:
+  /// the federated series around the trigger, rendered for an operator.
+  struct ClusterPostMortem {
+    double time = 0.0;
+    std::string reason;
+    /// ASCII rendering of the tracked series over the trigger window.
+    std::string rendering;
+  };
+  const std::vector<ClusterPostMortem>& post_mortems() const {
+    return post_mortems_;
+  }
+
  private:
   /// Snapshots of `eligible` (shard indexes, ascending).
   std::vector<ShardSnapshot> Snapshots(const std::vector<int>& eligible) const;
@@ -250,8 +312,11 @@ class ClusterDispatcher {
   /// -> anyone. A detected-down shard re-enters only when nothing else
   /// is left; degraded shards are still better than a guaranteed reject.
   std::vector<int> EligibleShards(const std::set<int>& exclude) const;
+  /// `parent_life` is the journey-life index the first landing of this
+  /// pass descends from (-1 on arrival placement).
   Status SubmitToShards(QuerySpec spec, bool is_redispatch,
-                        const std::set<int>& exclude, RouteCause cause);
+                        const std::set<int>& exclude, RouteCause cause,
+                        int parent_life = -1);
   void OnShardCompletion(int shard_index, const Request& request);
   void MaybeRedispatch(int from_shard, const Request& request);
   /// Hedged dispatch: when the landing shard is suspected and the query
@@ -272,6 +337,13 @@ class ClusterDispatcher {
   void DrainOrphans(int shard);
   void LogClusterEvent(WlmEventType type, QueryId query, std::string detail);
   void RefreshGauges();
+  void StartObservabilityLoop();
+  /// One federation sample: federate the registries, push the tracked
+  /// cluster series into the ring, update the SLO burn-rate gauges.
+  /// Read-only over shard state — provably passive.
+  void ObservabilityTick();
+  /// Captures a cluster-level post-mortem around a shard_down trigger.
+  void CapturePostMortem(const std::string& reason);
 
   /// One query stranded on a dead shard (crash-drained or black-holed;
   /// black-holed arrivals were never classified, so workload is empty
@@ -329,6 +401,11 @@ class ClusterDispatcher {
   int64_t hedges_started_ = 0;
   int64_t hedges_cancelled_ = 0;
   int64_t orphans_lost_ = 0;
+  // --- observability state (never read by a control decision) -------------
+  JourneyLog journeys_;
+  MetricsFederator federator_;
+  TimeSeriesStore timeseries_;
+  std::vector<ClusterPostMortem> post_mortems_;
 };
 
 }  // namespace wlm

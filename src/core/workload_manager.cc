@@ -86,6 +86,10 @@ Status WorkloadManager::SubmitWithPlan(QuerySpec spec, Plan plan) {
   if (requests_.count(spec.id) > 0) {
     return Status::AlreadyExists("request id already submitted");
   }
+  if (IsSyntheticQueryId(spec.id)) {
+    return Status::InvalidArgument(
+        "query id collides with the reserved synthetic-track block");
+  }
   auto request = std::make_unique<Request>();
   request->spec = std::move(spec);
   request->plan = std::move(plan);
@@ -112,7 +116,8 @@ Status WorkloadManager::SubmitWithPlan(QuerySpec spec, Plan plan) {
   requests_[raw->spec.id] = std::move(request);
   submission_order_.push_back(raw->spec.id);
   LogEvent(WlmEventType::kSubmitted, *raw);
-  telemetry_->OnSubmit(raw->spec.id, raw->workload, raw->spec.kind);
+  telemetry_->OnSubmit(raw->spec.id, raw->workload, raw->spec.kind,
+                       raw->spec.journey);
 
   // 2. Admission control at arrival.
   for (const auto& ac : admission_) {
@@ -736,8 +741,8 @@ void WorkloadManager::LogFaultEvent(WlmEventType type, const std::string& kind,
   WlmEvent event;
   event.time = sim_->Now();
   event.type = type;
-  event.query = kFaultTraceId;
-  event.workload = "faults";
+  event.query = SyntheticTrackId(SyntheticTrack::kFaults);
+  event.workload = SyntheticTrackName(SyntheticTrack::kFaults);
   if (detail.empty()) {
     event.detail = kind;
   } else {
@@ -848,8 +853,10 @@ void WorkloadManager::OnOverloadTransition(
   const double now = sim_->Now();
   WlmEvent event;
   event.time = now;
-  event.query = kOverloadTraceId;
-  event.workload = workload.empty() ? "overload" : workload;
+  event.query = SyntheticTrackId(SyntheticTrack::kOverload);
+  event.workload =
+      workload.empty() ? SyntheticTrackName(SyntheticTrack::kOverload)
+                       : workload;
   switch (kind) {
     case OverloadController::TransitionKind::kBreakerTripped: {
       event.type = WlmEventType::kBreakerTripped;

@@ -81,6 +81,10 @@ struct QuerySpec {
   /// attaches to the request; 0 = none. The workload manager turns it
   /// into an absolute Request::deadline for overload protection.
   double deadline_seconds = 0.0;
+  /// Cluster journey id assigned by the dispatcher at arrival and carried
+  /// through every life (failover, redispatch, crash drain, hedge); 0
+  /// outside a cluster. Observability-only: no control decision reads it.
+  uint64_t journey = 0;
 };
 
 /// How a running query terminated.

@@ -114,6 +114,14 @@ void HistogramMetric::Observe(double value) {
   ++count_;
 }
 
+bool HistogramMetric::MergeFrom(const HistogramMetric& other) {
+  if (bounds_ != other.bounds_) return false;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  sum_ += other.sum_;
+  count_ += other.count_;
+  return true;
+}
+
 const std::vector<double>& HistogramMetric::DefaultLatencyBuckets() {
   // Sub-millisecond bounds resolve phase durations (lock waits, throttle
   // slices) far below the response-time scale; the tail matches long BI
@@ -222,6 +230,39 @@ std::vector<std::string> MetricsRegistry::FamilyNames() const {
   names.reserve(families_.size());
   for (const auto& [name, family] : families_) names.push_back(name);
   return names;
+}
+
+double MetricsRegistry::FamilyValueSum(const std::string& name) const {
+  auto it = families_.find(name);
+  if (it == families_.end()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [key, series] : it->second.series) {
+    if (series.counter) sum += series.counter->value();
+    if (series.gauge) sum += series.gauge->value();
+  }
+  return sum;
+}
+
+std::vector<MetricsRegistry::FamilyView> MetricsRegistry::Families() const {
+  std::vector<FamilyView> views;
+  views.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    FamilyView view;
+    view.name = name;
+    view.type = family.type;
+    view.help = family.help;
+    view.series.reserve(family.series.size());
+    for (const auto& [key, series] : family.series) {
+      SeriesView sv;
+      sv.labels = &series.labels;
+      sv.counter = series.counter.get();
+      sv.gauge = series.gauge.get();
+      sv.histogram = series.histogram.get();
+      view.series.push_back(sv);
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
 }
 
 void MetricsRegistry::WritePrometheus(std::ostream& out) const {

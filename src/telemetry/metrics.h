@@ -52,6 +52,14 @@ class HistogramMetric {
 
   void Observe(double value);
 
+  /// Bucket-wise merge: folds `other`'s per-bucket counts, sum and count
+  /// into this histogram. Returns false — and changes nothing — when the
+  /// bucket bounds differ; the merge is only defined over identical
+  /// bounds. Exact on the integer counts, so merging registries is
+  /// associative; the float `sum` is deterministic as long as callers
+  /// fold in a canonical order.
+  [[nodiscard]] bool MergeFrom(const HistogramMetric& other);
+
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size bounds()+1.
   const std::vector<int64_t>& bucket_counts() const { return counts_; }
@@ -94,9 +102,36 @@ class MetricsRegistry {
   const HistogramMetric* FindHistogram(const std::string& name,
                                  const MetricLabels& labels = {}) const;
 
+  /// Sum of every counter/gauge value in `name`'s family (0.0 when the
+  /// family is missing or histogram-typed). Allocation-free — safe for
+  /// per-tick sampling loops.
+  double FamilyValueSum(const std::string& name) const;
+
   size_t family_count() const { return families_.size(); }
   size_t series_count() const;
   std::vector<std::string> FamilyNames() const;
+
+  /// Read-only view of one series; exactly one of the three metric
+  /// pointers is non-null (matching the family type) unless the series
+  /// was created but never touched.
+  struct SeriesView {
+    const MetricLabels* labels = nullptr;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const HistogramMetric* histogram = nullptr;
+  };
+  /// Read-only view of one family and all of its series.
+  struct FamilyView {
+    std::string name;
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::vector<SeriesView> series;
+  };
+  /// Deterministic snapshot of every family (name order) and series
+  /// (serialized-label order) — the read surface federation and other
+  /// export layers merge from. Views borrow from the registry; they are
+  /// invalidated by any Get*/SetHelp call.
+  std::vector<FamilyView> Families() const;
 
   /// Prometheus text exposition format 0.0.4.
   void WritePrometheus(std::ostream& out) const;

@@ -88,7 +88,7 @@ ProfileStore::Entry* ProfileStore::FindEntry(QueryId id) {
 }
 
 void ProfileStore::Begin(QueryId id, const std::string& workload,
-                         QueryKind kind, double now) {
+                         QueryKind kind, double now, uint64_t journey) {
   if (profiles_.count(id) > 0) return;
   while (profiles_.size() >= max_profiles_ && !finished_order_.empty()) {
     profiles_.erase(finished_order_.front());
@@ -97,6 +97,7 @@ void ProfileStore::Begin(QueryId id, const std::string& workload,
   }
   Entry entry;
   entry.profile.id = id;
+  entry.profile.journey = journey;
   entry.profile.workload = workload;
   entry.profile.kind = kind;
   entry.profile.arrival_time = now;

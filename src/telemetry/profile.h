@@ -61,6 +61,9 @@ struct ResourceAttribution {
 /// second of a request's life went and what it consumed getting there.
 struct QueryProfile {
   QueryId id = 0;
+  /// Cluster journey id carried on the spec (0 outside a cluster): the
+  /// key that stitches this shard-local profile into a cross-shard DAG.
+  uint64_t journey = 0;
   std::string workload;  // service class
   QueryKind kind = QueryKind::kBiQuery;
   double arrival_time = 0.0;
@@ -118,8 +121,9 @@ class ProfileStore {
   explicit ProfileStore(size_t max_profiles = 8192);
 
   /// Creates the profile of `id` at submission (no-op if present).
+  /// `journey` is the cluster journey id from the spec (0 standalone).
   void Begin(QueryId id, const std::string& workload, QueryKind kind,
-             double now);
+             double now, uint64_t journey = 0);
   /// Opens a wait segment (admission/overload queue, suspended wait,
   /// retry backoff). Any open segment is settled first.
   void OpenWait(QueryId id, Phase phase, double now);

@@ -5,6 +5,18 @@
 
 namespace wlm {
 
+const char* SyntheticTrackName(SyntheticTrack track) {
+  switch (track) {
+    case SyntheticTrack::kFaults:
+      return "faults";
+    case SyntheticTrack::kOverload:
+      return "overload";
+    case SyntheticTrack::kCluster:
+      return "cluster";
+  }
+  return "?";
+}
+
 Telemetry::Telemetry(Simulation* sim, Monitor* monitor, EventLog* event_log,
                      TelemetryOptions options)
     : sim_(sim),
@@ -102,10 +114,10 @@ void Telemetry::WatchSlos(const std::string& workload,
 }
 
 void Telemetry::OnSubmit(QueryId id, const std::string& workload,
-                         QueryKind kind) {
+                         QueryKind kind, uint64_t journey) {
   if (!enabled_) return;
   tracer_.GetOrCreate(id, workload, kind, Now());
-  if (profiling_) profiles_.Begin(id, workload, kind, Now());
+  if (profiling_) profiles_.Begin(id, workload, kind, Now(), journey);
   metrics_.GetCounter("wlm_requests_submitted_total", {{"workload", workload}})
       .Increment();
 }
@@ -297,8 +309,10 @@ void Telemetry::OnFaultBegin(const std::string& kind,
                              const std::string& detail) {
   if (!enabled_) return;
   const double now = Now();
-  tracer_.GetOrCreate(kFaultTraceId, "faults", QueryKind::kUtility, now);
-  tracer_.Instant(kFaultTraceId, "fault_begin", now, kind + " " + detail);
+  tracer_.GetOrCreate(SyntheticTrackId(SyntheticTrack::kFaults),
+                      SyntheticTrackName(SyntheticTrack::kFaults),
+                      QueryKind::kUtility, now);
+  tracer_.Instant(SyntheticTrackId(SyntheticTrack::kFaults), "fault_begin", now, kind + " " + detail);
   metrics_.GetCounter("wlm_faults_injected_total", {{"kind", kind}})
       .Increment();
   metrics_.GetGauge("wlm_faults_active").Add(1.0);
@@ -309,10 +323,12 @@ void Telemetry::OnFaultBegin(const std::string& kind,
 void Telemetry::OnFaultEnd(const std::string& kind, double started_at) {
   if (!enabled_) return;
   const double now = Now();
-  tracer_.GetOrCreate(kFaultTraceId, "faults", QueryKind::kUtility, now);
-  tracer_.AddClosedSpan(kFaultTraceId, SpanKind::kFault, started_at, now,
+  tracer_.GetOrCreate(SyntheticTrackId(SyntheticTrack::kFaults),
+                      SyntheticTrackName(SyntheticTrack::kFaults),
+                      QueryKind::kUtility, now);
+  tracer_.AddClosedSpan(SyntheticTrackId(SyntheticTrack::kFaults), SpanKind::kFault, started_at, now,
                         kind);
-  tracer_.Instant(kFaultTraceId, "fault_end", now, kind);
+  tracer_.Instant(SyntheticTrackId(SyntheticTrack::kFaults), "fault_end", now, kind);
   metrics_.GetCounter("wlm_faults_recovered_total", {{"kind", kind}})
       .Increment();
   metrics_.GetGauge("wlm_faults_active").Add(-1.0);
@@ -382,12 +398,14 @@ void Telemetry::OnBreakerTransition(const std::string& workload, int state,
                                     const std::string& detail) {
   if (!enabled_) return;
   const double now = Now();
-  tracer_.GetOrCreate(kOverloadTraceId, "overload", QueryKind::kUtility, now);
-  tracer_.Instant(kOverloadTraceId, std::string("breaker_") + state_name, now,
+  tracer_.GetOrCreate(SyntheticTrackId(SyntheticTrack::kOverload),
+                      SyntheticTrackName(SyntheticTrack::kOverload),
+                      QueryKind::kUtility, now);
+  tracer_.Instant(SyntheticTrackId(SyntheticTrack::kOverload), std::string("breaker_") + state_name, now,
                   workload + " " + detail);
   if (opened_at >= 0.0) {
     // Leaving the open state: record the whole open window as one span.
-    tracer_.AddClosedSpan(kOverloadTraceId, SpanKind::kOverload, opened_at,
+    tracer_.AddClosedSpan(SyntheticTrackId(SyntheticTrack::kOverload), SpanKind::kOverload, opened_at,
                           now, "breaker_open " + workload);
   }
   metrics_.GetGauge("wlm_overload_breaker_state", {{"workload", workload}})
@@ -406,13 +424,15 @@ void Telemetry::OnBrownoutStep(int level, double entered_at,
                                const std::string& detail) {
   if (!enabled_) return;
   const double now = Now();
-  tracer_.GetOrCreate(kOverloadTraceId, "overload", QueryKind::kUtility, now);
+  tracer_.GetOrCreate(SyntheticTrackId(SyntheticTrack::kOverload),
+                      SyntheticTrackName(SyntheticTrack::kOverload),
+                      QueryKind::kUtility, now);
   char name[48];
   std::snprintf(name, sizeof(name), "brownout_level_%d", level);
-  tracer_.Instant(kOverloadTraceId, name, now, detail);
+  tracer_.Instant(SyntheticTrackId(SyntheticTrack::kOverload), name, now, detail);
   if (level == 0 && entered_at >= 0.0) {
     // Episode over: record the whole brownout window as one span.
-    tracer_.AddClosedSpan(kOverloadTraceId, SpanKind::kOverload, entered_at,
+    tracer_.AddClosedSpan(SyntheticTrackId(SyntheticTrack::kOverload), SpanKind::kOverload, entered_at,
                           now, "brownout");
   }
   metrics_.GetGauge("wlm_overload_brownout_level")
@@ -424,8 +444,10 @@ void Telemetry::OnBrownoutStep(int level, double entered_at,
 void Telemetry::OnQueueDiscipline(bool lifo) {
   if (!enabled_) return;
   const double now = Now();
-  tracer_.GetOrCreate(kOverloadTraceId, "overload", QueryKind::kUtility, now);
-  tracer_.Instant(kOverloadTraceId, lifo ? "queue_lifo" : "queue_fifo", now);
+  tracer_.GetOrCreate(SyntheticTrackId(SyntheticTrack::kOverload),
+                      SyntheticTrackName(SyntheticTrack::kOverload),
+                      QueryKind::kUtility, now);
+  tracer_.Instant(SyntheticTrackId(SyntheticTrack::kOverload), lifo ? "queue_lifo" : "queue_fifo", now);
   metrics_.GetGauge("wlm_overload_queue_lifo").Set(lifo ? 1.0 : 0.0);
   queue_lifo_ = lifo;
   if (profiling_) profiles_.SetQueueDiscipline(lifo, now);

@@ -21,15 +21,34 @@
 
 namespace wlm {
 
-/// Reserved tracer id for the synthetic fault track: fault windows render
-/// as spans of one pseudo-query (`q0 [faults]` in the Chrome trace), so an
-/// exported trace shows outages inline with the queries they disturbed.
-inline constexpr QueryId kFaultTraceId = 0;
+/// Synthetic observability tracks: control-plane episodes (fault windows,
+/// overload actions, cluster routing events) render as spans of one
+/// pseudo-query per track, so exported traces show them inline with the
+/// queries they disturbed.
+enum class SyntheticTrack {
+  kFaults = 0,    ///< fault-injection windows and spontaneous aborts
+  kOverload = 1,  ///< breaker open windows, brownout episodes, discipline
+  kCluster = 2,   ///< dispatcher routing / shard lifecycle events
+};
 
-/// Reserved tracer id for the synthetic overload track: breaker open
-/// windows and brownout episodes render as spans of one pseudo-query so
-/// overload-control actions line up with the queries they shed.
-inline constexpr QueryId kOverloadTraceId = 0xE000000000000000ULL;
+/// Base of the reserved synthetic-id block: the topmost 2^20 ids of the
+/// QueryId space. Real query ids are assigned sequentially from small
+/// integers and the WorkloadManager rejects submissions inside the block,
+/// so a synthetic track id can never alias a live query (the old
+/// sentinels — 0 for faults, 0xE000... for overload — could).
+inline constexpr QueryId kSyntheticQueryIdBase = 0xFFFFFFFFFFF00000ULL;
+
+constexpr QueryId SyntheticTrackId(SyntheticTrack track) {
+  return kSyntheticQueryIdBase + static_cast<QueryId>(track);
+}
+
+constexpr bool IsSyntheticQueryId(QueryId id) {
+  return id >= kSyntheticQueryIdBase;
+}
+
+/// Stable workload/track label for a synthetic track ("faults",
+/// "overload", "cluster").
+const char* SyntheticTrackName(SyntheticTrack track);
 
 struct TelemetryOptions {
   /// When false every hook returns immediately (one predictable branch on
@@ -87,7 +106,11 @@ class Telemetry {
                  const std::vector<ServiceLevelObjective>& slos);
 
   // --- lifecycle hooks (all no-ops when disabled) --------------------------
-  void OnSubmit(QueryId id, const std::string& workload, QueryKind kind);
+  /// `journey` is the cluster-assigned journey id carried on the spec
+  /// (0 outside a cluster); it lands on the QueryProfile so per-shard
+  /// profiles stitch into one cross-shard journey DAG.
+  void OnSubmit(QueryId id, const std::string& workload, QueryKind kind,
+                uint64_t journey = 0);
   /// Admission accepted: zero-length admit span + queue span opens.
   void OnAdmitted(QueryId id, const std::string& workload);
   /// Admission refused by `gate`; the trace ends here.

@@ -399,6 +399,59 @@ TEST(ClusterHealthTest, CrashDrainGrantsSecondLivesAndConservesWork) {
       cluster.shard(0).wlm().event_log().CountOf(WlmEventType::kCompleted) +
       cluster.shard(1).wlm().event_log().CountOf(WlmEventType::kCompleted);
   EXPECT_EQ(completed_total, 12);
+  // Journeys chain each second life to its first: a crash_drain life on
+  // the survivor whose parent is the earlier life on the crashed shard.
+  bool saw_drain_chain = false;
+  for (const Journey& journey : cluster.journeys().journeys()) {
+    for (const JourneyLife& life : journey.lives) {
+      if (life.cause != RouteCause::kCrashDrain) continue;
+      EXPECT_EQ(life.shard, 1);
+      ASSERT_GE(life.parent, 0);
+      EXPECT_EQ(journey.lives[static_cast<size_t>(life.parent)].shard, 0);
+      EXPECT_EQ(life.outcome, "completed");
+      saw_drain_chain = true;
+    }
+    EXPECT_EQ(journey.OpenLives(), 0);
+  }
+  EXPECT_TRUE(saw_drain_chain);
+}
+
+TEST(ClusterHealthTest, FederatedExportMergesShardRegistries) {
+  Simulation sim;
+  ClusterDispatcher cluster(&sim, HealthClusterOptions(2),
+                            [](int, WorkloadManager& m) {
+                              DefineTestWorkloads(m);
+                            });
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.Submit(OltpSpec(static_cast<QueryId>(i + 1), 0.2)).ok());
+  }
+  sim.RunUntil(20.0);
+  MetricsRegistry federated;
+  const FederationStats stats = cluster.BuildFederatedRegistry(&federated);
+  EXPECT_EQ(stats.sources, 2);
+  EXPECT_GT(stats.families_merged, 0);
+  EXPECT_EQ(stats.histogram_bound_mismatches, 0);
+  // Counters sum across shards: every submitted query is in the
+  // federated family exactly once.
+  EXPECT_DOUBLE_EQ(
+      FamilyValueSum(federated, "wlm_cluster_requests_submitted_total"), 8.0);
+  std::ostringstream out;
+  cluster.ExportFederatedMetrics(out);
+  const std::string text = out.str();
+  // Gauges keep per-shard series plus min/max/sum rollups.
+  EXPECT_NE(text.find("shard=\"0\""), std::string::npos);
+  EXPECT_NE(text.find("shard=\"1\""), std::string::npos);
+  EXPECT_NE(text.find("stat=\"max\""), std::string::npos);
+  // The dispatcher's own families ride along un-renamed.
+  EXPECT_NE(text.find("wlm_cluster_routed_total"), std::string::npos);
+  // The sim-clock sampling loop fed the time-series store. (All 8
+  // arrivals land before the first sample, so the series is flat at 8 —
+  // DeltaSince sees no growth, Latest sees the level.)
+  EXPECT_FALSE(cluster.timeseries().SeriesNames().empty());
+  TimePoint latest;
+  ASSERT_TRUE(cluster.timeseries().Latest("wlm_cluster_requests_total",
+                                          &latest));
+  EXPECT_DOUBLE_EQ(latest.value, 8.0);
 }
 
 TEST(ClusterHealthTest, BlackholedArrivalsDrainOnceDetected) {
@@ -531,6 +584,17 @@ TEST(ClusterHealthTest, HedgedDispatchRacesASuspectedShard) {
   EXPECT_TRUE(saw_hedge_route);
   EXPECT_EQ(cluster.shard(1).wlm().event_log().CountOf(WlmEventType::kCompleted),
             1);
+  // The journey records both lives: the primary black-holed on the dead
+  // shard, the hedge completed on the survivor, linked by a hedge edge.
+  const Journey* journey = cluster.journeys().Find(77);
+  ASSERT_NE(journey, nullptr);
+  ASSERT_EQ(journey->lives.size(), 2u);
+  EXPECT_EQ(journey->lives[0].shard, 0);
+  EXPECT_EQ(journey->lives[0].outcome, "blackholed");
+  EXPECT_EQ(journey->lives[1].cause, RouteCause::kHedge);
+  EXPECT_EQ(journey->lives[1].shard, 1);
+  EXPECT_EQ(journey->lives[1].parent, 0);
+  EXPECT_EQ(journey->lives[1].outcome, "completed");
 }
 
 TEST(ClusterHealthTest, HedgeLoserIsCancelledWhenBothCopiesRun) {
@@ -589,6 +653,15 @@ TEST(ClusterHealthTest, HedgeLoserIsCancelledWhenBothCopiesRun) {
     }
   }
   EXPECT_EQ(completions_of_99, 1);
+  // Journey view of the same race: the cancelled loser is relabeled
+  // hedge_cancelled after the kill lands, and both lives close.
+  const Journey* journey = cluster.journeys().Find(99);
+  ASSERT_NE(journey, nullptr);
+  ASSERT_EQ(journey->lives.size(), 2u);
+  EXPECT_EQ(journey->lives[0].outcome, "hedge_cancelled");
+  EXPECT_EQ(journey->lives[1].cause, RouteCause::kHedge);
+  EXPECT_EQ(journey->lives[1].outcome, "completed");
+  EXPECT_EQ(journey->OpenLives(), 0);
 }
 
 TEST(ClusterHealthTest, AnnouncedRestartDrainsWithoutDetectionLatency) {

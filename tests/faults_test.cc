@@ -616,7 +616,7 @@ TEST(FaultTelemetryTest, FaultWindowsSurfaceInMetricsAndTraces) {
   EXPECT_DOUBLE_EQ(metrics.GetGauge("wlm_faults_degraded", {}).value(), 0.0);
 
   // The whole window is one kFault span on the synthetic fault track.
-  const QueryTrace* track = rig.wlm.telemetry().tracer().Find(kFaultTraceId);
+  const QueryTrace* track = rig.wlm.telemetry().tracer().Find(SyntheticTrackId(SyntheticTrack::kFaults));
   ASSERT_NE(track, nullptr);
   auto spans = track->SpansOfKind(SpanKind::kFault);
   ASSERT_EQ(spans.size(), 1u);

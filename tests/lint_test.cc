@@ -752,6 +752,52 @@ TEST(LintT3Test, ComposedPrefixMatchesRegisteredNames) {
   EXPECT_TRUE(LintProject(files).empty());
 }
 
+TEST(LintT3Test, FederatedClusterSeriesDeriveFromShardRegistration) {
+  // wlm_cluster_* families are produced at runtime by the federator's
+  // prefix swap, so emitting one whose per-shard twin is registered is
+  // not an unregistered-metric finding.
+  std::vector<SourceFile> files = {
+      {"src/telemetry/t.cc", R"(
+        void R(Registry& m) {
+          m.SetHelp("wlm_requests_total", "requests");
+          m.GetCounter("wlm_requests_total")->Add(1);
+          m.GetCounter("wlm_cluster_requests_total")->Add(1);
+        }
+      )"},
+  };
+  EXPECT_TRUE(LintProject(files).empty());
+}
+
+TEST(LintT3Test, FederatedClusterRegistrationSatisfiedByShardEmission) {
+  // The reverse direction: registering the cluster-level name while only
+  // the per-shard twin is emitted is not dead telemetry — federation
+  // materializes the derived series from the twin.
+  std::vector<SourceFile> files = {
+      {"src/telemetry/t.cc", R"(
+        void R(Registry& m) {
+          m.SetHelp("wlm_queue_depth", "depth");
+          m.SetHelp("wlm_cluster_queue_depth", "cluster depth");
+          m.GetGauge("wlm_queue_depth")->Set(1.0);
+        }
+      )"},
+  };
+  EXPECT_TRUE(LintProject(files).empty());
+}
+
+TEST(LintT3Test, UnderivedClusterSeriesIsStillFlagged) {
+  // A wlm_cluster_* name with no per-shard twin registered anywhere gets
+  // no federation pardon.
+  std::vector<SourceFile> files = {
+      {"src/telemetry/t.cc",
+       "void E(Registry& m) { "
+       "m.GetCounter(\"wlm_cluster_phantom_total\")->Add(1); }\n"},
+  };
+  auto findings = LintProject(files);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "T3");
+  EXPECT_NE(findings[0].message.find("never registered"), std::string::npos);
+}
+
 TEST(LintT3Test, FlagsEventTypeNeverEmitted) {
   std::vector<SourceFile> files = {
       {"src/telemetry/ev.h", "enum class WlmEventType { kUsed, kDead };\n"},

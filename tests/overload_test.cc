@@ -569,7 +569,7 @@ TEST(ManagerOverloadTest, BreakerTransitionsLandInEventLogAndMetrics) {
   for (const WlmEvent& event : rig.wlm.event_log().events()) {
     if (event.type == WlmEventType::kBreakerTripped) {
       tripped_logged = true;
-      EXPECT_EQ(event.query, kOverloadTraceId);
+      EXPECT_EQ(event.query, SyntheticTrackId(SyntheticTrack::kOverload));
       EXPECT_EQ(event.workload, "default");
     }
   }

@@ -693,6 +693,87 @@ TEST_P(ClusterMetamorphicSweep, PhaseSumConservesForCrashDrainedQueries) {
   EXPECT_GT(checked, 0);
 }
 
+// (e) Journey structural invariants under the full failure stack: after
+// stitching, every journey's lives form an acyclic DAG (parents strictly
+// precede children), no life is left open once the run drains, and each
+// stitched life's phase decomposition sums to that life's profiled wall
+// time — the cluster-level restatement of phase-sum conservation.
+TEST_P(ClusterMetamorphicSweep, JourneyDagIsAcyclicAndPhasesConserve) {
+  const uint64_t seed = GetParam();
+  Simulation sim;
+  ClusterOptions options = TestClusterOptions(4);
+  options.placement = PlacementPolicyKind::kLeastOutstanding;
+  options.redispatch = true;
+  options.health.enabled = true;
+  ClusterDispatcher cluster(&sim, options, [](int, WorkloadManager& m) {
+    DefineTestWorkloads(m);
+  });
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kShardCrash;
+  crash.shard = 1;
+  crash.start = 3.0;
+  crash.duration = 3.0;
+  plan.Add(crash);
+  FaultEvent restart;
+  restart.kind = FaultKind::kShardRestart;
+  restart.shard = 2;
+  restart.start = 8.0;
+  restart.duration = 2.0;
+  plan.Add(restart);
+  ASSERT_TRUE(cluster.ArmFaultPlan(plan).ok());
+
+  WorkloadGenerator gen(seed);
+  Rng arrivals(seed ^ 0x7e7e7e7eULL);
+  OpenLoopDriver oltp(
+      &sim, &arrivals, 25.0,
+      [&gen] {
+        QuerySpec spec = gen.NextOltp(OltpWorkloadConfig());
+        spec.deadline_seconds = 5.0;  // arm hedged dispatch
+        return spec;
+      },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  OpenLoopDriver bi(
+      &sim, &arrivals, 2.0,
+      [&gen] { return gen.NextBi(BiWorkloadConfig()); },
+      [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
+  oltp.Start(14.0);
+  bi.Start(14.0);
+  // Arrivals stop at t=14; run far past the heaviest BI tail (hundreds
+  // of sim-seconds) so every admitted query drains and no journey is
+  // legitimately still open.
+  sim.RunUntil(600.0);
+
+  cluster.StitchJourneys();
+  int64_t lives_checked = 0;
+  int64_t stitched = 0;
+  int64_t multi_life = 0;
+  for (const Journey& journey : cluster.journeys().journeys()) {
+    EXPECT_EQ(journey.OpenLives(), 0)
+        << "journey " << journey.id << " left a life open after the drain";
+    if (journey.lives.size() > 1) ++multi_life;
+    for (const JourneyLife& life : journey.lives) {
+      ++lives_checked;
+      // Acyclicity: every edge points strictly backwards in life order.
+      EXPECT_GE(life.parent, -1);
+      if (life.parent >= 0) {
+        EXPECT_LT(life.parent, life.index)
+            << "journey " << journey.id << " life " << life.index;
+      }
+      if (life.profile_wall_seconds >= 0.0) {
+        ++stitched;
+        EXPECT_NEAR(life.PhaseSum(), life.profile_wall_seconds, 1e-6)
+            << "journey " << journey.id << " life " << life.index << " ("
+            << life.outcome << ")";
+      }
+    }
+  }
+  EXPECT_GT(lives_checked, 0);
+  EXPECT_GT(stitched, 0) << "stitching matched no profiles";
+  EXPECT_GT(multi_life, 0)
+      << "faults too mild: no journey ever needed a second life";
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ClusterMetamorphicSweep,
                          ::testing::Values(11, 23, 42));
 

@@ -96,6 +96,9 @@ wlm::ScenarioOptions FourShardsCrash() {
   crash.duration = 4.0;
   crash.shard = 2;
   options.shard_faults.Add(crash);
+  // Deadline-carrying OLTP: hedged dispatch races the suspected shard
+  // while the detector is between suspect and down.
+  options.oltp_deadline_seconds = 5.0;
   return options;
 }
 
@@ -119,6 +122,74 @@ TEST(ScenarioReplayTest, ReplayIsByteStable) {
             wlm::RunScenarioJsonl(FourShards()));
   EXPECT_EQ(wlm::RunScenarioJsonl(FourShardsCrash()),
             wlm::RunScenarioJsonl(FourShardsCrash()));
+}
+
+TEST(ScenarioReplayTest, FederatedSnapshotAndJourneysAreByteStable) {
+  // The acceptance surface for cluster observability: two same-seed runs
+  // of the 4-shard crash scenario export a byte-identical federated
+  // Prometheus snapshot and journey JSONL.
+  std::string prom_a, prom_b, journeys_a, journeys_b;
+  const std::string run_a =
+      wlm::RunScenarioJsonl(FourShardsCrash(), &prom_a, &journeys_a);
+  const std::string run_b =
+      wlm::RunScenarioJsonl(FourShardsCrash(), &prom_b, &journeys_b);
+  EXPECT_EQ(run_a, run_b);
+  ASSERT_FALSE(prom_a.empty());
+  ASSERT_FALSE(journeys_a.empty());
+  EXPECT_EQ(prom_a, prom_b);
+  EXPECT_EQ(journeys_a, journeys_b);
+  // Federated families actually materialized (not just dispatcher ones).
+  EXPECT_NE(prom_a.find("wlm_cluster_requests_submitted_total"),
+            std::string::npos);
+  EXPECT_NE(prom_a.find("wlm_cluster_phase_seconds_total"),
+            std::string::npos);
+}
+
+TEST(ScenarioReplayTest, HedgedJourneyShowsBothLivesAndConservesPhases) {
+  bool saw_hedge_edge = false;
+  int checked_lives = 0;
+  wlm::RunScenarioJsonl(
+      FourShardsCrash(), nullptr, nullptr,
+      [&](wlm::ClusterDispatcher& cluster) {
+        cluster.StitchJourneys();
+        for (const wlm::Journey& journey : cluster.journeys().journeys()) {
+          for (const wlm::JourneyLife& life : journey.lives) {
+            // DAG contract: parents strictly precede children.
+            if (life.parent >= 0) {
+              EXPECT_LT(life.parent, life.index);
+            }
+            if (life.cause == wlm::RouteCause::kHedge) {
+              ASSERT_GE(life.parent, 0) << "hedge life without a primary";
+              const wlm::JourneyLife& primary =
+                  journey.lives[static_cast<size_t>(life.parent)];
+              // Exactly one of the two linked lives completed; the other
+              // was retired (cancelled, black-holed or refused).
+              const bool primary_won = primary.outcome == "completed";
+              const bool hedge_won = life.outcome == "completed";
+              EXPECT_NE(primary_won, hedge_won)
+                  << "hedge race must have one winner (primary="
+                  << primary.outcome << " hedge=" << life.outcome << ")";
+              if (primary_won) {
+                // The loser was killed mid-run or never ran at all.
+                EXPECT_TRUE(life.outcome == "hedge_cancelled" ||
+                            life.outcome == "blackholed")
+                    << life.outcome;
+              }
+              saw_hedge_edge = true;
+            }
+            // Per-life phase-sum conservation: each stitched life's
+            // phase decomposition sums to that life's wall time.
+            if (life.profile_wall_seconds >= 0.0 && !life.outcome.empty()) {
+              EXPECT_NEAR(life.PhaseSum(), life.profile_wall_seconds, 1e-6)
+                  << "journey " << journey.id << " life " << life.index;
+              ++checked_lives;
+            }
+          }
+        }
+      });
+  EXPECT_TRUE(saw_hedge_edge)
+      << "the crash scenario no longer exercises hedged dispatch";
+  EXPECT_GT(checked_lives, 100);
 }
 
 TEST(ScenarioReplayTest, SeedChangesTheTranscript) {

@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -155,6 +157,10 @@ struct ScenarioOptions {
   FaultPlan shard_faults;
   /// Enables the failure detector / crash drain / hedging stack.
   bool health = false;
+  /// Relative deadline attached to every generated OLTP spec (0 = none).
+  /// Hedged dispatch only fires for deadline-carrying queries, so crash
+  /// scenarios set this to exercise the hedge path.
+  double oltp_deadline_seconds = 0.0;
 };
 
 namespace scenario_internal {
@@ -181,7 +187,15 @@ inline std::string JsonEscape(const std::string& s) {
 
 }  // namespace scenario_internal
 
-inline std::string RunScenarioJsonl(const ScenarioOptions& options) {
+/// Runs the scenario and returns its canonical JSONL transcript. When
+/// non-null, `federated_prom` receives the federated cluster Prometheus
+/// snapshot and `journeys_jsonl` the stitched journey JSONL — both
+/// byte-stable for same-seed runs. `inspect` (if set) runs against the
+/// finished cluster before it is torn down, for structural assertions.
+inline std::string RunScenarioJsonl(
+    const ScenarioOptions& options, std::string* federated_prom = nullptr,
+    std::string* journeys_jsonl = nullptr,
+    const std::function<void(ClusterDispatcher&)>& inspect = nullptr) {
   using scenario_internal::F6;
   using scenario_internal::JsonEscape;
 
@@ -206,7 +220,11 @@ inline std::string RunScenarioJsonl(const ScenarioOptions& options) {
   Rng arrivals(options.seed ^ 0x5a5a5a5aULL);
   OpenLoopDriver oltp(
       &sim, &arrivals, options.oltp_rate,
-      [&generator] { return generator.NextOltp(OltpWorkloadConfig()); },
+      [&generator, &options] {
+        QuerySpec spec = generator.NextOltp(OltpWorkloadConfig());
+        spec.deadline_seconds = options.oltp_deadline_seconds;
+        return spec;
+      },
       [&cluster](QuerySpec spec) { (void)cluster.Submit(std::move(spec)); });
   OpenLoopDriver bi(
       &sim, &arrivals, options.bi_rate,
@@ -278,6 +296,17 @@ inline std::string RunScenarioJsonl(const ScenarioOptions& options) {
          std::to_string(cluster.hedges_started()) + ",\"orphans_lost\":" +
          std::to_string(cluster.orphans_lost()) + ",\"imbalance\":" +
          F6(cluster.ImbalanceCoefficient()) + "}\n";
+  if (federated_prom != nullptr) {
+    std::ostringstream prom;
+    cluster.ExportFederatedMetrics(prom);
+    *federated_prom = prom.str();
+  }
+  if (journeys_jsonl != nullptr) {
+    std::ostringstream journeys;
+    cluster.WriteJourneys(journeys);
+    *journeys_jsonl = journeys.str();
+  }
+  if (inspect) inspect(cluster);
   return out;
 }
 

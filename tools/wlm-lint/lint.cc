@@ -856,6 +856,18 @@ void RunT3(const SymbolGraph& graph,
     }
   }
 
+  // MetricsFederator derives wlm_cluster_* families from per-shard
+  // wlm_* families at runtime (prefix swap), so a cluster-prefixed name
+  // is satisfied in either direction by its per-shard twin: the twin's
+  // registration carries the HELP text over and the twin's emission
+  // materializes the derived series. Maps wlm_cluster_X -> wlm_X, empty
+  // when `name` is not federation-derived.
+  auto shard_twin = [](const std::string& name) -> std::string {
+    static const std::string kClusterPrefix = "wlm_cluster_";
+    if (name.rfind(kClusterPrefix, 0) != 0) return std::string();
+    return "wlm_" + name.substr(kClusterPrefix.size());
+  };
+
   // metric_refs are (name, path, line)-sorted, so "first site" per name
   // and direction is deterministic.
   std::set<std::string> done;
@@ -863,10 +875,13 @@ void RunT3(const SymbolGraph& graph,
     if (!done.insert((ref.registered ? "r:" : "e:") + ref.name).second) {
       continue;
     }
+    const std::string twin = shard_twin(ref.name);
     if (ref.registered) {
       bool emitted = emitted_exact.count(ref.name) > 0;
+      if (!emitted && !twin.empty()) emitted = emitted_exact.count(twin) > 0;
       for (auto it = emitted_prefix.begin(); !emitted && it != emitted_prefix.end(); ++it) {
         if (ref.name.rfind(*it, 0) == 0) emitted = true;
+        if (!twin.empty() && twin.rfind(*it, 0) == 0) emitted = true;
       }
       if (!emitted && !allows(ref.path, ref.line)) {
         findings->push_back(
@@ -879,7 +894,8 @@ void RunT3(const SymbolGraph& graph,
     } else if (!ref.name.empty() && ref.name.back() == '_') {
       bool known = false;
       for (const std::string& r : registered) {
-        if (r.rfind(ref.name, 0) == 0) {
+        if (r.rfind(ref.name, 0) == 0 ||
+            (!twin.empty() && r.rfind(twin, 0) == 0)) {
           known = true;
           break;
         }
@@ -892,6 +908,7 @@ void RunT3(const SymbolGraph& graph,
                  "registration"});
       }
     } else if (registered.count(ref.name) == 0 &&
+               (twin.empty() || registered.count(twin) == 0) &&
                !allows(ref.path, ref.line)) {
       findings->push_back(
           {ref.path, ref.line, "T3",
